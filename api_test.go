@@ -1,0 +1,209 @@
+package pthreads_test
+
+import (
+	"strings"
+	"testing"
+
+	"pthreads"
+)
+
+// These tests exercise the library exclusively through the public facade,
+// the way a downstream user would.
+
+func TestFacadeQuickstart(t *testing.T) {
+	sys := pthreads.New(pthreads.Config{})
+	var result any
+	err := sys.Run(func() {
+		attr := pthreads.DefaultAttr()
+		attr.Name = "worker"
+		th, err := sys.Create(attr, func(arg any) any {
+			sys.Compute(pthreads.Millisecond)
+			return arg.(int) * 2
+		}, 21)
+		if err != nil {
+			t.Errorf("Create: %v", err)
+		}
+		result, err = sys.Join(th)
+		if err != nil {
+			t.Errorf("Join: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result != 42 {
+		t.Fatalf("result = %v", result)
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if pthreads.MinPrio != 0 || pthreads.MaxPrio != 31 {
+		t.Fatal("priority range wrong")
+	}
+	if pthreads.SchedFIFO.String() != "SCHED_FIFO" || pthreads.SchedRR.String() != "SCHED_RR" {
+		t.Fatal("policy names wrong")
+	}
+	if pthreads.ProtocolCeiling.String() != "ceiling" {
+		t.Fatal("protocol name wrong")
+	}
+	if pthreads.EDEADLK.Error() != "EDEADLK" {
+		t.Fatal("errno name wrong")
+	}
+	if !pthreads.FullSigset().Has(pthreads.SIGUSR1) {
+		t.Fatal("FullSigset wrong")
+	}
+	set := pthreads.MakeSigset(pthreads.SIGINT, pthreads.SIGTERM)
+	if !set.Has(pthreads.SIGINT) || set.Has(pthreads.SIGHUP) {
+		t.Fatal("MakeSigset wrong")
+	}
+}
+
+func TestFacadeMachinePresets(t *testing.T) {
+	ipx := pthreads.SPARCstationIPX()
+	one := pthreads.SPARCstation1Plus()
+	if !strings.Contains(ipx.Name, "IPX") || !strings.Contains(one.Name, "1+") {
+		t.Fatal("preset names wrong")
+	}
+	sys := pthreads.New(pthreads.Config{Machine: one})
+	err := sys.Run(func() {
+		if sys.Config().Machine != one {
+			t.Error("machine not configured")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSemaphore(t *testing.T) {
+	sys := pthreads.New(pthreads.Config{})
+	err := sys.Run(func() {
+		sem, err := pthreads.NewSemaphore(sys, "s", 1)
+		if err != nil {
+			t.Errorf("NewSemaphore: %v", err)
+			return
+		}
+		sem.P()
+		sem.V()
+		if sem.Value() != 1 {
+			t.Errorf("Value = %d", sem.Value())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSignalsAndCancellation(t *testing.T) {
+	sys := pthreads.New(pthreads.Config{})
+	var sawSignal pthreads.Signal
+	err := sys.Run(func() {
+		sys.Sigaction(pthreads.SIGUSR1, func(sig pthreads.Signal, info *pthreads.SigInfo, sc *pthreads.SigContext) {
+			sawSignal = sig
+		}, 0)
+		sys.Kill(sys.Self(), pthreads.SIGUSR1)
+
+		attr := pthreads.DefaultAttr()
+		attr.Priority = pthreads.DefaultPrio + 1
+		th, _ := sys.Create(attr, func(any) any {
+			sys.Sleep(pthreads.Second)
+			return nil
+		}, nil)
+		sys.Cancel(th)
+		v, _ := sys.Join(th)
+		if v != pthreads.Canceled {
+			t.Errorf("cancelled status = %v", v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawSignal != pthreads.SIGUSR1 {
+		t.Fatalf("handler saw %v", sawSignal)
+	}
+}
+
+func TestFacadeTracer(t *testing.T) {
+	var events []pthreads.TraceEvent
+	type recorder struct{ f func(pthreads.TraceEvent) }
+	_ = recorder{}
+	sys := pthreads.New(pthreads.Config{Tracer: tracerFunc(func(ev pthreads.TraceEvent) {
+		events = append(events, ev)
+	})})
+	err := sys.Run(func() {
+		sys.Tracepoint("hello")
+		sys.Yield()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range events {
+		if ev.Arg == "hello" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("tracepoint not recorded")
+	}
+}
+
+// tracerFunc adapts a function to the Tracer interface.
+type tracerFunc func(pthreads.TraceEvent)
+
+func (f tracerFunc) Event(ev pthreads.TraceEvent) { f(ev) }
+
+func TestFacadeTimeUnits(t *testing.T) {
+	d := 3 * pthreads.Millisecond
+	if d.Micros() != 3000 {
+		t.Fatalf("Micros = %v", d.Micros())
+	}
+	if pthreads.Second != 1000*pthreads.Millisecond {
+		t.Fatal("units wrong")
+	}
+}
+
+func TestFacadePervertedConfig(t *testing.T) {
+	sys := pthreads.New(pthreads.Config{Pervert: pthreads.PervertRandom, Seed: 5})
+	count := 0
+	err := sys.Run(func() {
+		m := sys.MustMutex(pthreads.MutexAttr{Name: "m", Protocol: pthreads.ProtocolInherit})
+		attr := pthreads.DefaultAttr()
+		var ths []*pthreads.Thread
+		for i := 0; i < 3; i++ {
+			th, _ := sys.Create(attr, func(any) any {
+				for j := 0; j < 5; j++ {
+					m.Lock()
+					count++
+					m.Unlock()
+				}
+				return nil
+			}, nil)
+			ths = append(ths, th)
+		}
+		for _, th := range ths {
+			sys.Join(th)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 15 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestFacadeMultipleIndependentSystems(t *testing.T) {
+	// Two systems run back to back with fully isolated state.
+	mk := func() pthreads.Time {
+		sys := pthreads.New(pthreads.Config{})
+		sys.Run(func() {
+			sys.Compute(5 * pthreads.Millisecond)
+		})
+		return sys.Now()
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatalf("isolated systems diverged: %v vs %v", a, b)
+	}
+}

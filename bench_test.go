@@ -1,0 +1,544 @@
+// Benchmarks regenerating the paper's Table 2, one testing.B benchmark
+// per row, plus the ablation and layering benchmarks. Each reports two
+// numbers: the Go wall-clock ns/op of the reproduction itself, and —
+// the number that corresponds to the paper — the virtual µs/op charged
+// by the calibrated SPARCstation IPX machine model ("vus/op").
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The deterministic paper-vs-measured comparison lives in cmd/ptbench;
+// these benchmarks exercise the same code paths under the standard Go
+// harness.
+package pthreads_test
+
+import (
+	"testing"
+
+	"pthreads"
+	"pthreads/internal/eval"
+)
+
+// reportVirtual attaches the virtual-time metric for n operations.
+func reportVirtual(b *testing.B, s *pthreads.System, from pthreads.Time, n int) {
+	b.Helper()
+	if n <= 0 {
+		n = 1
+	}
+	b.ReportMetric(s.Now().Sub(from).Micros()/float64(n), "vus/op")
+}
+
+// BenchmarkKernelEnterExit is Table 2 row 1: the null library call.
+func BenchmarkKernelEnterExit(b *testing.B) {
+	s := pthreads.New(pthreads.Config{})
+	err := s.Run(func() {
+		b.ResetTimer()
+		v0 := s.Now()
+		for i := 0; i < b.N; i++ {
+			s.KernelEnterExit()
+		}
+		b.StopTimer()
+		reportVirtual(b, s, v0, b.N)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkUnixGetpid is Table 2 row 2: enter and exit the UNIX kernel.
+func BenchmarkUnixGetpid(b *testing.B) {
+	s := pthreads.New(pthreads.Config{})
+	err := s.Run(func() {
+		p := s.Process()
+		b.ResetTimer()
+		v0 := s.Now()
+		for i := 0; i < b.N; i++ {
+			p.Getpid()
+		}
+		b.StopTimer()
+		reportVirtual(b, s, v0, b.N)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMutexNoContention is Table 2 row 3.
+func BenchmarkMutexNoContention(b *testing.B) {
+	s := pthreads.New(pthreads.Config{})
+	err := s.Run(func() {
+		m := s.MustMutex(pthreads.MutexAttr{Name: "bench"})
+		b.ResetTimer()
+		v0 := s.Now()
+		for i := 0; i < b.N; i++ {
+			m.Lock()
+			m.Unlock()
+		}
+		b.StopTimer()
+		reportVirtual(b, s, v0, b.N)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMutexContention is Table 2 row 4: the unlock-to-lock-return
+// hand-off to a suspended higher-priority thread.
+func BenchmarkMutexContention(b *testing.B) {
+	s := pthreads.New(pthreads.Config{})
+	err := s.Run(func() {
+		m := s.MustMutex(pthreads.MutexAttr{Name: "bench"})
+		gate, _ := pthreads.NewSemaphore(s, "gate", 0)
+		var t0 pthreads.Time
+		var total pthreads.Duration
+		m.Lock()
+		attr := pthreads.DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		locker, _ := s.Create(attr, func(any) any {
+			for i := 0; i < b.N; i++ {
+				m.Lock() // suspended while main holds m
+				total += s.Now().Sub(t0)
+				m.Unlock()
+				gate.P()
+			}
+			return nil
+		}, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 = s.Now()
+			m.Unlock()
+			m.Lock()
+			gate.V()
+		}
+		b.StopTimer()
+		// The paper's interval: unlock by A to lock return in B.
+		b.ReportMetric(total.Micros()/float64(b.N), "vus/op")
+		m.Unlock()
+		s.Join(locker)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSemaphoreSync is Table 2 row 5: one P plus one V between two
+// threads (half a ping-pong round).
+func BenchmarkSemaphoreSync(b *testing.B) {
+	s := pthreads.New(pthreads.Config{})
+	err := s.Run(func() {
+		ping, _ := pthreads.NewSemaphore(s, "ping", 0)
+		pong, _ := pthreads.NewSemaphore(s, "pong", 0)
+		attr := pthreads.DefaultAttr()
+		echo, _ := s.Create(attr, func(any) any {
+			for i := 0; i < b.N; i++ {
+				ping.P()
+				pong.V()
+			}
+			return nil
+		}, nil)
+		b.ResetTimer()
+		v0 := s.Now()
+		for i := 0; i < b.N; i++ {
+			ping.V()
+			pong.P()
+		}
+		b.StopTimer()
+		reportVirtual(b, s, v0, 2*b.N)
+		s.Join(echo)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkThreadCreate is Table 2 row 6: pthread_create with a pooled
+// TCB/stack and no context switch.
+func BenchmarkThreadCreate(b *testing.B) {
+	const batch = 64
+	s := pthreads.New(pthreads.Config{PoolSize: batch + 8})
+	err := s.Run(func() {
+		attr := pthreads.DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		ths := make([]*pthreads.Thread, 0, batch)
+		var virtual pthreads.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v0 := s.Now()
+			th, err := s.Create(attr, func(any) any { return nil }, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			virtual += s.Now().Sub(v0)
+			ths = append(ths, th)
+			if len(ths) == batch {
+				// Drain outside the timed window so the pool refills.
+				b.StopTimer()
+				for _, t := range ths {
+					s.Join(t)
+				}
+				ths = ths[:0]
+				b.StartTimer()
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(virtual.Micros()/float64(b.N), "vus/op")
+		for _, t := range ths {
+			s.Join(t)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCreateUnpooled is the ablation counterpart of row 6: every
+// creation pays the heap allocation (paper: ~70% of creation time).
+func BenchmarkCreateUnpooled(b *testing.B) {
+	const batch = 64
+	s := pthreads.New(pthreads.Config{DisablePool: true})
+	err := s.Run(func() {
+		attr := pthreads.DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		ths := make([]*pthreads.Thread, 0, batch)
+		var virtual pthreads.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v0 := s.Now()
+			th, _ := s.Create(attr, func(any) any { return nil }, nil)
+			virtual += s.Now().Sub(v0)
+			ths = append(ths, th)
+			if len(ths) == batch {
+				b.StopTimer()
+				for _, t := range ths {
+					s.Join(t)
+				}
+				ths = ths[:0]
+				b.StartTimer()
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(virtual.Micros()/float64(b.N), "vus/op")
+		for _, t := range ths {
+			s.Join(t)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSetjmpLongjmp is Table 2 row 7.
+func BenchmarkSetjmpLongjmp(b *testing.B) {
+	s := pthreads.New(pthreads.Config{})
+	err := s.Run(func() {
+		b.ResetTimer()
+		v0 := s.Now()
+		for i := 0; i < b.N; i++ {
+			var jb pthreads.JmpBuf
+			if s.Setjmp(&jb, func() { s.Longjmp(&jb, 1) }) != 1 {
+				b.Fatal("longjmp missed")
+			}
+		}
+		b.StopTimer()
+		reportVirtual(b, s, v0, b.N)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkContextSwitch is Table 2 row 8: a yield between two
+// equal-priority threads (each iteration is two switches).
+func BenchmarkContextSwitch(b *testing.B) {
+	s := pthreads.New(pthreads.Config{})
+	err := s.Run(func() {
+		stop := false
+		attr := pthreads.DefaultAttr()
+		partner, _ := s.Create(attr, func(any) any {
+			for !stop {
+				s.Yield()
+			}
+			return nil
+		}, nil)
+		s.Yield()
+		b.ResetTimer()
+		v0 := s.Now()
+		for i := 0; i < b.N; i++ {
+			s.Yield()
+		}
+		b.StopTimer()
+		reportVirtual(b, s, v0, 2*b.N)
+		stop = true
+		s.Join(partner)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSignalInternal is Table 2 row 10: pthread_kill to a suspended
+// thread, measured to handler entry.
+func BenchmarkSignalInternal(b *testing.B) {
+	s := pthreads.New(pthreads.Config{})
+	err := s.Run(func() {
+		var t0 pthreads.Time
+		var total pthreads.Duration
+		s.Sigaction(pthreads.SIGUSR1, func(pthreads.Signal, *pthreads.SigInfo, *pthreads.SigContext) {
+			total += s.Now().Sub(t0)
+		}, 0)
+		attr := pthreads.DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		receiver, _ := s.Create(attr, func(any) any {
+			for i := 0; i < b.N; i++ {
+				s.Sleep(pthreads.Second)
+			}
+			return nil
+		}, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 = s.Now()
+			s.Kill(receiver, pthreads.SIGUSR1)
+		}
+		b.StopTimer()
+		// Send to handler entry, the paper's definition.
+		b.ReportMetric(total.Micros()/float64(b.N), "vus/op")
+		s.Join(receiver)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSignalExternal is Table 2 row 11: kill(getpid(), sig)
+// demultiplexed to a thread by the universal handler.
+func BenchmarkSignalExternal(b *testing.B) {
+	s := pthreads.New(pthreads.Config{})
+	err := s.Run(func() {
+		var t0 pthreads.Time
+		var total pthreads.Duration
+		s.Sigaction(pthreads.SIGUSR2, func(pthreads.Signal, *pthreads.SigInfo, *pthreads.SigContext) {
+			total += s.Now().Sub(t0)
+		}, 0)
+		s.SetSigmask(pthreads.MakeSigset(pthreads.SIGUSR2))
+		attr := pthreads.DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		receiver, _ := s.Create(attr, func(any) any {
+			for i := 0; i < b.N; i++ {
+				s.Sleep(pthreads.Second)
+			}
+			return nil
+		}, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 = s.Now()
+			s.RaiseProcess(pthreads.SIGUSR2)
+		}
+		b.StopTimer()
+		b.ReportMetric(total.Micros()/float64(b.N), "vus/op")
+		s.Join(receiver)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkUnixSignalAndProcessSwitch covers Table 2 rows 9 and 12
+// through the eval harness (they involve no thread library, only the
+// simulated UNIX kernel).
+func BenchmarkUnixSignalAndProcessSwitch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rows
+	}
+}
+
+// BenchmarkMutexProtocols compares the lock/unlock pair across the three
+// priority protocols (none pays no kernel entry; inheritance and ceiling
+// do protocol work).
+func BenchmarkMutexProtocols(b *testing.B) {
+	cases := []struct {
+		name string
+		attr pthreads.MutexAttr
+	}{
+		{"none", pthreads.MutexAttr{Name: "m"}},
+		{"inherit", pthreads.MutexAttr{Name: "m", Protocol: pthreads.ProtocolInherit}},
+		{"ceiling", pthreads.MutexAttr{Name: "m", Protocol: pthreads.ProtocolCeiling, Ceiling: 30}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			s := pthreads.New(pthreads.Config{})
+			err := s.Run(func() {
+				m := s.MustMutex(tc.attr)
+				b.ResetTimer()
+				v0 := s.Now()
+				for i := 0; i < b.N; i++ {
+					m.Lock()
+					m.Unlock()
+				}
+				b.StopTimer()
+				reportVirtual(b, s, v0, b.N)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkLockPrimitives is the Figure 4 ablation: ldstub vs
+// ldstub-in-RAS vs hypothetical compare-and-swap.
+func BenchmarkLockPrimitives(b *testing.B) {
+	for _, prim := range []pthreads.LockPrimitive{pthreads.TASOnly, pthreads.TASWithRAS, pthreads.CompareAndSwap} {
+		prim := prim
+		b.Run(prim.String(), func(b *testing.B) {
+			s := pthreads.New(pthreads.Config{})
+			err := s.Run(func() {
+				m := s.MustMutex(pthreads.MutexAttr{Name: "m", Primitive: prim, PrimitiveSet: true})
+				b.ResetTimer()
+				v0 := s.Now()
+				for i := 0; i < b.N; i++ {
+					m.Lock()
+					m.Unlock()
+				}
+				b.StopTimer()
+				reportVirtual(b, s, v0, b.N)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkCondSignalWait measures a full condition-variable hand-off.
+func BenchmarkCondSignalWait(b *testing.B) {
+	s := pthreads.New(pthreads.Config{})
+	err := s.Run(func() {
+		m := s.MustMutex(pthreads.MutexAttr{Name: "m"})
+		c := s.NewCond("c")
+		seq := 0
+		attr := pthreads.DefaultAttr()
+		partner, _ := s.Create(attr, func(any) any {
+			m.Lock()
+			for i := 0; i < b.N; i++ {
+				for seq%2 == 0 {
+					c.Wait(m)
+				}
+				seq++
+				c.Signal()
+			}
+			m.Unlock()
+			return nil
+		}, nil)
+		b.ResetTimer()
+		v0 := s.Now()
+		m.Lock()
+		for i := 0; i < b.N; i++ {
+			seq++
+			c.Signal()
+			for seq%2 == 1 {
+				c.Wait(m)
+			}
+		}
+		m.Unlock()
+		b.StopTimer()
+		reportVirtual(b, s, v0, 2*b.N)
+		s.Join(partner)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRendezvous measures the Ada-layer entry call + accept (the
+// layering-overhead claim).
+func BenchmarkRendezvous(b *testing.B) {
+	res, err := eval.MeasureRendezvousAblation(pthreads.SPARCstationIPX())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.RendezvousMicro, "vus/rendezvous")
+	b.ReportMetric(res.Overhead, "x-overhead")
+}
+
+// BenchmarkPervertedScheduling measures the cost of each debug policy on
+// the synchronization-heavy racy workload.
+func BenchmarkPervertedScheduling(b *testing.B) {
+	for _, pol := range []pthreads.PervertPolicy{
+		pthreads.PervertNone, pthreads.PervertMutexSwitch, pthreads.PervertRROrdered, pthreads.PervertRandom,
+	} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.RunPervert(pol, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Full regenerates the whole table per iteration; it is
+// the one-stop reproduction driver under the bench harness.
+func BenchmarkTable2Full(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the three inversion scenarios.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure5All(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the cancellation-action matrix.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the protocol-mixing trace in both unlock
+// modes.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunTable4(pthreads.MixStack); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eval.RunTable4(pthreads.MixLinearSearch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUtilizationSweep regenerates the extension figure (three
+// utilization points).
+func BenchmarkUtilizationSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.UtilizationSweep([]float64{0.3, 0.6, 0.8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyscallProfiles regenerates the syscalls-per-operation bill.
+func BenchmarkSyscallProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.SyscallProfiles(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command ptbench regenerates the paper's evaluation tables against the
+// reproduction: Table 2 (performance metrics), Table 1 (cancellation
+// actions), and the ablation studies (TCB/stack pooling, lock
+// primitives, Ada-layer rendezvous overhead).
+//
+// Usage:
+//
+//	ptbench               # Table 2
+//	ptbench -table 1      # Table 1 cancellation matrix
+//	ptbench -ablation     # pooling / lock-primitive / rendezvous ablations
+//	ptbench -attrib       # where the context-switch time goes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pthreads/internal/eval"
+)
+
+func main() {
+	table := flag.Int("table", 2, "paper table to regenerate (1 or 2)")
+	ablation := flag.Bool("ablation", false, "run the ablation studies")
+	attrib := flag.Bool("attrib", false, "print the context-switch cost attribution")
+	flag.Parse()
+
+	if *ablation {
+		out, err := eval.FormatAblations()
+		exitOn(err)
+		fmt.Print(out)
+		return
+	}
+	if *attrib {
+		out, err := eval.FormatAttribution()
+		exitOn(err)
+		fmt.Print(out)
+		return
+	}
+
+	switch *table {
+	case 1:
+		out, err := eval.FormatTable1()
+		exitOn(err)
+		fmt.Print(out)
+	case 2:
+		rows, err := eval.Table2()
+		exitOn(err)
+		fmt.Print(eval.FormatTable2(rows))
+	default:
+		fmt.Fprintf(os.Stderr, "ptbench: no such table %d\n", *table)
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptbench:", err)
+		os.Exit(1)
+	}
+}

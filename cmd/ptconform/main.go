@@ -1,0 +1,21 @@
+// Command ptconform runs the POSIX 1003.4a (Draft 6) conformance
+// checklist against the library and prints the report. It exits nonzero
+// if any check fails.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pthreads/internal/conformance"
+)
+
+func main() {
+	results := conformance.RunAll()
+	fmt.Print(conformance.Format(results))
+	for _, r := range results {
+		if !r.Pass() {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Command ptinversion regenerates the paper's priority-inversion
+// artifacts: the Figure 5 timelines under the three mutex protocols with
+// the quantified Table 3 comparison, and the Table 4 protocol-mixing
+// trace in both unlock modes.
+//
+// Usage:
+//
+//	ptinversion              # Figure 5 (a,b,c) + Table 3 quantification
+//	ptinversion -table 4     # Table 4 mixing trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pthreads/internal/eval"
+)
+
+func main() {
+	table := flag.Int("table", 3, "4 prints the Table 4 mixing trace")
+	flag.Parse()
+
+	var out string
+	var err error
+	switch *table {
+	case 4:
+		out, err = eval.FormatTable4()
+	default:
+		out, err = eval.FormatFigure5()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptinversion:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,30 @@
+// Command ptpervert demonstrates the paper's perverted scheduling debug
+// policies: a latent data race that plain FIFO scheduling never exposes
+// manifests deterministically under the mutex-switch, RR-ordered-switch,
+// and random-switch policies, and the random policy's seed sweep shows
+// how varying PRNG initialization varies thread orderings reproducibly.
+//
+// Usage:
+//
+//	ptpervert [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pthreads/internal/eval"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "PRNG seed for the random-switch policy")
+	flag.Parse()
+
+	out, err := eval.FormatPervert(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptpervert:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,42 @@
+// Command ptreport regenerates every reproduced artifact of the paper's
+// evaluation in one run — Table 2 on both machines, Table 1, Figure 5
+// with the Table 3 quantification, Table 4 in both unlock modes, the
+// perverted-scheduling experiment, the ablation studies, and the
+// context-switch attribution. Its output is the body of EXPERIMENTS.md.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pthreads/internal/eval"
+)
+
+func main() {
+	sections := []func() (string, error){
+		func() (string, error) {
+			rows, err := eval.Table2()
+			if err != nil {
+				return "", err
+			}
+			return eval.FormatTable2(rows), nil
+		},
+		eval.FormatTable1,
+		eval.FormatFigure5,
+		eval.FormatTable4,
+		func() (string, error) { return eval.FormatPervert(1) },
+		eval.FormatAblations,
+		eval.FormatAttribution,
+		eval.FormatSyscallProfiles,
+		eval.FormatUtilizationSweep,
+	}
+	for i, f := range sections {
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptreport: section %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,182 @@
+// Command pttrace runs a canned scenario with the trace recorder
+// attached and prints its ASCII timeline — the visual debugging aid the
+// paper's future-work section sketches ("context switches could become
+// visible to the user").
+//
+// Usage:
+//
+//	pttrace [-scenario inversion|rr|prodcons|signals] [-width N] [-dump]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pthreads"
+	"pthreads/internal/core"
+	"pthreads/internal/trace"
+)
+
+func main() {
+	scenario := flag.String("scenario", "inversion", "inversion | rr | prodcons | signals")
+	width := flag.Int("width", 76, "timeline width in characters")
+	dump := flag.Bool("dump", false, "also print the raw event list")
+	flag.Parse()
+
+	rec := trace.New()
+	var mutexName string
+
+	switch *scenario {
+	case "inversion":
+		mutexName = "M"
+		runInversion(rec)
+	case "rr":
+		runRR(rec)
+	case "prodcons":
+		mutexName = "buffer"
+		runProdCons(rec)
+	case "signals":
+		runSignals(rec)
+	default:
+		fmt.Fprintf(os.Stderr, "pttrace: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	fmt.Printf("scenario %q:\n", *scenario)
+	fmt.Print(rec.Timeline(mutexName, *width))
+	if *dump {
+		fmt.Println()
+		fmt.Print(rec.Dump())
+	}
+}
+
+// runInversion replays the Figure 5(a) inversion under no protocol.
+func runInversion(rec *trace.Recorder) {
+	sys := core.New(core.Config{Tracer: rec, MainPriority: 31})
+	check(sys.Run(func() {
+		m := sys.MustMutex(pthreads.MutexAttr{Name: "M"})
+		mk := func(name string, prio int, body func()) *pthreads.Thread {
+			attr := pthreads.DefaultAttr()
+			attr.Name = name
+			attr.Priority = prio
+			th, _ := sys.Create(attr, func(any) any { body(); return nil }, nil)
+			return th
+		}
+		p1 := mk("P1-low", 5, func() {
+			sys.Compute(2 * pthreads.Millisecond)
+			m.Lock()
+			sys.Compute(20 * pthreads.Millisecond)
+			m.Unlock()
+		})
+		p2 := mk("P2-med", 10, func() {
+			sys.Sleep(5 * pthreads.Millisecond)
+			sys.Compute(25 * pthreads.Millisecond)
+		})
+		p3 := mk("P3-high", 20, func() {
+			sys.Sleep(5 * pthreads.Millisecond)
+			m.Lock()
+			sys.Compute(3 * pthreads.Millisecond)
+			m.Unlock()
+		})
+		for _, th := range []*pthreads.Thread{p1, p2, p3} {
+			sys.Join(th)
+		}
+	}))
+}
+
+// runRR shows round-robin slicing of three compute-bound threads.
+func runRR(rec *trace.Recorder) {
+	sys := core.New(core.Config{Tracer: rec, Quantum: 2 * pthreads.Millisecond})
+	check(sys.Run(func() {
+		var ths []*pthreads.Thread
+		for i := 0; i < 3; i++ {
+			attr := pthreads.DefaultAttr()
+			attr.Policy = pthreads.SchedRR
+			attr.Name = fmt.Sprintf("rr%d", i)
+			th, _ := sys.Create(attr, func(any) any {
+				sys.Compute(8 * pthreads.Millisecond)
+				return nil
+			}, nil)
+			ths = append(ths, th)
+		}
+		for _, th := range ths {
+			sys.Join(th)
+		}
+	}))
+}
+
+// runProdCons shows a producer and consumer hand-off over a buffer.
+func runProdCons(rec *trace.Recorder) {
+	sys := core.New(core.Config{Tracer: rec})
+	check(sys.Run(func() {
+		m := sys.MustMutex(pthreads.MutexAttr{Name: "buffer"})
+		notEmpty := sys.NewCond("notEmpty")
+		items := 0
+		attr := pthreads.DefaultAttr()
+		attr.Name = "producer"
+		prod, _ := sys.Create(attr, func(any) any {
+			for i := 0; i < 5; i++ {
+				sys.Compute(2 * pthreads.Millisecond)
+				m.Lock()
+				items++
+				notEmpty.Signal()
+				m.Unlock()
+			}
+			return nil
+		}, nil)
+		attr.Name = "consumer"
+		cons, _ := sys.Create(attr, func(any) any {
+			for i := 0; i < 5; i++ {
+				m.Lock()
+				for items == 0 {
+					notEmpty.Wait(m)
+				}
+				items--
+				m.Unlock()
+				sys.Compute(3 * pthreads.Millisecond)
+			}
+			return nil
+		}, nil)
+		sys.Join(prod)
+		sys.Join(cons)
+	}))
+}
+
+// runSignals shows an alarm interrupting computation and a directed kill
+// waking a sleeper.
+func runSignals(rec *trace.Recorder) {
+	sys := core.New(core.Config{Tracer: rec})
+	check(sys.Run(func() {
+		sys.Sigaction(pthreads.SIGALRM, func(pthreads.Signal, *pthreads.SigInfo, *pthreads.SigContext) {
+			sys.Compute(pthreads.Millisecond)
+		}, 0)
+		sys.Sigaction(pthreads.SIGUSR1, func(pthreads.Signal, *pthreads.SigInfo, *pthreads.SigContext) {
+			sys.Compute(pthreads.Millisecond)
+		}, 0)
+		attr := pthreads.DefaultAttr()
+		attr.Name = "computer"
+		comp, _ := sys.Create(attr, func(any) any {
+			sys.Alarm(3 * pthreads.Millisecond)
+			sys.Compute(8 * pthreads.Millisecond)
+			return nil
+		}, nil)
+		attr.Name = "sleeper"
+		attr.Priority = pthreads.DefaultPrio + 1
+		slp, _ := sys.Create(attr, func(any) any {
+			sys.Sleep(pthreads.Second)
+			return nil
+		}, nil)
+		sys.Sleep(5 * pthreads.Millisecond)
+		sys.Kill(slp, pthreads.SIGUSR1)
+		sys.Join(comp)
+		sys.Join(slp)
+	}))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pttrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,209 @@
+package pthreads_test
+
+import (
+	"fmt"
+
+	"pthreads"
+)
+
+// The basic lifecycle: create a system, run a main thread, spawn a
+// worker, join it.
+func Example() {
+	sys := pthreads.New(pthreads.Config{})
+	sys.Run(func() {
+		attr := pthreads.DefaultAttr()
+		attr.Name = "worker"
+		th, _ := sys.Create(attr, func(arg any) any {
+			sys.Compute(2 * pthreads.Millisecond)
+			return arg.(int) * 2
+		}, 21)
+		v, _ := sys.Join(th)
+		fmt.Println("worker returned", v)
+	})
+	// Output:
+	// worker returned 42
+}
+
+// Mutual exclusion with priority inheritance: the low-priority holder is
+// boosted while a high-priority thread waits.
+func ExampleMutex() {
+	sys := pthreads.New(pthreads.Config{})
+	sys.Run(func() {
+		m := sys.MustMutex(pthreads.MutexAttr{
+			Name:     "resource",
+			Protocol: pthreads.ProtocolInherit,
+		})
+
+		low := pthreads.DefaultAttr()
+		low.Name = "low"
+		low.Priority = 5
+		holder, _ := sys.Create(low, func(any) any {
+			m.Lock()
+			sys.Compute(3 * pthreads.Millisecond)
+			boosted := sys.Self().Priority()
+			m.Unlock()
+			return boosted
+		}, nil)
+
+		high := pthreads.DefaultAttr()
+		high.Name = "high"
+		high.Priority = 20
+		contender, _ := sys.Create(high, func(any) any {
+			sys.Sleep(pthreads.Millisecond)
+			m.Lock()
+			m.Unlock()
+			return nil
+		}, nil)
+
+		boost, _ := sys.Join(holder)
+		sys.Join(contender)
+		fmt.Println("holder was boosted to priority", boost)
+	})
+	// Output:
+	// holder was boosted to priority 20
+}
+
+// The condition-variable idiom the paper mandates: re-evaluate the
+// predicate in a loop, since wakeups may be spurious.
+func ExampleCond() {
+	sys := pthreads.New(pthreads.Config{})
+	sys.Run(func() {
+		m := sys.MustMutex(pthreads.MutexAttr{Name: "m"})
+		c := sys.NewCond("ready")
+		ready := false
+
+		attr := pthreads.DefaultAttr()
+		attr.Name = "waiter"
+		attr.Priority = pthreads.DefaultPrio + 1
+		waiter, _ := sys.Create(attr, func(any) any {
+			m.Lock()
+			for !ready {
+				c.Wait(m)
+			}
+			m.Unlock()
+			return "saw it"
+		}, nil)
+
+		m.Lock()
+		ready = true
+		c.Signal()
+		m.Unlock()
+		v, _ := sys.Join(waiter)
+		fmt.Println(v)
+	})
+	// Output:
+	// saw it
+}
+
+// A dedicated signal-handling thread using sigwait, with the signal
+// masked everywhere else.
+func ExampleSystem_Sigwait() {
+	sys := pthreads.New(pthreads.Config{})
+	sys.Run(func() {
+		sys.SetSigmask(pthreads.MakeSigset(pthreads.SIGUSR1))
+
+		attr := pthreads.DefaultAttr()
+		attr.Name = "sigserver"
+		attr.Priority = pthreads.DefaultPrio + 1
+		server, _ := sys.Create(attr, func(any) any {
+			sig, _ := sys.Sigwait(pthreads.MakeSigset(pthreads.SIGUSR1))
+			return sig
+		}, nil)
+
+		sys.RaiseProcess(pthreads.SIGUSR1)
+		got, _ := sys.Join(server)
+		fmt.Println("server consumed", got)
+	})
+	// Output:
+	// server consumed SIGUSR1
+}
+
+// Cancellation honours interruptibility: disabled pends, an interruption
+// point acts.
+func ExampleSystem_Cancel() {
+	sys := pthreads.New(pthreads.Config{})
+	sys.Run(func() {
+		attr := pthreads.DefaultAttr()
+		attr.Name = "victim"
+		attr.Priority = pthreads.DefaultPrio + 1
+		victim, _ := sys.Create(attr, func(any) any {
+			sys.CleanupPush(func(any) { fmt.Println("cleanup ran") }, nil)
+			sys.Sleep(pthreads.Second) // an interruption point
+			return "finished"
+		}, nil)
+		sys.Cancel(victim)
+		status, _ := sys.Join(victim)
+		fmt.Println("status:", status)
+	})
+	// Output:
+	// cleanup ran
+	// status: PTHREAD_CANCELED
+}
+
+// setjmp/longjmp, including the redirect from a signal handler that the
+// Ada runtime uses for exception propagation.
+func ExampleSystem_Setjmp() {
+	sys := pthreads.New(pthreads.Config{})
+	sys.Run(func() {
+		var jb pthreads.JmpBuf
+		sys.Sigaction(pthreads.SIGFPE, func(sig pthreads.Signal, info *pthreads.SigInfo, sc *pthreads.SigContext) {
+			sc.RedirectTo(&jb, 1)
+		}, 0)
+		v := sys.Setjmp(&jb, func() {
+			sys.RaiseSync(pthreads.SIGFPE, 0)
+			fmt.Println("unreachable")
+		})
+		if v == 1 {
+			fmt.Println("recovered from SIGFPE")
+		}
+	})
+	// Output:
+	// recovered from SIGFPE
+}
+
+// Perverted scheduling makes latent races reproducible: the mutex-switch
+// policy forces a context switch at every successful lock.
+func ExampleConfig_pervertedScheduling() {
+	run := func(policy pthreads.PervertPolicy) int {
+		sys := pthreads.New(pthreads.Config{Pervert: policy, Seed: 1})
+		counter := 0
+		sys.Run(func() {
+			m := sys.MustMutex(pthreads.MutexAttr{Name: "log", Protocol: pthreads.ProtocolInherit})
+			var ths []*pthreads.Thread
+			for i := 0; i < 2; i++ {
+				attr := pthreads.DefaultAttr()
+				th, _ := sys.Create(attr, func(any) any {
+					for j := 0; j < 10; j++ {
+						tmp := counter // the racy read
+						m.Lock()
+						m.Unlock()
+						counter = tmp + 1 // the racy write
+					}
+					return nil
+				}, nil)
+				ths = append(ths, th)
+			}
+			for _, th := range ths {
+				sys.Join(th)
+			}
+		})
+		return counter
+	}
+	fmt.Println("FIFO sees:", run(pthreads.PervertNone), "of 20")
+	fmt.Println("mutex-switch sees:", run(pthreads.PervertMutexSwitch), "of 20")
+	// Output:
+	// FIFO sees: 20 of 20
+	// mutex-switch sees: 10 of 20
+}
+
+// Virtual time makes every run exactly reproducible.
+func ExampleSystem_Now() {
+	sys := pthreads.New(pthreads.Config{})
+	sys.Run(func() {
+		t0 := sys.Now()
+		sys.Compute(1500 * pthreads.Microsecond)
+		fmt.Println("computed for:", sys.Now().Sub(t0))
+	})
+	// Output:
+	// computed for: 1500.00µs
+}

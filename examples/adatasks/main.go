@@ -1,0 +1,132 @@
+// An Ada-style tasking application on the adart runtime — the layer the
+// paper's implementation was built to support. A buffer task serves Put
+// and Get entries through rendezvous with selective wait; producer and
+// consumer tasks call the entries; a watchdog task demonstrates abort
+// (Ada's abort mapped to pthread_cancel) and the delay alternative; and a
+// computation shows a synchronous SIGFPE propagating as an Ada-style
+// exception through the fake-call redirect hook.
+package main
+
+import (
+	"fmt"
+
+	"pthreads"
+	"pthreads/internal/adart"
+	"pthreads/internal/core"
+	"pthreads/internal/unixkern"
+)
+
+const items = 10
+
+func main() {
+	sys := core.New(core.Config{})
+	err := sys.Run(func() {
+		rt := adart.New(sys)
+		log := func(who, format string, args ...any) {
+			fmt.Printf("[%10v] %-8s %s\n", sys.Now(), who, fmt.Sprintf(format, args...))
+		}
+
+		// task Buffer is
+		//   entry Put(x); entry Get;
+		// end Buffer;
+		buffer, _ := rt.Spawn("buffer", 20, func(t *adart.Task) {
+			var queue []int
+			served := 0
+			for served < 2*items {
+				alts := []adart.Alternative{}
+				// Guarded alternatives, Ada-style: accept Put while
+				// there is space, Get while there is data.
+				if len(queue) < 3 {
+					alts = append(alts, adart.Alternative{Entry: "put", Body: func(arg any) (any, error) {
+						queue = append(queue, arg.(int))
+						return nil, nil
+					}})
+				}
+				if len(queue) > 0 {
+					alts = append(alts, adart.Alternative{Entry: "get", Body: func(any) (any, error) {
+						v := queue[0]
+						queue = queue[1:]
+						return v, nil
+					}})
+				}
+				if _, err := t.Select(alts, -1); err != nil {
+					log("buffer", "select error: %v", err)
+					return
+				}
+				served++
+			}
+			log("buffer", "served %d rendezvous, completing", served)
+		})
+
+		producer, _ := rt.Spawn("producer", 15, func(t *adart.Task) {
+			for i := 1; i <= items; i++ {
+				rt.Delay(300 * pthreads.Microsecond)
+				if _, err := buffer.Call("put", i*i); err != nil {
+					log("producer", "put failed: %v", err)
+					return
+				}
+			}
+			log("producer", "done")
+		})
+
+		consumer, _ := rt.Spawn("consumer", 15, func(t *adart.Task) {
+			sum := 0
+			for i := 0; i < items; i++ {
+				v, err := buffer.Call("get", nil)
+				if err != nil {
+					log("consumer", "get failed: %v", err)
+					return
+				}
+				sum += v.(int)
+				rt.Delay(450 * pthreads.Microsecond)
+			}
+			log("consumer", "sum of squares = %d", sum)
+		})
+
+		// task Watchdog: waits on an entry nobody calls, with a delay
+		// alternative; then gets aborted.
+		watchdog, _ := rt.Spawn("watchdog", 25, func(t *adart.Task) {
+			for {
+				_, err := t.Select([]adart.Alternative{
+					{Entry: "ping", Body: func(any) (any, error) { return "pong", nil }},
+				}, 2*pthreads.Millisecond)
+				if err == adart.ErrSelectTimeout {
+					log("watchdog", "no ping within 2ms (delay alternative)")
+					continue
+				}
+				if err != nil {
+					return
+				}
+			}
+		})
+
+		producer.Await()
+		consumer.Await()
+		buffer.Await()
+
+		log("main", "aborting the watchdog (Ada abort -> pthread_cancel)")
+		watchdog.Abort()
+		watchdog.Await()
+
+		// Exception propagation from a synchronous signal: the handler
+		// redirects control out of the signal frame, as the paper's Ada
+		// runtime does to raise Constraint_Error.
+		rt.WithExceptionHandler(
+			[]unixkern.Signal{unixkern.SIGFPE},
+			func() {
+				log("main", "computing 1/0 ...")
+				sys.RaiseSync(unixkern.SIGFPE, 1) // the faulting divide
+				log("main", "unreachable")
+			},
+			func(e adart.Exception) {
+				log("main", "caught exception: %v (Constraint_Error in Ada terms)", e)
+			},
+		)
+
+		fmt.Printf("\nrendezvous served by buffer task: %d; virtual time: %v\n",
+			buffer.Rendezvous, sys.Now())
+	})
+	if err != nil {
+		fmt.Println("system error:", err)
+	}
+}

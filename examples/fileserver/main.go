@@ -1,0 +1,133 @@
+// A multi-threaded file server: worker threads pull requests from a
+// shared queue (mutex + condition variable), read from simulated disks
+// through the asynchronous I/O interface — the request's thread is
+// resumed by the SIGIO completion, recipient rule 4 — and compute a
+// response. The run compares one disk against two, showing that threads
+// overlap I/O with computation and that the contended device, not the
+// CPU, bounds throughput.
+package main
+
+import (
+	"fmt"
+
+	"pthreads"
+)
+
+const (
+	workers  = 4
+	requests = 40
+)
+
+type request struct {
+	id    int
+	bytes int
+}
+
+type stats struct {
+	served   int
+	totalLat pthreads.Duration
+	maxLat   pthreads.Duration
+}
+
+// serve runs the workload over the given number of disks and returns the
+// elapsed virtual time and latency statistics.
+func serve(disks int) (pthreads.Time, stats) {
+	sys := pthreads.New(pthreads.Config{})
+	var st stats
+
+	err := sys.Run(func() {
+		// The disks: 2ms setup, 1µs/byte.
+		var devs []*pthreads.Device
+		for i := 0; i < disks; i++ {
+			d, err := sys.OpenDevice(fmt.Sprintf("disk%d", i), 2*pthreads.Millisecond, pthreads.Microsecond)
+			if err != nil {
+				panic(err)
+			}
+			devs = append(devs, d)
+		}
+
+		// The request queue.
+		m := sys.MustMutex(pthreads.MutexAttr{Name: "queue"})
+		nonEmpty := sys.NewCond("nonEmpty")
+		var queue []request
+		closed := false
+		arrivals := make([]pthreads.Time, requests)
+		var started []*pthreads.Thread
+
+		for w := 0; w < workers; w++ {
+			attr := pthreads.DefaultAttr()
+			attr.Name = fmt.Sprintf("worker%d", w)
+			th, _ := sys.Create(attr, func(arg any) any {
+				for {
+					m.Lock()
+					for len(queue) == 0 && !closed {
+						nonEmpty.Wait(m)
+					}
+					if len(queue) == 0 {
+						m.Unlock()
+						return nil
+					}
+					req := queue[0]
+					queue = queue[1:]
+					m.Unlock()
+
+					// Read from the disk the content lives on, then
+					// render the response.
+					dev := devs[req.id%len(devs)]
+					n, err := dev.Transfer(req.bytes)
+					if err != nil {
+						panic(err)
+					}
+					sys.Compute(pthreads.Duration(n/8) * pthreads.Microsecond)
+
+					lat := sys.Now().Sub(arrivals[req.id])
+					m.Lock()
+					st.served++
+					st.totalLat += lat
+					if lat > st.maxLat {
+						st.maxLat = lat
+					}
+					m.Unlock()
+				}
+			}, w)
+			started = append(started, th)
+		}
+
+		// The client: requests arrive every 800µs.
+		for i := 0; i < requests; i++ {
+			sys.Sleep(800 * pthreads.Microsecond)
+			m.Lock()
+			arrivals[i] = sys.Now()
+			queue = append(queue, request{id: i, bytes: 512 + (i%4)*512})
+			nonEmpty.Signal()
+			m.Unlock()
+		}
+		m.Lock()
+		closed = true
+		nonEmpty.Broadcast()
+		m.Unlock()
+
+		for _, th := range started {
+			sys.Join(th)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return sys.Now(), st
+}
+
+func main() {
+	fmt.Printf("file server: %d workers, %d requests (512–2048 bytes), disks at 2ms + 1µs/byte\n\n", workers, requests)
+	for _, disks := range []int{1, 2} {
+		elapsed, st := serve(disks)
+		fmt.Printf("%d disk(s): served %d in %v  (mean latency %v, max %v)\n",
+			disks, st.served, elapsed,
+			st.totalLat/pthreads.Duration(st.served), st.maxLat)
+	}
+	fmt.Println("\nWith one disk the FIFO device queue is the bottleneck; adding a")
+	fmt.Println("second overlaps transfers and cuts both latency and total time,")
+	fmt.Println("while the worker threads overlap their response computation with")
+	fmt.Println("other threads' I/O throughout — the library's asynchronous I/O")
+	fmt.Println("demultiplexing (SIGIO to the requesting thread) at work.")
+}

@@ -1,0 +1,158 @@
+// Producer/consumer over a bounded buffer, built twice: once with
+// condition variables and once with counting semaphores (the layering
+// the paper describes), under SCHED_RR time slicing. The run prints
+// throughput and scheduling statistics for both variants.
+package main
+
+import (
+	"fmt"
+
+	"pthreads"
+)
+
+const (
+	bufCap    = 8
+	items     = 100
+	producers = 3
+	consumers = 2
+)
+
+// condVariant drives the buffer with a mutex and two condition variables.
+func condVariant() (pthreads.Time, pthreads.Stats) {
+	sys := pthreads.New(pthreads.Config{Quantum: 2 * pthreads.Millisecond})
+	err := sys.Run(func() {
+		m := sys.MustMutex(pthreads.MutexAttr{Name: "buffer"})
+		notFull := sys.NewCond("notFull")
+		notEmpty := sys.NewCond("notEmpty")
+		var buf []int
+		produced, consumed := 0, 0
+
+		var threads []*pthreads.Thread
+		for p := 0; p < producers; p++ {
+			attr := pthreads.DefaultAttr()
+			attr.Name = fmt.Sprintf("producer%d", p)
+			attr.Policy = pthreads.SchedRR
+			th, _ := sys.Create(attr, func(any) any {
+				for {
+					sys.Compute(300 * pthreads.Microsecond) // produce
+					m.Lock()
+					if produced >= items {
+						m.Unlock()
+						return nil
+					}
+					for len(buf) == bufCap {
+						notFull.Wait(m)
+					}
+					buf = append(buf, produced)
+					produced++
+					notEmpty.Signal()
+					m.Unlock()
+				}
+			}, nil)
+			threads = append(threads, th)
+		}
+		for c := 0; c < consumers; c++ {
+			attr := pthreads.DefaultAttr()
+			attr.Name = fmt.Sprintf("consumer%d", c)
+			attr.Policy = pthreads.SchedRR
+			th, _ := sys.Create(attr, func(any) any {
+				for {
+					m.Lock()
+					for len(buf) == 0 {
+						if consumed >= items {
+							m.Unlock()
+							return nil
+						}
+						notEmpty.Wait(m)
+					}
+					buf = buf[:len(buf)-1]
+					consumed++
+					notFull.Signal()
+					m.Unlock()
+					sys.Compute(400 * pthreads.Microsecond) // consume
+				}
+			}, nil)
+			threads = append(threads, th)
+		}
+		for _, th := range threads {
+			sys.Join(th)
+		}
+		// Release any consumer still waiting after the last item.
+		notEmpty.Broadcast()
+	})
+	if err != nil {
+		panic(err)
+	}
+	return sys.Now(), sys.Stats()
+}
+
+// semVariant drives the buffer with counting semaphores (empty/full) plus
+// a mutex, the classic Dijkstra construction the paper layers on mutex +
+// condvar.
+func semVariant() (pthreads.Time, pthreads.Stats) {
+	sys := pthreads.New(pthreads.Config{Quantum: 2 * pthreads.Millisecond})
+	err := sys.Run(func() {
+		empty, _ := pthreads.NewSemaphore(sys, "empty", bufCap)
+		full, _ := pthreads.NewSemaphore(sys, "full", 0)
+		m := sys.MustMutex(pthreads.MutexAttr{Name: "buffer"})
+		buf := 0
+
+		var threads []*pthreads.Thread
+		perProducer := items / producers
+		for p := 0; p < producers; p++ {
+			attr := pthreads.DefaultAttr()
+			attr.Name = fmt.Sprintf("producer%d", p)
+			attr.Policy = pthreads.SchedRR
+			th, _ := sys.Create(attr, func(any) any {
+				for i := 0; i < perProducer; i++ {
+					sys.Compute(300 * pthreads.Microsecond)
+					empty.P()
+					m.Lock()
+					buf++
+					m.Unlock()
+					full.V()
+				}
+				return nil
+			}, nil)
+			threads = append(threads, th)
+		}
+		perConsumer := (perProducer * producers) / consumers
+		for c := 0; c < consumers; c++ {
+			attr := pthreads.DefaultAttr()
+			attr.Name = fmt.Sprintf("consumer%d", c)
+			attr.Policy = pthreads.SchedRR
+			th, _ := sys.Create(attr, func(any) any {
+				for i := 0; i < perConsumer; i++ {
+					full.P()
+					m.Lock()
+					buf--
+					m.Unlock()
+					empty.V()
+					sys.Compute(400 * pthreads.Microsecond)
+				}
+				return nil
+			}, nil)
+			threads = append(threads, th)
+		}
+		for _, th := range threads {
+			sys.Join(th)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return sys.Now(), sys.Stats()
+}
+
+func main() {
+	fmt.Printf("bounded buffer: %d items, %d producers, %d consumers, capacity %d, SCHED_RR\n\n",
+		items, producers, consumers, bufCap)
+
+	t1, s1 := condVariant()
+	fmt.Printf("condition variables: %v virtual time, %d context switches, %d cond waits, %d preemptions\n",
+		t1, s1.ContextSwitches, s1.CondWaits, s1.Preemptions)
+
+	t2, s2 := semVariant()
+	fmt.Printf("counting semaphores: %v virtual time, %d context switches, %d cond waits, %d preemptions\n",
+		t2, s2.ContextSwitches, s2.CondWaits, s2.Preemptions)
+}

@@ -1,0 +1,3 @@
+module pthreads
+
+go 1.22

@@ -1,0 +1,411 @@
+// Package adart is a miniature Ada-tasking runtime layered on the
+// Pthreads library, standing in for the Ada runtime system the paper
+// reports building on top of its implementation ("used successfully in an
+// effort to implement an Ada runtime system on top of Pthreads"). It maps
+// Ada tasks onto threads, implements the rendezvous (entry call / accept
+// / selective wait) with mutexes and condition variables, task priorities
+// onto thread priorities, abort onto cancellation, and synchronous-signal
+// exceptions onto the fake-call redirect hook.
+//
+// The rendezvous benchmark over this layer reproduces the paper's claim
+// that "the overhead of layering a runtime system on top of Pthreads is
+// not prohibitive".
+package adart
+
+import (
+	"fmt"
+
+	"pthreads/internal/core"
+	"pthreads/internal/sched"
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+// Runtime binds the Ada layer to one thread system.
+type Runtime struct {
+	S     *core.System
+	tasks []*Task
+}
+
+// New creates an Ada runtime over a thread system.
+func New(s *core.System) *Runtime { return &Runtime{S: s} }
+
+// AwaitAll waits for every task the runtime spawned — the master exiting
+// its declarative region awaiting all dependents, in Ada terms.
+func (rt *Runtime) AwaitAll() {
+	for _, t := range rt.tasks {
+		t.Await()
+	}
+}
+
+// entryCall is one in-flight rendezvous request.
+type entryCall struct {
+	arg     any
+	result  any
+	err     error
+	started bool // an acceptor committed to this rendezvous
+	done    bool
+	cond    *core.Cond
+}
+
+// Task is an Ada task: a thread plus entry queues for rendezvous.
+type Task struct {
+	rt   *Runtime
+	name string
+	th   *core.Thread
+
+	m          *core.Mutex
+	acceptCond *core.Cond
+	entries    map[string][]*entryCall
+	waiting    map[string]int // acceptors currently ready at each entry
+	completed  bool
+
+	// Rendezvous counts completed accepts (harness use).
+	Rendezvous int64
+}
+
+// Spawn elaborates and activates a task with the given priority executing
+// body. The body receives the task itself so it can Accept on its
+// entries.
+func (rt *Runtime) Spawn(name string, prio int, body func(t *Task)) (*Task, error) {
+	if !sched.ValidPrio(prio) {
+		return nil, core.EINVAL.Or()
+	}
+	m, err := rt.S.NewMutex(core.MutexAttr{Name: name + ".task"})
+	if err != nil {
+		return nil, err
+	}
+	t := &Task{
+		rt:         rt,
+		name:       name,
+		m:          m,
+		acceptCond: rt.S.NewCond(name + ".accept"),
+		entries:    make(map[string][]*entryCall),
+		waiting:    make(map[string]int),
+	}
+	attr := core.DefaultAttr()
+	attr.Priority = prio
+	attr.Name = name
+	th, err := rt.S.Create(attr, func(any) any {
+		// The cleanup handler guarantees completion semantics even when
+		// the task is aborted mid-rendezvous-wait: the task mutex (which
+		// a cancelled condition waiter holds) is released and queued
+		// callers get Tasking_Error.
+		rt.S.CleanupPush(func(any) {
+			if t.m.Owner() == rt.S.Self() {
+				t.m.Unlock()
+			}
+			t.complete()
+		}, nil)
+		body(t)
+		rt.S.CleanupPop(true)
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	t.th = th
+	rt.tasks = append(rt.tasks, t)
+	return t, nil
+}
+
+// Name returns the task's name.
+func (t *Task) Name() string { return t.name }
+
+// Thread returns the backing thread.
+func (t *Task) Thread() *core.Thread { return t.th }
+
+// complete marks the task completed and releases blocked callers with
+// Tasking_Error, as Ada does when calling an entry of a completed task.
+func (t *Task) complete() {
+	t.m.Lock()
+	t.completed = true
+	for entry, q := range t.entries {
+		for _, c := range q {
+			c.err = fmt.Errorf("tasking_error: task %s completed before accepting", t.name)
+			c.done = true
+			c.cond.Signal()
+		}
+		delete(t.entries, entry)
+	}
+	t.m.Unlock()
+}
+
+// Call performs an entry call: the caller suspends until the task accepts
+// the rendezvous and the accept body completes, then receives its result
+// (Ada's synchronous entry-call semantics).
+func (t *Task) Call(entry string, arg any) (any, error) {
+	return t.timedCall(entry, arg, -1)
+}
+
+// ErrCallTimeout is returned by TimedCall when the delay alternative of a
+// timed entry call is taken before the rendezvous starts.
+var ErrCallTimeout = fmt.Errorf("adart: timed entry call expired")
+
+// TimedCall is Ada's timed entry call: if the rendezvous has not *started*
+// within d, the call is withdrawn and ErrCallTimeout returned. Once the
+// rendezvous starts it always completes.
+func (t *Task) TimedCall(entry string, arg any, d vtime.Duration) (any, error) {
+	if d < 0 {
+		return nil, core.EINVAL.Or()
+	}
+	return t.timedCall(entry, arg, d)
+}
+
+// ConditionalCall is Ada's conditional entry call ("select ... else"): it
+// performs the rendezvous only if an acceptor is already waiting at the
+// entry (beyond the calls already queued ahead of us); otherwise the else
+// part is taken immediately, reported as ErrCallTimeout.
+func (t *Task) ConditionalCall(entry string, arg any) (any, error) {
+	return t.timedCall(entry, arg, 0)
+}
+
+func (t *Task) timedCall(entry string, arg any, d vtime.Duration) (any, error) {
+	s := t.rt.S
+	if err := t.m.Lock(); err != nil {
+		return nil, err
+	}
+	if t.completed {
+		t.m.Unlock()
+		return nil, fmt.Errorf("tasking_error: task %s already completed", t.name)
+	}
+	if d == 0 {
+		// Conditional: commit only if an acceptor is ready for this
+		// entry over and above the already-queued calls.
+		if t.waiting[entry] <= len(t.entries[entry]) {
+			t.m.Unlock()
+			return nil, ErrCallTimeout
+		}
+		c := &entryCall{arg: arg, cond: s.NewCond(t.name + "." + entry + ".done")}
+		t.entries[entry] = append(t.entries[entry], c)
+		t.acceptCond.Broadcast()
+		for !c.done {
+			if err := c.cond.Wait(t.m); err != nil {
+				t.m.Unlock()
+				return nil, err
+			}
+		}
+		t.m.Unlock()
+		return c.result, c.err
+	}
+	c := &entryCall{arg: arg, cond: s.NewCond(t.name + "." + entry + ".done")}
+	t.entries[entry] = append(t.entries[entry], c)
+	t.acceptCond.Broadcast()
+	deadline := s.Now().Add(d)
+	for !c.done {
+		if d < 0 {
+			if err := c.cond.Wait(t.m); err != nil {
+				t.m.Unlock()
+				return nil, err
+			}
+			continue
+		}
+		// Timed/conditional: wait out the delay; if the rendezvous has
+		// not started by then, withdraw the call.
+		rem := deadline.Sub(s.Now())
+		if rem <= 0 || c.started {
+			if c.started {
+				// Committed: the rendezvous will complete; wait it out.
+				for !c.done {
+					c.cond.Wait(t.m)
+				}
+				break
+			}
+			// Withdraw: remove our call from the entry queue.
+			q := t.entries[entry]
+			for i, x := range q {
+				if x == c {
+					t.entries[entry] = append(q[:i], q[i+1:]...)
+					break
+				}
+			}
+			t.m.Unlock()
+			return nil, ErrCallTimeout
+		}
+		if err := c.cond.TimedWait(t.m, rem); err != nil {
+			if e, ok := core.AsErrno(err); ok && e == core.ETIMEDOUT {
+				continue // loop re-evaluates deadline/started
+			}
+			t.m.Unlock()
+			return nil, err
+		}
+	}
+	t.m.Unlock()
+	return c.result, c.err
+}
+
+// Accept waits for a call on the entry and executes body as the
+// rendezvous, then releases the caller with body's result. It must be
+// called from the task's own body, as in Ada.
+func (t *Task) Accept(entry string, body func(arg any) (any, error)) error {
+	if err := t.m.Lock(); err != nil {
+		return err
+	}
+	t.waiting[entry]++
+	for len(t.entries[entry]) == 0 {
+		if err := t.acceptCond.Wait(t.m); err != nil {
+			t.waiting[entry]--
+			t.m.Unlock()
+			return err
+		}
+	}
+	t.waiting[entry]--
+	c := t.entries[entry][0]
+	t.entries[entry] = t.entries[entry][1:]
+	c.started = true
+	t.m.Unlock()
+
+	// The rendezvous body runs in the acceptor while the caller stays
+	// suspended.
+	res, err := body(c.arg)
+
+	t.m.Lock()
+	c.result, c.err = res, err
+	c.done = true
+	c.cond.Signal()
+	t.Rendezvous++
+	t.m.Unlock()
+	return nil
+}
+
+// Alternative is one accept alternative of a selective wait.
+type Alternative struct {
+	Entry string
+	Body  func(arg any) (any, error)
+}
+
+// ErrSelectTimeout is returned by Select when the delay alternative was
+// taken.
+var ErrSelectTimeout = fmt.Errorf("adart: select delay expired")
+
+// Select is Ada's selective wait: it accepts whichever listed entry has
+// (or first receives) a pending call. With delay >= 0 a delay alternative
+// bounds the wait, returning ErrSelectTimeout. It returns the entry
+// accepted.
+func (t *Task) Select(alts []Alternative, delay vtime.Duration) (string, error) {
+	if len(alts) == 0 {
+		return "", core.EINVAL.Or()
+	}
+	s := t.rt.S
+	deadline := s.Now().Add(delay)
+	if err := t.m.Lock(); err != nil {
+		return "", err
+	}
+	for _, alt := range alts {
+		t.waiting[alt.Entry]++
+	}
+	unmark := func() {
+		for _, alt := range alts {
+			t.waiting[alt.Entry]--
+		}
+	}
+	for {
+		for _, alt := range alts {
+			if len(t.entries[alt.Entry]) == 0 {
+				continue
+			}
+			unmark()
+			c := t.entries[alt.Entry][0]
+			t.entries[alt.Entry] = t.entries[alt.Entry][1:]
+			c.started = true
+			t.m.Unlock()
+			res, err := alt.Body(c.arg)
+			t.m.Lock()
+			c.result, c.err = res, err
+			c.done = true
+			c.cond.Signal()
+			t.Rendezvous++
+			t.m.Unlock()
+			return alt.Entry, nil
+		}
+		if delay >= 0 {
+			rem := deadline.Sub(s.Now())
+			if rem <= 0 {
+				unmark()
+				t.m.Unlock()
+				return "", ErrSelectTimeout
+			}
+			if err := t.acceptCond.TimedWait(t.m, rem); err != nil {
+				if e, ok := core.AsErrno(err); ok && e == core.ETIMEDOUT {
+					continue
+				}
+				unmark()
+				t.m.Unlock()
+				return "", err
+			}
+		} else {
+			if err := t.acceptCond.Wait(t.m); err != nil {
+				unmark()
+				t.m.Unlock()
+				return "", err
+			}
+		}
+	}
+}
+
+// Pending reports the number of callers queued on an entry.
+func (t *Task) Pending(entry string) int {
+	t.m.Lock()
+	n := len(t.entries[entry])
+	t.m.Unlock()
+	return n
+}
+
+// Abort cancels the task (Ada's abort statement, mapped onto
+// pthread_cancel).
+func (t *Task) Abort() error { return t.rt.S.Cancel(t.th) }
+
+// Await joins the task's thread (waiting for task termination at a master
+// exit point).
+func (t *Task) Await() error {
+	_, err := t.rt.S.Join(t.th)
+	return err
+}
+
+// Delay is Ada's delay statement.
+func (rt *Runtime) Delay(d vtime.Duration) { rt.S.Sleep(d) }
+
+// Exception is an Ada exception propagated from a synchronous signal.
+type Exception struct {
+	Sig  unixkern.Signal
+	Code int
+}
+
+// Error implements error.
+func (e Exception) Error() string {
+	return fmt.Sprintf("exception from %v (code %d)", e.Sig, e.Code)
+}
+
+// WithExceptionHandler runs body; if one of the given synchronous signals
+// is raised by it, control is transferred out of the signal handler to
+// this frame — via the fake-call wrapper's redirect hook, the feature the
+// paper added for exactly this purpose — and handler is called with the
+// exception. This is how the Ada runtime turns SIGFPE into
+// Constraint_Error.
+func (rt *Runtime) WithExceptionHandler(sigs []unixkern.Signal, body func(), handler func(Exception)) error {
+	s := rt.S
+	var jb core.JmpBuf
+	var exc Exception
+
+	for _, sig := range sigs {
+		sig := sig
+		if err := s.Sigaction(sig, func(g unixkern.Signal, info *unixkern.SigInfo, sc *core.SigContext) {
+			if jb.Valid() {
+				exc = Exception{Sig: g, Code: info.Code}
+				sc.RedirectTo(&jb, 1)
+			}
+		}, 0); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, sig := range sigs {
+			s.SigactionDefault(sig)
+		}
+	}()
+
+	if s.Sigsetjmp(&jb, body) != 0 {
+		handler(exc)
+	}
+	return nil
+}

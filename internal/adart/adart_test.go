@@ -1,0 +1,371 @@
+package adart
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pthreads/internal/core"
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+func run(t *testing.T, body func(s *core.System, rt *Runtime)) {
+	t.Helper()
+	s := core.New(core.Config{})
+	if err := s.Run(func() { body(s, New(s)) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRendezvousEcho(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		server, err := rt.Spawn("server", 10, func(task *Task) {
+			for i := 0; i < 3; i++ {
+				task.Accept("double", func(arg any) (any, error) {
+					return arg.(int) * 2, nil
+				})
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 3; i++ {
+			v, err := server.Call("double", i)
+			if err != nil || v != i*2 {
+				t.Fatalf("Call = %v, %v", v, err)
+			}
+		}
+		server.Await()
+	})
+}
+
+func TestRendezvousBodyRunsInAcceptor(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		var bodyThread *core.Thread
+		server, _ := rt.Spawn("server", 10, func(task *Task) {
+			task.Accept("e", func(any) (any, error) {
+				bodyThread = s.Self()
+				return nil, nil
+			})
+		})
+		server.Call("e", nil)
+		server.Await()
+		if bodyThread != server.Thread() {
+			t.Fatal("rendezvous body ran outside the acceptor task")
+		}
+	})
+}
+
+func TestCallersQueueInOrder(t *testing.T) {
+	var served []int
+	run(t, func(s *core.System, rt *Runtime) {
+		server, _ := rt.Spawn("server", 5, func(task *Task) {
+			for i := 0; i < 3; i++ {
+				task.Accept("e", func(arg any) (any, error) {
+					served = append(served, arg.(int))
+					return nil, nil
+				})
+			}
+		})
+		var callers []*core.Thread
+		for i := 0; i < 3; i++ {
+			i := i
+			attr := core.DefaultAttr()
+			attr.Priority = 12
+			th, _ := s.Create(attr, func(any) any {
+				server.Call("e", i)
+				return nil
+			}, nil)
+			callers = append(callers, th)
+		}
+		for _, th := range callers {
+			s.Join(th)
+		}
+		server.Await()
+	})
+	for i, v := range served {
+		if v != i {
+			t.Fatalf("served = %v", served)
+		}
+	}
+}
+
+func TestSelectTakesReadyEntry(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		server, _ := rt.Spawn("server", 10, func(task *Task) {
+			entry, err := task.Select([]Alternative{
+				{Entry: "a", Body: func(any) (any, error) { return "from-a", nil }},
+				{Entry: "b", Body: func(any) (any, error) { return "from-b", nil }},
+			}, -1)
+			if err != nil || entry != "b" {
+				t.Errorf("Select = %q, %v", entry, err)
+			}
+		})
+		v, err := server.Call("b", nil)
+		if err != nil || v != "from-b" {
+			t.Fatalf("Call = %v, %v", v, err)
+		}
+		server.Await()
+	})
+}
+
+func TestSelectDelayExpires(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		server, _ := rt.Spawn("server", 10, func(task *Task) {
+			t0 := s.Now()
+			_, err := task.Select([]Alternative{
+				{Entry: "never", Body: func(any) (any, error) { return nil, nil }},
+			}, 3*vtime.Millisecond)
+			if err != ErrSelectTimeout {
+				t.Errorf("Select err = %v", err)
+			}
+			if s.Now().Sub(t0) < 3*vtime.Millisecond {
+				t.Error("delay returned early")
+			}
+		})
+		server.Await()
+	})
+}
+
+func TestCompletedTaskRaisesTaskingError(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		server, _ := rt.Spawn("server", 20, func(task *Task) {})
+		server.Await()
+		_, err := server.Call("e", nil)
+		if err == nil || !strings.Contains(err.Error(), "tasking_error") {
+			t.Fatalf("Call on completed task: %v", err)
+		}
+	})
+}
+
+func TestCompletionReleasesQueuedCallers(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		server, _ := rt.Spawn("server", 5, func(task *Task) {
+			rt.Delay(2 * vtime.Millisecond) // callers queue up, no accept
+		})
+		var errs []error
+		attr := core.DefaultAttr()
+		attr.Priority = 12
+		th, _ := s.Create(attr, func(any) any {
+			_, err := server.Call("e", nil)
+			errs = append(errs, err)
+			return nil
+		}, nil)
+		s.Join(th)
+		server.Await()
+		if len(errs) != 1 || errs[0] == nil {
+			t.Fatalf("queued caller errs = %v", errs)
+		}
+	})
+}
+
+func TestAbortCancelsTask(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		server, _ := rt.Spawn("spinner", 10, func(task *Task) {
+			rt.Delay(vtime.Second)
+		})
+		if err := server.Abort(); err != nil {
+			t.Fatal(err)
+		}
+		server.Await()
+	})
+}
+
+func TestPriorityMapsToThread(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		task, _ := rt.Spawn("prio", 23, func(task *Task) {})
+		if task.Thread().BasePriority() != 23 {
+			t.Fatalf("task priority %d", task.Thread().BasePriority())
+		}
+		task.Await()
+		if _, err := rt.Spawn("bad", 99, func(*Task) {}); err == nil {
+			t.Fatal("invalid priority accepted")
+		}
+	})
+}
+
+func TestExceptionFromSyncSignal(t *testing.T) {
+	// The Ada pattern the redirect hook exists for: a synchronous SIGFPE
+	// becomes an exception handled at the frame that armed the handler.
+	run(t, func(s *core.System, rt *Runtime) {
+		var got Exception
+		handled := false
+		afterRaise := false
+		err := rt.WithExceptionHandler(
+			[]unixkern.Signal{unixkern.SIGFPE},
+			func() {
+				s.RaiseSync(unixkern.SIGFPE, 4) // "division by zero"
+				afterRaise = true
+			},
+			func(e Exception) {
+				handled = true
+				got = e
+			},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !handled || got.Sig != unixkern.SIGFPE || got.Code != 4 {
+			t.Fatalf("exception = %+v handled=%v", got, handled)
+		}
+		if afterRaise {
+			t.Fatal("control continued past the raising statement")
+		}
+		if got.Error() == "" {
+			t.Fatal("empty exception message")
+		}
+	})
+}
+
+func TestPendingCount(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		server, _ := rt.Spawn("server", 5, func(task *Task) {
+			rt.Delay(vtime.Millisecond)
+			if n := task.Pending("e"); n != 1 {
+				t.Errorf("Pending = %d", n)
+			}
+			task.Accept("e", func(any) (any, error) { return nil, nil })
+		})
+		attr := core.DefaultAttr()
+		attr.Priority = 12
+		th, _ := s.Create(attr, func(any) any {
+			server.Call("e", nil)
+			return nil
+		}, nil)
+		s.Join(th)
+		server.Await()
+	})
+}
+
+func TestTimedCallExpires(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		server, _ := rt.Spawn("server", 10, func(task *Task) {
+			rt.Delay(10 * vtime.Millisecond) // never accepts in time
+			task.Select([]Alternative{{Entry: "e", Body: func(any) (any, error) { return nil, nil }}}, 0)
+		})
+		t0 := s.Now()
+		_, err := server.TimedCall("e", nil, 2*vtime.Millisecond)
+		if err != ErrCallTimeout {
+			t.Errorf("TimedCall err = %v", err)
+		}
+		if s.Now().Sub(t0) > 5*vtime.Millisecond {
+			t.Errorf("withdrawal took too long")
+		}
+		// The withdrawn call must not be served later.
+		server.Await()
+	})
+}
+
+func TestTimedCallServedInTime(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		server, _ := rt.Spawn("server", 10, func(task *Task) {
+			task.Accept("e", func(arg any) (any, error) { return arg.(int) + 1, nil })
+		})
+		v, err := server.TimedCall("e", 41, vtime.Second)
+		if err != nil || v != 42 {
+			t.Errorf("TimedCall = %v, %v", v, err)
+		}
+		server.Await()
+	})
+}
+
+func TestTimedCallCommittedRendezvousCompletes(t *testing.T) {
+	// Once the acceptor starts the rendezvous, the timed call completes
+	// even if the body outlasts the delay.
+	run(t, func(s *core.System, rt *Runtime) {
+		server, _ := rt.Spawn("server", 20, func(task *Task) {
+			task.Accept("slow", func(arg any) (any, error) {
+				rt.Delay(5 * vtime.Millisecond) // longer than the caller's delay
+				return "done", nil
+			})
+		})
+		s.Sleep(vtime.Millisecond) // let the server reach Accept
+		v, err := server.TimedCall("slow", nil, 2*vtime.Millisecond)
+		if err != nil || v != "done" {
+			t.Errorf("committed TimedCall = %v, %v", v, err)
+		}
+		server.Await()
+	})
+}
+
+func TestConditionalCallElsePath(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		server, _ := rt.Spawn("server", 10, func(task *Task) {
+			rt.Delay(5 * vtime.Millisecond)
+		})
+		if _, err := server.ConditionalCall("e", nil); err != ErrCallTimeout {
+			t.Errorf("ConditionalCall err = %v", err)
+		}
+		server.Await()
+	})
+}
+
+func TestConditionalCallTakenWhenAcceptorWaits(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		server, _ := rt.Spawn("server", 20, func(task *Task) {
+			task.Accept("e", func(any) (any, error) { return "ok", nil })
+		})
+		s.Sleep(vtime.Millisecond) // acceptor is waiting at the entry
+		v, err := server.ConditionalCall("e", nil)
+		if err != nil || v != "ok" {
+			t.Errorf("ConditionalCall = %v, %v", v, err)
+		}
+		server.Await()
+	})
+}
+
+func TestAwaitAll(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		done := 0
+		for i := 0; i < 3; i++ {
+			rt.Spawn(fmt.Sprintf("t%d", i), 10, func(task *Task) {
+				rt.Delay(vtime.Millisecond)
+				done++
+			})
+		}
+		rt.AwaitAll()
+		if done != 3 {
+			t.Errorf("done = %d", done)
+		}
+	})
+}
+
+func TestAbortWhileAcceptingReleasesCallers(t *testing.T) {
+	// Aborting a task blocked at an accept must not wedge its mutex:
+	// later entry calls get Tasking_Error instead of deadlocking.
+	run(t, func(s *core.System, rt *Runtime) {
+		server, _ := rt.Spawn("server", 10, func(task *Task) {
+			task.Accept("never-called", func(any) (any, error) { return nil, nil })
+		})
+		s.Sleep(vtime.Millisecond) // server is waiting at the entry
+		server.Abort()
+		server.Await()
+		_, err := server.Call("e", nil)
+		if err == nil || !strings.Contains(err.Error(), "tasking_error") {
+			t.Errorf("Call after abort: %v", err)
+		}
+	})
+}
+
+func TestAbortWithQueuedCallerReleasesIt(t *testing.T) {
+	run(t, func(s *core.System, rt *Runtime) {
+		server, _ := rt.Spawn("server", 5, func(task *Task) {
+			rt.Delay(vtime.Second) // never accepts
+		})
+		var callErr error
+		attr := core.DefaultAttr()
+		attr.Priority = 12
+		caller, _ := s.Create(attr, func(any) any {
+			_, callErr = server.Call("e", nil)
+			return nil
+		}, nil)
+		s.Sleep(vtime.Millisecond)
+		server.Abort()
+		s.Join(caller)
+		server.Await()
+		if callErr == nil || !strings.Contains(callErr.Error(), "tasking_error") {
+			t.Errorf("queued caller err: %v", callErr)
+		}
+	})
+}

@@ -1,0 +1,234 @@
+package conformance
+
+import (
+	"pthreads/internal/core"
+	"pthreads/internal/vtime"
+)
+
+// Cancellation, cleanup handlers, thread-specific data.
+
+func init() {
+	register("cancel", 1,
+		"a cancelled thread exits with status PTHREAD_CANCELED",
+		func(s *core.System) error {
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any { s.Sleep(vtime.Second); return nil }, nil)
+			s.Cancel(th)
+			v, _ := s.Join(th)
+			if v != core.Canceled {
+				return failf("status %v", v)
+			}
+			return nil
+		})
+
+	register("cancel", 2,
+		"with interruptibility disabled, the request pends until enabled",
+		func(s *core.System) error {
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() - 1
+			th, _ := s.Create(attr, func(any) any {
+				s.SetCancelState(core.CancelDisabled)
+				s.Compute(2 * vtime.Millisecond)
+				if !s.CancelPending(s.Self()) {
+					return failf("request not pended")
+				}
+				s.SetCancelState(core.CancelControlled)
+				s.TestCancel()
+				return failf("survived enabled cancellation")
+			}, nil)
+			s.Sleep(vtime.Millisecond)
+			s.Cancel(th)
+			v, _ := s.Join(th)
+			if err, ok := v.(error); ok {
+				return err
+			}
+			if v != core.Canceled {
+				return failf("status %v", v)
+			}
+			return nil
+		})
+
+	register("cancel", 3,
+		"controlled interruptibility defers the request to an interruption point",
+		func(s *core.System) error {
+			progressed := false
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() - 1
+			th, _ := s.Create(attr, func(any) any {
+				s.Compute(2 * vtime.Millisecond)
+				progressed = true // computation is not an interruption point
+				s.TestCancel()
+				return nil
+			}, nil)
+			s.Sleep(vtime.Millisecond)
+			s.Cancel(th)
+			v, _ := s.Join(th)
+			if !progressed || v != core.Canceled {
+				return failf("progressed=%v status=%v", progressed, v)
+			}
+			return nil
+		})
+
+	register("cancel", 4,
+		"asynchronous interruptibility acts on the request immediately",
+		func(s *core.System) error {
+			reached := false
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() - 1
+			th, _ := s.Create(attr, func(any) any {
+				s.SetCancelState(core.CancelAsynchronous)
+				s.Compute(10 * vtime.Millisecond)
+				reached = true
+				return nil
+			}, nil)
+			s.Sleep(vtime.Millisecond)
+			s.Cancel(th)
+			v, _ := s.Join(th)
+			if reached || v != core.Canceled {
+				return failf("reached=%v status=%v", reached, v)
+			}
+			return nil
+		})
+
+	register("cancel", 5,
+		"suspension on a mutex lock is not an interruption point",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			m.Lock()
+			gotMutex := false
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				m.Lock()
+				gotMutex = true
+				m.Unlock()
+				s.TestCancel()
+				return nil
+			}, nil)
+			s.Cancel(th)
+			m.Unlock()
+			v, _ := s.Join(th)
+			if !gotMutex || v != core.Canceled {
+				return failf("gotMutex=%v status=%v", gotMutex, v)
+			}
+			return nil
+		})
+
+	register("cancel", 6,
+		"a cancelled condition waiter holds the mutex when its cleanup handlers run",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			c := s.NewCond("c")
+			held := false
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				m.Lock()
+				s.CleanupPush(func(any) {
+					held = m.Owner() == s.Self()
+					m.Unlock()
+				}, nil)
+				for {
+					c.Wait(m)
+				}
+			}, nil)
+			s.Cancel(th)
+			s.Join(th)
+			if !held {
+				return failf("mutex not held in cleanup")
+			}
+			return nil
+		})
+
+	register("cleanup", 1,
+		"cleanup handlers run in LIFO order at thread exit",
+		func(s *core.System) error {
+			var order []int
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				s.CleanupPush(func(any) { order = append(order, 1) }, nil)
+				s.CleanupPush(func(any) { order = append(order, 2) }, nil)
+				s.Exit(nil)
+				return nil
+			}, nil)
+			s.Join(th)
+			if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+				return failf("order %v", order)
+			}
+			return nil
+		})
+
+	register("cleanup", 2,
+		"pthread_cleanup_pop(1) executes the handler; pop(0) discards it",
+		func(s *core.System) error {
+			var order []string
+			s.CleanupPush(func(any) { order = append(order, "kept") }, nil)
+			s.CleanupPush(func(any) { order = append(order, "dropped") }, nil)
+			s.CleanupPop(false)
+			s.CleanupPop(true)
+			if len(order) != 1 || order[0] != "kept" {
+				return failf("order %v", order)
+			}
+			return nil
+		})
+
+	register("tsd", 1,
+		"thread-specific values are per thread; unset keys read as nil",
+		func(s *core.System) error {
+			k, err := s.KeyCreate(nil)
+			if err != nil {
+				return err
+			}
+			s.SetSpecific(k, "main")
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any { return s.GetSpecific(k) }, nil)
+			v, _ := s.Join(th)
+			if v != nil {
+				return failf("child saw %v", v)
+			}
+			if s.GetSpecific(k) != "main" {
+				return failf("main lost its value")
+			}
+			return nil
+		})
+
+	register("tsd", 2,
+		"key destructors run with the thread's final value at exit",
+		func(s *core.System) error {
+			var got any
+			k, _ := s.KeyCreate(func(v any) { got = v })
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				s.SetSpecific(k, 99)
+				return nil
+			}, nil)
+			s.Join(th)
+			if got != 99 {
+				return failf("destructor saw %v", got)
+			}
+			return nil
+		})
+
+	register("tsd", 3,
+		"destructor iterations are bounded by PTHREAD_DESTRUCTOR_ITERATIONS",
+		func(s *core.System) error {
+			rounds := 0
+			var k core.Key
+			k, _ = s.KeyCreate(func(any) {
+				rounds++
+				s.SetSpecific(k, rounds)
+			})
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any { s.SetSpecific(k, 0); return nil }, nil)
+			s.Join(th)
+			if rounds != core.DestructorIterations {
+				return failf("rounds %d", rounds)
+			}
+			return nil
+		})
+}

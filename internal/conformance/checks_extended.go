@@ -1,0 +1,298 @@
+package conformance
+
+import (
+	"strings"
+
+	"pthreads/internal/core"
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+// Extended checks: protocol interactions, time slicing, diagnostics,
+// devices — behaviour the paper discusses beyond the plain interface.
+
+func init() {
+	register("mutex", 10,
+		"nested ceiling sections restore priorities in LIFO order (SRP)",
+		func(s *core.System) error {
+			m1 := s.MustMutex(core.MutexAttr{Protocol: core.ProtocolCeiling, Ceiling: 20, Name: "m1"})
+			m2 := s.MustMutex(core.MutexAttr{Protocol: core.ProtocolCeiling, Ceiling: 26, Name: "m2"})
+			base := s.Self().Priority()
+			m1.Lock()
+			m2.Lock()
+			if s.Self().Priority() != 26 {
+				return failf("inner prio %d", s.Self().Priority())
+			}
+			m2.Unlock()
+			if s.Self().Priority() != 20 {
+				return failf("after inner unlock %d", s.Self().Priority())
+			}
+			m1.Unlock()
+			if s.Self().Priority() != base {
+				return failf("after outer unlock %d", s.Self().Priority())
+			}
+			return nil
+		})
+
+	register("mutex", 11,
+		"inheritance boosts propagate transitively through chains of held mutexes",
+		func(s *core.System) error {
+			m1 := s.MustMutex(core.MutexAttr{Protocol: core.ProtocolInherit, Name: "m1"})
+			m2 := s.MustMutex(core.MutexAttr{Protocol: core.ProtocolInherit, Name: "m2"})
+			var deepBoost int
+			a := core.DefaultAttr()
+			a.Priority = 3
+			ta, _ := s.Create(a, func(any) any {
+				m1.Lock()
+				s.Compute(4 * vtime.Millisecond)
+				deepBoost = s.Self().Priority()
+				m1.Unlock()
+				return nil
+			}, nil)
+			b := core.DefaultAttr()
+			b.Priority = 6
+			tb, _ := s.Create(b, func(any) any {
+				s.Sleep(vtime.Millisecond)
+				m2.Lock()
+				m1.Lock()
+				m1.Unlock()
+				m2.Unlock()
+				return nil
+			}, nil)
+			cAttr := core.DefaultAttr()
+			cAttr.Priority = 27
+			tc, _ := s.Create(cAttr, func(any) any {
+				s.Sleep(2 * vtime.Millisecond)
+				m2.Lock()
+				m2.Unlock()
+				return nil
+			}, nil)
+			for _, th := range []*core.Thread{ta, tb, tc} {
+				s.Join(th)
+			}
+			if deepBoost != 27 {
+				return failf("transitive boost %d", deepBoost)
+			}
+			return nil
+		})
+
+	register("mutex", 12,
+		"Table 4: with the ceiling stack, unlocking ceil discards an inheritance boost (Pc); linear search preserves it (Pi)",
+		func(s *core.System) error {
+			run := func(mode core.MixMode) (int, error) {
+				sys := core.New(core.Config{MixedProtocolUnlock: mode, MainPriority: 31})
+				prioAfter := -1
+				err := sys.Run(func() {
+					inht := sys.MustMutex(core.MutexAttr{Protocol: core.ProtocolInherit, Name: "inht"})
+					ceil := sys.MustMutex(core.MutexAttr{Protocol: core.ProtocolCeiling, Ceiling: 1, Name: "ceil"})
+					attr := core.DefaultAttr()
+					attr.Priority = 0
+					holder, _ := sys.Create(attr, func(any) any {
+						inht.Lock()
+						ceil.Lock()
+						sys.Compute(4 * vtime.Millisecond)
+						ceil.Unlock()
+						prioAfter = sys.Self().Priority()
+						inht.Unlock()
+						return nil
+					}, nil)
+					c := core.DefaultAttr()
+					c.Priority = 2
+					contender, _ := sys.Create(c, func(any) any {
+						sys.Sleep(vtime.Millisecond)
+						inht.Lock()
+						inht.Unlock()
+						return nil
+					}, nil)
+					sys.Join(holder)
+					sys.Join(contender)
+				})
+				return prioAfter, err
+			}
+			pc, err := run(core.MixStack)
+			if err != nil {
+				return err
+			}
+			pi, err := run(core.MixLinearSearch)
+			if err != nil {
+				return err
+			}
+			if pc != 0 || pi != 2 {
+				return failf("Pc=%d (want 0), Pi=%d (want 2)", pc, pi)
+			}
+			return nil
+		})
+
+	register("sched", 6,
+		"SCHED_RR time-slices equal-priority compute-bound threads",
+		func(s *core.System) error {
+			var order []string
+			sys := core.New(core.Config{Quantum: vtime.Millisecond})
+			err := sys.Run(func() {
+				attr := core.DefaultAttr()
+				attr.Policy = core.SchedRR
+				mk := func(name string) *core.Thread {
+					attr.Name = name
+					th, _ := sys.Create(attr, func(any) any {
+						for i := 0; i < 2; i++ {
+							sys.Compute(vtime.Millisecond)
+							order = append(order, name)
+						}
+						return nil
+					}, nil)
+					return th
+				}
+				a := mk("a")
+				b := mk("b")
+				sys.Join(a)
+				sys.Join(b)
+			})
+			if err != nil {
+				return err
+			}
+			if len(order) != 4 || order[0] != "a" || order[1] != "b" {
+				return failf("order %v", order)
+			}
+			return nil
+		})
+
+	register("sched", 7,
+		"a deadlock of every live thread is detected and reported with the waits",
+		func(s *core.System) error {
+			sys := core.New(core.Config{})
+			err := sys.Run(func() {
+				m := sys.MustMutex(core.MutexAttr{Name: "held"})
+				m.Lock()
+				attr := core.DefaultAttr()
+				attr.Name = "starved"
+				attr.Priority = sys.Self().Priority() + 1
+				sys.Create(attr, func(any) any {
+					m.Lock()
+					return nil
+				}, nil)
+				m2 := sys.MustMutex(core.MutexAttr{Name: "m2"})
+				m2.Lock()
+				sys.NewCond("never").Wait(m2)
+			})
+			if err == nil {
+				return failf("deadlock not detected")
+			}
+			if !strings.Contains(err.Error(), "starved") || !strings.Contains(err.Error(), "held") {
+				return failf("report lacks diagnosis: %v", err)
+			}
+			return nil
+		})
+
+	register("signal", 13,
+		"only one instance of a signal pends per thread; further instances are lost (counted)",
+		func(s *core.System) error {
+			sys := core.New(core.Config{})
+			err := sys.Run(func() {
+				sys.Sigaction(unixkern.SIGUSR1, func(unixkern.Signal, *unixkern.SigInfo, *core.SigContext) {}, 0)
+				sys.SetSigmask(unixkern.MakeSigset(unixkern.SIGUSR1))
+				sys.Kill(sys.Self(), unixkern.SIGUSR1)
+				sys.Kill(sys.Self(), unixkern.SIGUSR1)
+				sys.SetSigmask(0)
+			})
+			if err != nil {
+				return err
+			}
+			if sys.Stats().LostThreadSigs != 1 {
+				return failf("LostThreadSigs = %d", sys.Stats().LostThreadSigs)
+			}
+			return nil
+		})
+
+	register("signal", 14,
+		"sigwait consumes an already-pending signal without suspending",
+		func(s *core.System) error {
+			s.SetSigmask(unixkern.MakeSigset(unixkern.SIGUSR1))
+			s.Kill(s.Self(), unixkern.SIGUSR1)
+			t0 := s.Now()
+			sig, err := s.Sigwait(unixkern.MakeSigset(unixkern.SIGUSR1))
+			if err != nil || sig != unixkern.SIGUSR1 {
+				return failf("sigwait %v %v", sig, err)
+			}
+			if s.Now().Sub(t0) > vtime.Millisecond {
+				return failf("sigwait suspended despite pending signal")
+			}
+			return nil
+		})
+
+	register("io", 4,
+		"transfers on one device are FIFO-serviced; distinct devices overlap",
+		func(s *core.System) error {
+			elapsed := func(two bool) (vtime.Duration, error) {
+				sys := core.New(core.Config{})
+				var out vtime.Duration
+				err := sys.Run(func() {
+					d1, _ := sys.OpenDevice("d1", vtime.Millisecond, 0)
+					d2 := d1
+					if two {
+						d2, _ = sys.OpenDevice("d2", vtime.Millisecond, 0)
+					}
+					t0 := sys.Now()
+					attr := core.DefaultAttr()
+					other, _ := sys.Create(attr, func(any) any {
+						d2.Transfer(10)
+						return nil
+					}, nil)
+					d1.Transfer(10)
+					sys.Join(other)
+					out = sys.Now().Sub(t0)
+				})
+				return out, err
+			}
+			serial, err := elapsed(false)
+			if err != nil {
+				return err
+			}
+			parallel, err := elapsed(true)
+			if err != nil {
+				return err
+			}
+			if !(parallel < serial) {
+				return failf("no overlap: %v vs %v", parallel, serial)
+			}
+			return nil
+		})
+
+	register("thread", 11,
+		"a per-attribute stack size takes effect and bounds UseStack",
+		func(s *core.System) error {
+			attr := core.DefaultAttr()
+			attr.StackSize = 4096
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				free := s.StackFree()
+				if free >= 4096 || free <= 0 {
+					return failf("free %d on a 4096 stack", free)
+				}
+				return nil
+			}, nil)
+			v, _ := s.Join(th)
+			if err, ok := v.(error); ok {
+				return err
+			}
+			return nil
+		})
+
+	register("thread", 12,
+		"thread exit runs pending cleanup handlers before TSD destructors",
+		func(s *core.System) error {
+			var order []string
+			k, _ := s.KeyCreate(func(any) { order = append(order, "tsd") })
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				s.SetSpecific(k, 1)
+				s.CleanupPush(func(any) { order = append(order, "cleanup") }, nil)
+				return nil
+			}, nil)
+			s.Join(th)
+			if len(order) != 2 || order[0] != "cleanup" || order[1] != "tsd" {
+				return failf("order %v", order)
+			}
+			return nil
+		})
+}

@@ -1,0 +1,279 @@
+package conformance
+
+import (
+	"pthreads/internal/core"
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+// setjmp/longjmp, errno, sleep/io, lazy creation, perverted scheduling,
+// stack accounting.
+
+func init() {
+	register("jmp", 1,
+		"setjmp returns 0 on the direct path and the longjmp value afterwards",
+		func(s *core.System) error {
+			var jb core.JmpBuf
+			path := ""
+			v := s.Setjmp(&jb, func() {
+				path = "direct"
+				s.Longjmp(&jb, 5)
+				path = "unreachable"
+			})
+			if v != 5 || path != "direct" {
+				return failf("v=%d path=%s", v, path)
+			}
+			return nil
+		})
+
+	register("jmp", 2,
+		"longjmp with value 0 makes setjmp return 1",
+		func(s *core.System) error {
+			var jb core.JmpBuf
+			if v := s.Setjmp(&jb, func() { s.Longjmp(&jb, 0) }); v != 1 {
+				return failf("v=%d", v)
+			}
+			return nil
+		})
+
+	register("jmp", 3,
+		"siglongjmp restores the signal mask saved by sigsetjmp",
+		func(s *core.System) error {
+			s.SetSigmask(unixkern.MakeSigset(unixkern.SIGUSR1))
+			var jb core.JmpBuf
+			s.Sigsetjmp(&jb, func() {
+				s.SetSigmask(unixkern.MakeSigset(unixkern.SIGUSR2))
+				s.Longjmp(&jb, 1)
+			})
+			if !s.Sigmask().Has(unixkern.SIGUSR1) || s.Sigmask().Has(unixkern.SIGUSR2) {
+				return failf("mask %v", s.Sigmask())
+			}
+			return nil
+		})
+
+	register("errno", 1,
+		"errno is maintained per thread across context switches",
+		func(s *core.System) error {
+			s.SetErrno(core.EBUSY)
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				s.SetErrno(core.ENOMEM)
+				s.Yield()
+				return s.Errno()
+			}, nil)
+			v, _ := s.Join(th)
+			if v != core.ENOMEM || s.Errno() != core.EBUSY {
+				return failf("child=%v main=%v", v, s.Errno())
+			}
+			return nil
+		})
+
+	register("errno", 2,
+		"failed library calls set the caller's errno",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			m.Unlock()
+			if s.Errno() != core.EPERM {
+				return failf("errno %v", s.Errno())
+			}
+			return nil
+		})
+
+	register("io", 1,
+		"sleep suspends for at least the requested virtual time",
+		func(s *core.System) error {
+			t0 := s.Now()
+			if rem := s.Sleep(3 * vtime.Millisecond); rem != 0 {
+				return failf("remaining %v", rem)
+			}
+			if s.Now().Sub(t0) < 3*vtime.Millisecond {
+				return failf("woke early")
+			}
+			return nil
+		})
+
+	register("io", 2,
+		"a signal handler interrupts sleep, which reports the unslept time",
+		func(s *core.System) error {
+			s.Sigaction(unixkern.SIGUSR1, func(unixkern.Signal, *unixkern.SigInfo, *core.SigContext) {}, 0)
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any { return s.Sleep(vtime.Second) }, nil)
+			s.Kill(th, unixkern.SIGUSR1)
+			v, _ := s.Join(th)
+			if rem, ok := v.(vtime.Duration); !ok || rem <= 0 {
+				return failf("remaining %v", v)
+			}
+			return nil
+		})
+
+	register("io", 3,
+		"asynchronous I/O completion resumes exactly the requesting thread",
+		func(s *core.System) error {
+			results := map[string]int{}
+			var ths []*core.Thread
+			for _, spec := range []struct {
+				name  string
+				lat   vtime.Duration
+				bytes int
+			}{
+				{"slow", 4 * vtime.Millisecond, 111},
+				{"fast", 1 * vtime.Millisecond, 222},
+			} {
+				spec := spec
+				attr := core.DefaultAttr()
+				attr.Name = spec.name
+				th, _ := s.Create(attr, func(any) any {
+					n, err := s.AioRead(spec.lat, spec.bytes)
+					if err != nil {
+						return err
+					}
+					results[spec.name] = n
+					return nil
+				}, nil)
+				ths = append(ths, th)
+			}
+			for _, th := range ths {
+				s.Join(th)
+			}
+			if results["slow"] != 111 || results["fast"] != 222 {
+				return failf("results %v", results)
+			}
+			return nil
+		})
+
+	register("thread", 9,
+		"a lazily created thread stays inactive until first needed",
+		func(s *core.System) error {
+			ran := false
+			attr := core.DefaultAttr()
+			attr.Lazy = true
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any { ran = true; return nil }, nil)
+			s.Yield()
+			if ran {
+				return failf("lazy thread ran before activation")
+			}
+			if _, err := s.Join(th); err != nil {
+				return err
+			}
+			if !ran {
+				return failf("join did not activate")
+			}
+			return nil
+		})
+
+	register("thread", 10,
+		"pthread_detach on a terminated thread reclaims it; the handle becomes invalid",
+		func(s *core.System) error {
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any { return nil }, nil)
+			if err := s.Detach(th); err != nil {
+				return err
+			}
+			if _, err := s.Join(th); err == nil {
+				return failf("joined a reclaimed thread")
+			}
+			return nil
+		})
+
+	register("pervert", 1,
+		"perverted scheduling runs are exactly reproducible from the seed",
+		func(s *core.System) error {
+			// Two fresh systems with the same seed produce identical
+			// traces; s itself is unused beyond hosting the check.
+			run := func() vtime.Time {
+				sys := core.New(core.Config{Pervert: core.PervertRandom, Seed: 77})
+				sys.Run(func() {
+					m := sys.MustMutex(core.MutexAttr{Name: "m", Protocol: core.ProtocolInherit})
+					var ths []*core.Thread
+					for i := 0; i < 3; i++ {
+						attr := core.DefaultAttr()
+						th, _ := sys.Create(attr, func(any) any {
+							for j := 0; j < 4; j++ {
+								m.Lock()
+								m.Unlock()
+							}
+							return nil
+						}, nil)
+						ths = append(ths, th)
+					}
+					for _, th := range ths {
+						sys.Join(th)
+					}
+				})
+				return sys.Now()
+			}
+			if a, b := run(), run(); a != b {
+				return failf("diverged: %v vs %v", a, b)
+			}
+			return nil
+		})
+
+	register("pervert", 2,
+		"perverted policies preserve the semantics of correctly synchronized programs",
+		func(s *core.System) error {
+			for _, pol := range []core.PervertPolicy{core.PervertMutexSwitch, core.PervertRROrdered, core.PervertRandom} {
+				sys := core.New(core.Config{Pervert: pol, Seed: 9})
+				total := 0
+				err := sys.Run(func() {
+					m := sys.MustMutex(core.MutexAttr{Name: "m", Protocol: core.ProtocolInherit})
+					var ths []*core.Thread
+					for i := 0; i < 3; i++ {
+						attr := core.DefaultAttr()
+						th, _ := sys.Create(attr, func(any) any {
+							for j := 0; j < 8; j++ {
+								m.Lock()
+								total++
+								m.Unlock()
+							}
+							return nil
+						}, nil)
+						ths = append(ths, th)
+					}
+					for _, th := range ths {
+						sys.Join(th)
+					}
+				})
+				if err != nil || total != 24 {
+					return failf("%v: err=%v total=%d", pol, err, total)
+				}
+			}
+			return nil
+		})
+
+	register("stack", 1,
+		"stack consumption is accounted and released",
+		func(s *core.System) error {
+			free := s.StackFree()
+			s.UseStack(2048, func() {
+				if s.StackFree() != free-2048 {
+					panic("not accounted")
+				}
+			})
+			if s.StackFree() != free {
+				return failf("not released")
+			}
+			return nil
+		})
+
+	register("stack", 2,
+		"stack exhaustion raises a recoverable synchronous SIGSEGV",
+		func(s *core.System) error {
+			var jb core.JmpBuf
+			s.Sigaction(unixkern.SIGSEGV, func(_ unixkern.Signal, info *unixkern.SigInfo, sc *core.SigContext) {
+				if info.Code == core.SegvCodeStackOverflow {
+					sc.RedirectTo(&jb, 1)
+				}
+			}, 0)
+			recovered := s.Setjmp(&jb, func() {
+				s.UseStack(s.StackFree()+1, func() {})
+			}) == 1
+			if !recovered {
+				return failf("overflow not recovered")
+			}
+			return nil
+		})
+}

@@ -1,0 +1,233 @@
+package conformance
+
+import (
+	"pthreads/internal/core"
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+// Signals: masks, pending, delivery model, sigwait, fake calls.
+
+func init() {
+	register("signal", 1,
+		"pthread_kill directs the signal at exactly the named thread",
+		func(s *core.System) error {
+			var got *core.Thread
+			s.Sigaction(unixkern.SIGUSR1, func(_ unixkern.Signal, _ *unixkern.SigInfo, sc *core.SigContext) {
+				got = sc.Thread()
+			}, 0)
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any { s.Sleep(vtime.Second); return nil }, nil)
+			s.Kill(th, unixkern.SIGUSR1)
+			s.Join(th)
+			if got != th {
+				return failf("delivered to %v", got)
+			}
+			return nil
+		})
+
+	register("signal", 2,
+		"a signal blocked by the thread's mask pends and is delivered on unblock",
+		func(s *core.System) error {
+			n := 0
+			s.Sigaction(unixkern.SIGUSR1, func(unixkern.Signal, *unixkern.SigInfo, *core.SigContext) { n++ }, 0)
+			s.SetSigmask(unixkern.MakeSigset(unixkern.SIGUSR1))
+			s.Kill(s.Self(), unixkern.SIGUSR1)
+			if n != 0 {
+				return failf("delivered while masked")
+			}
+			s.SetSigmask(0)
+			if n != 1 {
+				return failf("not delivered on unblock (n=%d)", n)
+			}
+			return nil
+		})
+
+	register("signal", 3,
+		"a synchronously generated signal is delivered to the thread that caused it",
+		func(s *core.System) error {
+			var got *core.Thread
+			s.Sigaction(unixkern.SIGFPE, func(_ unixkern.Signal, _ *unixkern.SigInfo, sc *core.SigContext) {
+				got = sc.Thread()
+			}, 0)
+			s.RaiseSync(unixkern.SIGFPE, 0)
+			if got != s.Self() {
+				return failf("delivered to %v", got)
+			}
+			return nil
+		})
+
+	register("signal", 4,
+		"an alarm is delivered to the thread that armed the timer",
+		func(s *core.System) error {
+			var got *core.Thread
+			s.Sigaction(unixkern.SIGALRM, func(_ unixkern.Signal, _ *unixkern.SigInfo, sc *core.SigContext) {
+				got = sc.Thread()
+			}, 0)
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() - 1
+			th, _ := s.Create(attr, func(any) any {
+				s.Alarm(vtime.Millisecond)
+				s.Compute(3 * vtime.Millisecond)
+				return nil
+			}, nil)
+			s.Join(th)
+			if got != th {
+				return failf("delivered to %v", got)
+			}
+			return nil
+		})
+
+	register("signal", 5,
+		"a process signal goes to a thread with it unmasked; with none eligible it pends on the process",
+		func(s *core.System) error {
+			n := 0
+			s.Sigaction(unixkern.SIGUSR2, func(unixkern.Signal, *unixkern.SigInfo, *core.SigContext) { n++ }, 0)
+			s.SetSigmask(unixkern.MakeSigset(unixkern.SIGUSR2))
+			s.RaiseProcess(unixkern.SIGUSR2)
+			if n != 0 || !s.ProcessPendingSet().Has(unixkern.SIGUSR2) {
+				return failf("not pended at process level")
+			}
+			s.SetSigmask(0)
+			if n != 1 {
+				return failf("not delivered when a thread became eligible")
+			}
+			return nil
+		})
+
+	register("signal", 6,
+		"sigwait returns a signal from its set and re-masks it afterwards",
+		func(s *core.System) error {
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				sig, err := s.Sigwait(unixkern.MakeSigset(unixkern.SIGHUP))
+				if err != nil || sig != unixkern.SIGHUP {
+					return failf("sigwait %v %v", sig, err)
+				}
+				if !s.Sigmask().Has(unixkern.SIGHUP) {
+					return failf("not re-masked")
+				}
+				return nil
+			}, nil)
+			s.Kill(th, unixkern.SIGHUP)
+			v, _ := s.Join(th)
+			if err, ok := v.(error); ok {
+				return err
+			}
+			return nil
+		})
+
+	register("signal", 7,
+		"the handler runs with the sigaction mask (plus the signal) blocked, restored afterwards",
+		func(s *core.System) error {
+			var during unixkern.Sigset
+			s.Sigaction(unixkern.SIGUSR1, func(unixkern.Signal, *unixkern.SigInfo, *core.SigContext) {
+				during = s.Sigmask()
+			}, unixkern.MakeSigset(unixkern.SIGUSR2))
+			s.Kill(s.Self(), unixkern.SIGUSR1)
+			if !during.Has(unixkern.SIGUSR1) || !during.Has(unixkern.SIGUSR2) {
+				return failf("handler mask %v", during)
+			}
+			if !s.Sigmask().Empty() {
+				return failf("mask not restored: %v", s.Sigmask())
+			}
+			return nil
+		})
+
+	register("signal", 8,
+		"the thread's errno is preserved across a signal handler",
+		func(s *core.System) error {
+			s.Sigaction(unixkern.SIGUSR1, func(unixkern.Signal, *unixkern.SigInfo, *core.SigContext) {
+				s.SetErrno(core.ENOMEM)
+			}, 0)
+			s.SetErrno(core.EBUSY)
+			s.Kill(s.Self(), unixkern.SIGUSR1)
+			if s.Errno() != core.EBUSY {
+				return failf("errno %v", s.Errno())
+			}
+			return nil
+		})
+
+	register("signal", 9,
+		"a handler interrupting a condition wait runs with the mutex reacquired; the wait wakes spuriously",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			c := s.NewCond("c")
+			ownedInHandler := false
+			s.Sigaction(unixkern.SIGUSR1, func(_ unixkern.Signal, _ *unixkern.SigInfo, sc *core.SigContext) {
+				ownedInHandler = m.Owner() == sc.Thread()
+			}, 0)
+			wakeups := 0
+			done := false
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				m.Lock()
+				for !done {
+					c.Wait(m)
+					wakeups++
+				}
+				m.Unlock()
+				return nil
+			}, nil)
+			s.Sleep(vtime.Millisecond)
+			s.Kill(th, unixkern.SIGUSR1)
+			s.Sleep(vtime.Millisecond)
+			m.Lock()
+			done = true
+			c.Signal()
+			m.Unlock()
+			s.Join(th)
+			if !ownedInHandler {
+				return failf("mutex not reacquired before handler")
+			}
+			if wakeups != 2 {
+				return failf("wakeups %d", wakeups)
+			}
+			return nil
+		})
+
+	register("signal", 10,
+		"an ignored signal is discarded; an unhandled one takes the default action on the process",
+		func(s *core.System) error {
+			s.SigactionIgnore(unixkern.SIGTERM)
+			s.Kill(s.Self(), unixkern.SIGTERM)
+			// Still alive: ignored. (The default-action half is checked
+			// by the library tests, since it terminates the process.)
+			return nil
+		})
+
+	register("signal", 11,
+		"per-thread masks are independent",
+		func(s *core.System) error {
+			s.SetSigmask(unixkern.MakeSigset(unixkern.SIGUSR1))
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any { return s.Sigmask() }, nil)
+			v, _ := s.Join(th)
+			if mask, ok := v.(unixkern.Sigset); !ok || !mask.Empty() {
+				return failf("child inherited mask %v", v)
+			}
+			return nil
+		})
+
+	register("signal", 12,
+		"a signal handler may transfer control to a setjmp point instead of the interruption point",
+		func(s *core.System) error {
+			var jb core.JmpBuf
+			s.Sigaction(unixkern.SIGFPE, func(_ unixkern.Signal, _ *unixkern.SigInfo, sc *core.SigContext) {
+				sc.RedirectTo(&jb, 3)
+			}, 0)
+			fellThrough := false
+			v := s.Setjmp(&jb, func() {
+				s.RaiseSync(unixkern.SIGFPE, 0)
+				fellThrough = true
+			})
+			if v != 3 || fellThrough {
+				return failf("v=%d fellThrough=%v", v, fellThrough)
+			}
+			return nil
+		})
+}

@@ -1,0 +1,326 @@
+package conformance
+
+import (
+	"pthreads/internal/core"
+	"pthreads/internal/sem"
+	"pthreads/internal/vtime"
+)
+
+// Mutexes, condition variables, semaphores.
+
+func init() {
+	register("mutex", 1,
+		"a locked mutex excludes other threads until unlocked",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			m.Lock()
+			acquired := false
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				m.Lock()
+				acquired = true
+				m.Unlock()
+				return nil
+			}, nil)
+			if acquired {
+				return failf("contender acquired a held mutex")
+			}
+			m.Unlock()
+			s.Join(th)
+			if !acquired {
+				return failf("contender never acquired after unlock")
+			}
+			return nil
+		})
+
+	register("mutex", 2,
+		"unlocking a mutex the caller does not hold fails with EPERM",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			return expectErrno(m.Unlock(), core.EPERM, "unlock unowned")
+		})
+
+	register("mutex", 3,
+		"relocking a held (non-recursive) mutex is EDEADLK",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			m.Lock()
+			defer m.Unlock()
+			return expectErrno(m.Lock(), core.EDEADLK, "relock")
+		})
+
+	register("mutex", 4,
+		"pthread_mutex_trylock on a held mutex returns EBUSY without blocking",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			m.Lock()
+			defer m.Unlock()
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				e, _ := core.AsErrno(m.TryLock())
+				return e
+			}, nil)
+			v, _ := s.Join(th)
+			if v != core.EBUSY {
+				return failf("trylock: %v", v)
+			}
+			return nil
+		})
+
+	register("mutex", 5,
+		"on unlock, the highest-priority waiter acquires the mutex",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			m.Lock()
+			var first int
+			got := false
+			for _, p := range []int{8, 12, 10} {
+				p := p
+				attr := core.DefaultAttr()
+				attr.Priority = p
+				s.Create(attr, func(any) any {
+					m.Lock()
+					if !got {
+						got = true
+						first = p
+					}
+					m.Unlock()
+					return nil
+				}, nil)
+			}
+			s.Sleep(vtime.Millisecond)
+			m.Unlock()
+			s.Sleep(vtime.Millisecond)
+			if first != 12 {
+				return failf("first grant to priority %d", first)
+			}
+			return nil
+		})
+
+	register("mutex", 6,
+		"priority inheritance boosts the owner to the highest contender priority",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m", Protocol: core.ProtocolInherit})
+			boost := 0
+			attr := core.DefaultAttr()
+			attr.Priority = 4
+			low, _ := s.Create(attr, func(any) any {
+				m.Lock()
+				s.Compute(2 * vtime.Millisecond)
+				boost = s.Self().Priority()
+				m.Unlock()
+				return nil
+			}, nil)
+			hi := core.DefaultAttr()
+			hi.Priority = 22
+			hith, _ := s.Create(hi, func(any) any {
+				s.Sleep(vtime.Millisecond)
+				m.Lock()
+				m.Unlock()
+				return nil
+			}, nil)
+			s.Join(low)
+			s.Join(hith)
+			if boost != 22 {
+				return failf("boost %d", boost)
+			}
+			return nil
+		})
+
+	register("mutex", 7,
+		"priority ceiling raises the locker to the ceiling at lock and restores it at unlock",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m", Protocol: core.ProtocolCeiling, Ceiling: 28})
+			base := s.Self().Priority()
+			m.Lock()
+			atLock := s.Self().Priority()
+			m.Unlock()
+			after := s.Self().Priority()
+			if atLock != 28 || after != base {
+				return failf("prio %d/%d", atLock, after)
+			}
+			return nil
+		})
+
+	register("mutex", 8,
+		"locking a ceiling mutex from above its ceiling is EINVAL",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m", Protocol: core.ProtocolCeiling, Ceiling: 2})
+			return expectErrno(m.Lock(), core.EINVAL, "lock above ceiling")
+		})
+
+	register("mutex", 9,
+		"pthread_mutex_destroy on a locked mutex is EBUSY",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			m.Lock()
+			err := expectErrno(m.Destroy(), core.EBUSY, "destroy locked")
+			m.Unlock()
+			return err
+		})
+
+	register("cond", 1,
+		"pthread_cond_wait releases the mutex and reacquires it before returning",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			c := s.NewCond("c")
+			freeDuringWait := false
+			ownedAtReturn := false
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				m.Lock()
+				c.Wait(m)
+				ownedAtReturn = m.Owner() == s.Self()
+				m.Unlock()
+				return nil
+			}, nil)
+			freeDuringWait = m.TryLock() == nil
+			if freeDuringWait {
+				c.Signal()
+				m.Unlock()
+			}
+			s.Join(th)
+			if !freeDuringWait || !ownedAtReturn {
+				return failf("free=%v owned=%v", freeDuringWait, ownedAtReturn)
+			}
+			return nil
+		})
+
+	register("cond", 2,
+		"waiting on a condition variable without holding the mutex is an error",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			c := s.NewCond("c")
+			return expectErrno(c.Wait(m), core.EPERM, "wait without mutex")
+		})
+
+	register("cond", 3,
+		"pthread_cond_signal wakes at least one waiter; the highest priority first",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			c := s.NewCond("c")
+			var first int
+			got := false
+			var ths []*core.Thread
+			for _, p := range []int{9, 13, 11} {
+				p := p
+				attr := core.DefaultAttr()
+				attr.Priority = p
+				th, _ := s.Create(attr, func(any) any {
+					m.Lock()
+					c.Wait(m)
+					if !got {
+						got = true
+						first = p
+					}
+					m.Unlock()
+					return nil
+				}, nil)
+				ths = append(ths, th)
+			}
+			s.Sleep(vtime.Millisecond)
+			c.Signal()
+			s.Sleep(vtime.Millisecond)
+			if !got || first != 13 {
+				return failf("first woken %d (got=%v)", first, got)
+			}
+			c.Broadcast() // release the remaining waiters
+			for _, th := range ths {
+				s.Join(th)
+			}
+			return nil
+		})
+
+	register("cond", 4,
+		"pthread_cond_broadcast wakes every waiter",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			c := s.NewCond("c")
+			woken := 0
+			for i := 0; i < 4; i++ {
+				attr := core.DefaultAttr()
+				attr.Priority = s.Self().Priority() + 1
+				s.Create(attr, func(any) any {
+					m.Lock()
+					c.Wait(m)
+					woken++
+					m.Unlock()
+					return nil
+				}, nil)
+			}
+			c.Broadcast()
+			s.Sleep(vtime.Millisecond)
+			if woken != 4 {
+				return failf("woken %d", woken)
+			}
+			return nil
+		})
+
+	register("cond", 5,
+		"a timed wait returns ETIMEDOUT with the mutex reacquired",
+		func(s *core.System) error {
+			m := s.MustMutex(core.MutexAttr{Name: "m"})
+			c := s.NewCond("c")
+			m.Lock()
+			err := c.TimedWait(m, vtime.Millisecond)
+			if e := expectErrno(err, core.ETIMEDOUT, "timedwait"); e != nil {
+				return e
+			}
+			if m.Owner() != s.Self() {
+				return failf("mutex not held after timeout")
+			}
+			m.Unlock()
+			return nil
+		})
+
+	register("sem", 1,
+		"a semaphore P on zero count suspends until a V",
+		func(s *core.System) error {
+			sm := sem.Must(s, "s", 0)
+			acquired := false
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				sm.P()
+				acquired = true
+				return nil
+			}, nil)
+			if acquired {
+				return failf("P on zero did not suspend")
+			}
+			sm.V()
+			s.Join(th)
+			if !acquired {
+				return failf("V did not release the waiter")
+			}
+			return nil
+		})
+
+	register("sem", 2,
+		"semaphore counts are conserved across many P/V pairs",
+		func(s *core.System) error {
+			sm := sem.Must(s, "s", 2)
+			var ths []*core.Thread
+			for i := 0; i < 4; i++ {
+				attr := core.DefaultAttr()
+				th, _ := s.Create(attr, func(any) any {
+					for j := 0; j < 10; j++ {
+						sm.P()
+						sm.V()
+					}
+					return nil
+				}, nil)
+				ths = append(ths, th)
+			}
+			for _, th := range ths {
+				s.Join(th)
+			}
+			if sm.Value() != 2 {
+				return failf("final value %d", sm.Value())
+			}
+			return nil
+		})
+}

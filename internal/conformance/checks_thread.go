@@ -1,0 +1,202 @@
+package conformance
+
+import (
+	"pthreads/internal/core"
+	"pthreads/internal/sched"
+	"pthreads/internal/vtime"
+)
+
+// Thread management, attributes, scheduling.
+
+func init() {
+	register("thread", 1,
+		"pthread_create starts a thread that runs its start routine with its argument",
+		func(s *core.System) error {
+			th, err := s.Create(core.DefaultAttr(), func(arg any) any { return arg }, "payload")
+			if err != nil {
+				return err
+			}
+			v, err := s.Join(th)
+			if err != nil {
+				return err
+			}
+			if v != "payload" {
+				return failf("start routine argument lost: %v", v)
+			}
+			return nil
+		})
+
+	register("thread", 2,
+		"pthread_join returns the target's pthread_exit status",
+		func(s *core.System) error {
+			th, _ := s.Create(core.DefaultAttr(), func(any) any { s.Exit(7); return nil }, nil)
+			v, err := s.Join(th)
+			if err != nil {
+				return err
+			}
+			if v != 7 {
+				return failf("status %v", v)
+			}
+			return nil
+		})
+
+	register("thread", 3,
+		"joining oneself is detected as deadlock (EDEADLK)",
+		func(s *core.System) error {
+			_, err := s.Join(s.Self())
+			return expectErrno(err, core.EDEADLK, "self join")
+		})
+
+	register("thread", 4,
+		"a detached thread cannot be joined (EINVAL)",
+		func(s *core.System) error {
+			attr := core.DefaultAttr()
+			attr.Detached = true
+			attr.Priority = s.Self().Priority() - 1
+			th, _ := s.Create(attr, func(any) any { return nil }, nil)
+			_, err := s.Join(th)
+			if err == nil {
+				return failf("join of detached thread succeeded")
+			}
+			return nil
+		})
+
+	register("thread", 5,
+		"pthread_self returns a handle equal to itself and distinct across threads",
+		func(s *core.System) error {
+			self := s.Self()
+			var childSelf *core.Thread
+			th, _ := s.Create(core.DefaultAttr(), func(any) any {
+				childSelf = s.Self()
+				return nil
+			}, nil)
+			s.Join(th)
+			if !s.Equal(self, s.Self()) {
+				return failf("self not equal to itself")
+			}
+			if s.Equal(self, childSelf) {
+				return failf("distinct threads compare equal")
+			}
+			return nil
+		})
+
+	register("thread", 6,
+		"creation with an out-of-range priority fails with EINVAL",
+		func(s *core.System) error {
+			attr := core.DefaultAttr()
+			attr.Priority = sched.MaxPrio + 1
+			_, err := s.Create(attr, func(any) any { return nil }, nil)
+			return expectErrno(err, core.EINVAL, "bad priority")
+		})
+
+	register("thread", 7,
+		"inheritsched takes scheduling parameters from the creator",
+		func(s *core.System) error {
+			attr := core.DefaultAttr()
+			attr.InheritSched = true
+			attr.Priority = 1
+			th, _ := s.Create(attr, func(any) any { return s.Self().BasePriority() }, nil)
+			v, _ := s.Join(th)
+			if v != s.Self().BasePriority() {
+				return failf("inherited priority %v", v)
+			}
+			return nil
+		})
+
+	register("thread", 8,
+		"pthread_once runs the init routine exactly once across callers",
+		func(s *core.System) error {
+			var once core.OnceControl
+			count := 0
+			for i := 0; i < 3; i++ {
+				if err := s.Once(&once, func() { count++ }); err != nil {
+					return err
+				}
+			}
+			if count != 1 {
+				return failf("init ran %d times", count)
+			}
+			return nil
+		})
+
+	register("sched", 1,
+		"a higher-priority thread preempts immediately on becoming ready",
+		func(s *core.System) error {
+			ran := false
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			s.Create(attr, func(any) any { ran = true; return nil }, nil)
+			if !ran {
+				return failf("no preemption at creation")
+			}
+			return nil
+		})
+
+	register("sched", 2,
+		"SCHED_FIFO threads of equal priority run in FIFO order without slicing",
+		func(s *core.System) error {
+			var order []int
+			attr := core.DefaultAttr()
+			for i := 0; i < 3; i++ {
+				s.Create(attr, func(arg any) any {
+					order = append(order, arg.(int))
+					return nil
+				}, i)
+			}
+			s.Sleep(vtime.Millisecond)
+			for i, v := range order {
+				if v != i {
+					return failf("order %v", order)
+				}
+			}
+			return nil
+		})
+
+	register("sched", 3,
+		"sched_yield moves the caller to the tail of its priority level",
+		func(s *core.System) error {
+			var order []string
+			attr := core.DefaultAttr()
+			th, _ := s.Create(attr, func(any) any {
+				order = append(order, "peer")
+				return nil
+			}, nil)
+			s.Yield()
+			order = append(order, "main")
+			s.Join(th)
+			if len(order) != 2 || order[0] != "peer" || order[1] != "main" {
+				return failf("order %v", order)
+			}
+			return nil
+		})
+
+	register("sched", 4,
+		"pthread_setschedparam rejects invalid parameters with EINVAL",
+		func(s *core.System) error {
+			return expectErrno(s.SetSchedParam(s.Self(), core.SchedFIFO, 99), core.EINVAL, "setschedparam")
+		})
+
+	register("sched", 5,
+		"a preempted thread resumes from the head of its priority queue",
+		func(s *core.System) error {
+			var order []string
+			attr := core.DefaultAttr()
+			attr.Priority = s.Self().Priority()
+			peer, _ := s.Create(attr, func(any) any {
+				order = append(order, "peer")
+				return nil
+			}, nil)
+			// Preempt main briefly with a higher-priority thread; on its
+			// exit, main (head position) must continue before the peer.
+			hi := core.DefaultAttr()
+			hi.Priority = s.Self().Priority() + 1
+			hith, _ := s.Create(hi, func(any) any { return nil }, nil)
+			order = append(order, "main")
+			s.Join(hith)
+			s.Join(peer)
+			if order[0] != "main" {
+				return failf("order %v", order)
+			}
+			return nil
+		})
+}

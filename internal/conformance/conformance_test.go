@@ -1,0 +1,63 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"pthreads/internal/core"
+)
+
+func TestAllChecksPass(t *testing.T) {
+	results := RunAll()
+	if len(results) < 40 {
+		t.Fatalf("only %d checks registered", len(results))
+	}
+	for _, r := range results {
+		if !r.Pass() {
+			t.Errorf("%s (%s): %v", r.ID, r.Requirement, r.Err)
+		}
+	}
+}
+
+func TestChecksSortedAndUnique(t *testing.T) {
+	seen := map[string]bool{}
+	prev := ""
+	for _, c := range Checks() {
+		if seen[c.ID] {
+			t.Fatalf("duplicate check id %s", c.ID)
+		}
+		seen[c.ID] = true
+		if c.ID < prev {
+			t.Fatalf("checks not sorted: %s after %s", c.ID, prev)
+		}
+		prev = c.ID
+		if c.Requirement == "" || c.Run == nil {
+			t.Fatalf("check %s incomplete", c.ID)
+		}
+	}
+}
+
+func TestFormatReportsCounts(t *testing.T) {
+	out := Format(RunAll())
+	if !strings.Contains(out, "conformance checklist") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "PASS mutex.1") && !strings.Contains(out, "PASS  mutex.1") {
+		t.Fatalf("check lines missing:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("failures in report:\n%s", out)
+	}
+}
+
+func TestRunOneCatchesPanics(t *testing.T) {
+	bad := Check{
+		ID:          "meta.1",
+		Requirement: "panics become failures",
+		Run:         func(*core.System) error { panic("boom") },
+	}
+	res := Result{Check: bad, Err: runOne(bad)}
+	if res.Pass() {
+		t.Fatal("panic not converted to failure")
+	}
+}

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"testing"
+
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+func TestCancelAtTestCancel(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		th, _ := s.Create(attr, func(any) any {
+			s.Compute(2 * vtime.Millisecond) // cancel arrives here
+			s.TestCancel()
+			return "survived"
+		}, nil)
+		s.Sleep(vtime.Millisecond)
+		if err := s.Cancel(th); err != nil {
+			t.Fatal(err)
+		}
+		v, _ := s.Join(th)
+		if v != Canceled {
+			t.Fatalf("status %v, want Canceled", v)
+		}
+	})
+}
+
+func TestCancelDisabledPends(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		th, _ := s.Create(attr, func(any) any {
+			s.SetCancelState(CancelDisabled)
+			s.Compute(2 * vtime.Millisecond)
+			s.TestCancel() // no effect: disabled
+			if !s.CancelPending(s.Self()) {
+				t.Error("request not pending while disabled")
+			}
+			s.SetCancelState(CancelControlled)
+			s.TestCancel()
+			return "survived"
+		}, nil)
+		s.Sleep(vtime.Millisecond)
+		s.Cancel(th)
+		v, _ := s.Join(th)
+		if v != Canceled {
+			t.Fatalf("status %v", v)
+		}
+	})
+}
+
+func TestCancelAsyncImmediate(t *testing.T) {
+	reached := false
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		th, _ := s.Create(attr, func(any) any {
+			s.SetCancelState(CancelAsynchronous)
+			s.Compute(10 * vtime.Millisecond)
+			reached = true
+			return nil
+		}, nil)
+		s.Sleep(vtime.Millisecond)
+		s.Cancel(th)
+		v, _ := s.Join(th)
+		if v != Canceled {
+			t.Fatalf("status %v", v)
+		}
+	})
+	if reached {
+		t.Fatal("async cancel did not act immediately")
+	}
+}
+
+func TestEnableAsyncWithPendingActsNow(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		th, _ := s.Create(attr, func(any) any {
+			s.SetCancelState(CancelDisabled)
+			s.Compute(2 * vtime.Millisecond) // request pends
+			s.SetCancelState(CancelAsynchronous)
+			return "survived" // unreachable
+		}, nil)
+		s.Sleep(vtime.Millisecond)
+		s.Cancel(th)
+		v, _ := s.Join(th)
+		if v != Canceled {
+			t.Fatalf("status %v", v)
+		}
+	})
+}
+
+func TestCancelInterruptsSleep(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			s.Sleep(vtime.Second)
+			return "survived"
+		}, nil)
+		s.Cancel(th)
+		v, _ := s.Join(th)
+		if v != Canceled {
+			t.Fatalf("status %v", v)
+		}
+	})
+}
+
+func TestCancelInterruptsCondWaitWithCleanup(t *testing.T) {
+	// A cancelled condition waiter reacquires the mutex before its
+	// cleanup handlers run ("deterministic state of the mutex in cleanup
+	// handlers").
+	var mutexHeldInCleanup bool
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		c := s.NewCond("c")
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			m.Lock()
+			s.CleanupPush(func(any) {
+				mutexHeldInCleanup = m.Owner() == s.Self()
+				m.Unlock()
+			}, nil)
+			for {
+				c.Wait(m)
+			}
+		}, nil)
+		s.Cancel(th)
+		v, _ := s.Join(th)
+		if v != Canceled {
+			t.Fatalf("status %v", v)
+		}
+		if !mutexHeldInCleanup {
+			t.Fatal("mutex not reacquired before cleanup")
+		}
+		if m.Owner() != nil {
+			t.Fatal("mutex leaked by cancelled waiter")
+		}
+	})
+}
+
+func TestCancelInterruptsSigwait(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			s.Sigwait(unixkern.MakeSigset(unixkern.SIGUSR1))
+			return "survived"
+		}, nil)
+		s.Cancel(th)
+		v, _ := s.Join(th)
+		if v != Canceled {
+			t.Fatalf("status %v", v)
+		}
+	})
+}
+
+func TestCancelInterruptsJoin(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		attr.Name = "sleeper"
+		sleeper, _ := s.Create(attr, func(any) any {
+			s.Sleep(20 * vtime.Millisecond)
+			return nil
+		}, nil)
+		attr2 := DefaultAttr()
+		attr2.Priority = s.Self().Priority() + 1
+		attr2.Name = "joiner"
+		joiner, _ := s.Create(attr2, func(any) any {
+			s.Join(sleeper)
+			return "survived"
+		}, nil)
+		s.Cancel(joiner)
+		v, _ := s.Join(joiner)
+		if v != Canceled {
+			t.Fatalf("joiner status %v", v)
+		}
+		s.Join(sleeper)
+	})
+}
+
+func TestCancelInterruptsAio(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			s.AioRead(vtime.Second, 64)
+			return "survived"
+		}, nil)
+		s.Cancel(th)
+		v, _ := s.Join(th)
+		if v != Canceled {
+			t.Fatalf("status %v", v)
+		}
+	})
+}
+
+func TestMutexWaitNotCancellable(t *testing.T) {
+	// "Locking a mutex should not be an interruption point": a cancelled
+	// thread blocked on a mutex acquires it first; the cancel acts at
+	// the next interruption point.
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		m.Lock()
+		gotMutex := false
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			m.Lock() // blocks; cancel arrives; must NOT interrupt
+			gotMutex = true
+			m.Unlock()
+			s.TestCancel()
+			return "survived"
+		}, nil)
+		s.Cancel(th)
+		if th.State() != StateBlocked {
+			t.Fatalf("thread state %v after cancel, want still blocked", th.State())
+		}
+		m.Unlock()
+		v, _ := s.Join(th)
+		if !gotMutex {
+			t.Fatal("thread never acquired the mutex")
+		}
+		if v != Canceled {
+			t.Fatalf("status %v", v)
+		}
+	})
+}
+
+func TestAsyncCancelInterruptsMutexWait(t *testing.T) {
+	// Asynchronous interruptibility cancels even a mutex wait.
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		m.Lock()
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			s.SetCancelState(CancelAsynchronous)
+			m.Lock()
+			return "survived"
+		}, nil)
+		s.Cancel(th)
+		v, _ := s.Join(th)
+		if v != Canceled {
+			t.Fatalf("status %v", v)
+		}
+		// The mutex is still ours and uncontended.
+		if m.Owner() != s.Self() {
+			t.Fatal("mutex owner corrupted")
+		}
+		m.Unlock()
+	})
+}
+
+func TestCancelTerminatedESRCH(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any { return nil }, nil)
+		// th ran to completion already (higher priority).
+		err := s.Cancel(th)
+		if e, _ := AsErrno(err); e != ESRCH {
+			t.Fatalf("Cancel terminated: %v, want ESRCH", err)
+		}
+		s.Join(th)
+	})
+}
+
+func TestCancelRunsCleanupAndTSD(t *testing.T) {
+	var order []string
+	runSystem(t, func(s *System) {
+		key, _ := s.KeyCreate(func(v any) {
+			order = append(order, "tsd:"+v.(string))
+		})
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			s.SetSpecific(key, "v")
+			s.CleanupPush(func(arg any) { order = append(order, "cleanup1") }, nil)
+			s.CleanupPush(func(arg any) { order = append(order, "cleanup2") }, nil)
+			s.Sleep(vtime.Second)
+			return nil
+		}, nil)
+		s.Cancel(th)
+		s.Join(th)
+	})
+	// Cleanup handlers LIFO, then TSD destructors.
+	want := []string{"cleanup2", "cleanup1", "tsd:v"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestCancelStateTransitions(t *testing.T) {
+	runSystem(t, func(s *System) {
+		if st := s.CancelState(); st != CancelControlled {
+			t.Fatalf("initial state %v", st)
+		}
+		if old := s.SetCancelState(CancelDisabled); old != CancelControlled {
+			t.Fatalf("old = %v", old)
+		}
+		if old := s.SetCancelState(CancelAsynchronous); old != CancelDisabled {
+			t.Fatalf("old = %v", old)
+		}
+		s.SetCancelState(CancelControlled)
+	})
+}
+
+func TestCancelLazyThreadActivates(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		attr.Lazy = true
+		th, _ := s.Create(attr, func(any) any {
+			s.TestCancel()
+			return "ran"
+		}, nil)
+		if th.State() != StateNew {
+			t.Fatalf("lazy thread state %v", th.State())
+		}
+		s.Cancel(th)
+		v, _ := s.Join(th)
+		if v != Canceled {
+			t.Fatalf("status %v", v)
+		}
+	})
+}
+
+func TestCancellationDisablesSignalsForThread(t *testing.T) {
+	// After cancellation is acted upon, "all other signals are disabled
+	// for this thread": handlers must not run during the unwind.
+	handlerRan := false
+	runSystem(t, func(s *System) {
+		s.Sigaction(unixkern.SIGUSR1, func(unixkern.Signal, *unixkern.SigInfo, *SigContext) {
+			handlerRan = true
+		}, 0)
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			s.CleanupPush(func(any) {
+				// A signal directed here while the thread is unwinding
+				// must pend, not run.
+				s.Kill(s.Self(), unixkern.SIGUSR1)
+			}, nil)
+			s.Sleep(vtime.Second)
+			return nil
+		}, nil)
+		s.Cancel(th)
+		s.Join(th)
+	})
+	if handlerRan {
+		t.Fatal("signal handler ran on a cancelling thread")
+	}
+}

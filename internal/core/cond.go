@@ -1,0 +1,245 @@
+package core
+
+import (
+	"pthreads/internal/sched"
+	"pthreads/internal/vtime"
+)
+
+// Cond is a POSIX condition variable (pthread_cond_t). Create it with
+// System.NewCond. A mutex and a predicate over shared data are associated
+// with it by convention; because wakeups may be spurious (a signal
+// handler interrupting the wait terminates it, exactly as in the paper),
+// waiters must re-evaluate their predicate in a loop.
+type Cond struct {
+	s       *System
+	name    string
+	waiters sched.Queue[*Thread]
+	mutex   *Mutex // the associated mutex while waiters are present
+
+	// Counters for the harness.
+	Signals    int64
+	Broadcasts int64
+}
+
+// timedWaitTag marks the expiry timer of a TimedWait; the delivery model
+// short-circuits it into the wait machinery.
+type timedWaitTag struct {
+	t *Thread
+	c *Cond
+}
+
+// NewCond initializes a condition variable (pthread_cond_init).
+func (s *System) NewCond(name string) *Cond {
+	if name == "" {
+		name = "cond"
+	}
+	return &Cond{s: s, name: name}
+}
+
+// Name returns the condition variable's label.
+func (c *Cond) Name() string { return c.name }
+
+// Waiters reports how many threads are blocked on the condition variable.
+func (c *Cond) Waiters() int { return c.waiters.Len() }
+
+// Wait atomically releases the mutex and suspends the calling thread
+// until the condition variable is signaled, a handler interrupts the wait
+// (a spurious wakeup), or the thread is cancelled. On return — by any
+// path — the mutex is again held by the caller. Wait is an interruption
+// point for cancellation; a cancelled waiter reacquires the mutex before
+// its cleanup handlers run.
+func (c *Cond) Wait(m *Mutex) error {
+	return c.wait(m, -1)
+}
+
+// TimedWait is Wait with a relative timeout; it returns ETIMEDOUT if the
+// condition variable was not signaled within d of virtual time. The mutex
+// is held again on return regardless.
+func (c *Cond) TimedWait(m *Mutex, d vtime.Duration) error {
+	if d < 0 {
+		return EINVAL.Or()
+	}
+	return c.wait(m, d)
+}
+
+func (c *Cond) wait(m *Mutex, d vtime.Duration) error {
+	s := c.s
+	t := s.current
+	if m == nil || m.owner != t {
+		t.errno = EPERM
+		return EPERM.Or()
+	}
+	if c.mutex != nil && c.mutex != m {
+		// Different mutexes used with one condition variable.
+		t.errno = EINVAL
+		return EINVAL.Or()
+	}
+	s.TestCancel()
+
+	s.enterKernel()
+	s.stats.CondWaits++
+	s.cpu.ChargeInstr(instrCondEnqueue)
+	c.mutex = m
+	t.waitingCond = c
+	t.condMutex = m
+	t.wake = wakeNone
+	c.waiters.Enqueue(t, t.prio)
+	s.traceObj(EvCond, t, c.name, "wait", "")
+
+	if d >= 0 {
+		t.waitTimer = s.kern.SetTimerInternal(s.proc, sigalrm, d, &timedWaitTag{t: t, c: c})
+	}
+
+	// Release the mutex atomically with the suspension: we are inside
+	// the kernel, so no other thread can intervene between the unlock
+	// and the block.
+	s.unlockForWaitLocked(m)
+	s.blockCurrent(BlockCond, "cond "+c.name)
+
+	// Woken. Every path below ends with the mutex held.
+	s.cpu.ChargeInstr(instrCondResume)
+	t.waitingCond = nil
+	t.condMutex = nil
+	if t.waitTimer != 0 {
+		s.kern.DisarmInternal(t.waitTimer)
+		t.waitTimer = 0
+	}
+
+	switch t.wake {
+	case wakeCondSignal, wakeGrant:
+		// Signaled; the mutex was granted to us (directly, or after
+		// queueing on it).
+	case wakeInterrupt:
+		// A signal handler interrupted the wait; the fake-call wrapper
+		// reacquired the mutex before the handler ran. This surfaces as
+		// a spurious wakeup.
+	case wakeTimeout:
+		s.mutexLock(m)
+		s.TestCancel()
+		t.errno = ETIMEDOUT
+		return ETIMEDOUT.Or()
+	case wakeCancel:
+		// Cancelled while waiting: reacquire the mutex so cleanup
+		// handlers observe a deterministic mutex state, then act.
+		s.mutexLock(m)
+		s.TestCancel() // exits
+	default:
+		panic("core: condition wait woke with unexpected cause")
+	}
+	if c.waiters.Empty() {
+		c.mutex = nil
+	}
+	s.TestCancel()
+	return nil
+}
+
+// unlockForWaitLocked releases the mutex as part of entering a condition
+// wait. Runs in the kernel; shares the protocol and hand-off logic with
+// the normal unlock.
+func (s *System) unlockForWaitLocked(m *Mutex) {
+	t := s.current
+	for i, x := range t.owned {
+		if x == m {
+			t.owned = append(t.owned[:i], t.owned[i+1:]...)
+			break
+		}
+	}
+	switch m.protocol {
+	case ProtocolInherit:
+		if np := s.recomputePrio(t); np != t.prio {
+			s.setPriority(t, np, true)
+		}
+	case ProtocolCeiling:
+		var saved int
+		if n := len(t.ceilStack); n > 0 {
+			saved = t.ceilStack[n-1]
+			t.ceilStack = t.ceilStack[:n-1]
+		} else {
+			saved = t.basePrio
+		}
+		if s.cfg.MixedProtocolUnlock == MixLinearSearch {
+			if np := s.recomputePrio(t); np != t.prio {
+				s.setPriority(t, np, true)
+			}
+		} else if saved != t.prio {
+			s.setPriority(t, saved, true)
+		}
+	}
+	if w, _, ok := m.waiters.DequeueMax(); ok {
+		s.grantLocked(m, w)
+	} else {
+		m.owner = nil
+		m.ownerWord.Store(0)
+		m.lockWord.Store(0)
+	}
+	s.traceObj(EvMutex, t, m.name, "unlock", "for condition wait")
+}
+
+// Signal wakes the highest-priority waiter (pthread_cond_signal). The
+// woken thread must reacquire the associated mutex before its wait
+// returns: if the mutex is free it is granted immediately; otherwise the
+// thread is queued on the mutex, avoiding a thundering reacquisition.
+func (c *Cond) Signal() error {
+	s := c.s
+	s.enterKernel()
+	c.Signals++
+	c.wakeOneLocked()
+	if c.waiters.Empty() {
+		c.mutex = nil
+	}
+	s.leaveKernel()
+	return nil
+}
+
+// Broadcast wakes every waiter (pthread_cond_broadcast). One waiter gets
+// the mutex; the rest queue on it.
+func (c *Cond) Broadcast() error {
+	s := c.s
+	s.enterKernel()
+	c.Broadcasts++
+	for !c.waiters.Empty() {
+		c.wakeOneLocked()
+	}
+	c.mutex = nil
+	s.leaveKernel()
+	return nil
+}
+
+// wakeOneLocked moves the highest-priority waiter off the condition
+// variable and through mutex reacquisition. Runs in the kernel.
+func (c *Cond) wakeOneLocked() {
+	s := c.s
+	w, _, ok := c.waiters.DequeueMax()
+	if !ok {
+		return
+	}
+	m := c.mutex
+	w.waitingCond = nil
+	if w.waitTimer != 0 {
+		s.kern.DisarmInternal(w.waitTimer)
+		w.waitTimer = 0
+	}
+	s.traceObj(EvCond, w, c.name, "signal", "")
+	if m == nil || m.owner == nil {
+		// Mutex free (or association already cleared): grant directly.
+		if m != nil {
+			s.atoms.TAS(&m.lockWord)
+			w.wake = wakeCondSignal
+			s.grantLocked(m, w)
+			return
+		}
+		w.wake = wakeCondSignal
+		s.makeReady(w, false)
+		return
+	}
+	// Mutex held: the waiter contends for it like any locker.
+	w.wake = wakeCondSignal
+	w.waitingMutex = m
+	if m.protocol == ProtocolInherit {
+		s.boostOwnerChain(m, w.prio)
+	}
+	w.blockReason = BlockMutex
+	w.waitingFor = "mutex " + m.name
+	m.waiters.Enqueue(w, w.prio)
+	s.traceObj(EvMutex, w, m.name, "block", "reacquire after signal")
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"testing"
+
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+func TestCondWaitRequiresMutex(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		c := s.NewCond("c")
+		err := c.Wait(m) // not holding m
+		if e, _ := AsErrno(err); e != EPERM {
+			t.Fatalf("Wait without mutex: %v, want EPERM", err)
+		}
+		if err := c.Wait(nil); err == nil {
+			t.Fatal("Wait(nil) accepted")
+		}
+	})
+}
+
+func TestCondDifferentMutexEINVAL(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m1 := s.MustMutex(MutexAttr{Name: "m1"})
+		m2 := s.MustMutex(MutexAttr{Name: "m2"})
+		c := s.NewCond("c")
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			m1.Lock()
+			c.Wait(m1)
+			m1.Unlock()
+			return nil
+		}, nil)
+		// th now waits with m1 associated.
+		m2.Lock()
+		err := c.Wait(m2)
+		if e, _ := AsErrno(err); e != EINVAL {
+			t.Fatalf("Wait with different mutex: %v, want EINVAL", err)
+		}
+		m2.Unlock()
+		c.Signal()
+		s.Join(th)
+	})
+}
+
+func TestBroadcastWakesAll(t *testing.T) {
+	woken := 0
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		c := s.NewCond("c")
+		ready := false
+		var ths []*Thread
+		for i := 0; i < 5; i++ {
+			attr := DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				m.Lock()
+				for !ready {
+					c.Wait(m)
+				}
+				woken++
+				m.Unlock()
+				return nil
+			}, nil)
+			ths = append(ths, th)
+		}
+		if c.Waiters() != 5 {
+			t.Fatalf("Waiters = %d", c.Waiters())
+		}
+		m.Lock()
+		ready = true
+		c.Broadcast()
+		m.Unlock()
+		for _, th := range ths {
+			s.Join(th)
+		}
+	})
+	if woken != 5 {
+		t.Fatalf("woken = %d", woken)
+	}
+}
+
+func TestSignalWakesHighestPriority(t *testing.T) {
+	var order []int
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		c := s.NewCond("c")
+		var ths []*Thread
+		for _, p := range []int{10, 14, 12} {
+			p := p
+			attr := DefaultAttr()
+			attr.Priority = p
+			th, _ := s.Create(attr, func(any) any {
+				m.Lock()
+				c.Wait(m)
+				order = append(order, p)
+				m.Unlock()
+				return nil
+			}, nil)
+			ths = append(ths, th)
+		}
+		s.Sleep(vtime.Millisecond) // all three wait
+		for i := 0; i < 3; i++ {
+			c.Signal()
+		}
+		for _, th := range ths {
+			s.Join(th)
+		}
+	})
+	want := []int{14, 12, 10}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSignalWithNoWaitersIsNoop(t *testing.T) {
+	runSystem(t, func(s *System) {
+		c := s.NewCond("c")
+		if err := c.Signal(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Broadcast(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestTimedWaitTimesOut(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		c := s.NewCond("c")
+		m.Lock()
+		t0 := s.Now()
+		err := c.TimedWait(m, 2*vtime.Millisecond)
+		if e, _ := AsErrno(err); e != ETIMEDOUT {
+			t.Fatalf("TimedWait: %v, want ETIMEDOUT", err)
+		}
+		if d := s.Now().Sub(t0); d < 2*vtime.Millisecond {
+			t.Fatalf("timed out early after %v", d)
+		}
+		if m.Owner() != s.Self() {
+			t.Fatal("mutex not reacquired after timeout")
+		}
+		m.Unlock()
+	})
+}
+
+func TestTimedWaitSignaledInTime(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		c := s.NewCond("c")
+		done := false
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		th, _ := s.Create(attr, func(any) any {
+			m.Lock()
+			done = true
+			c.Signal()
+			m.Unlock()
+			return nil
+		}, nil)
+		m.Lock()
+		for !done {
+			if err := c.TimedWait(m, vtime.Second); err != nil {
+				t.Fatalf("TimedWait: %v", err)
+			}
+		}
+		m.Unlock()
+		s.Join(th)
+	})
+}
+
+func TestTimedWaitNegativeEINVAL(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		c := s.NewCond("c")
+		m.Lock()
+		defer m.Unlock()
+		if err := c.TimedWait(m, -1); err == nil {
+			t.Fatal("negative timeout accepted")
+		}
+	})
+}
+
+func TestCondWaitReleasesMutexAtomically(t *testing.T) {
+	// The waiter must release the mutex as part of the wait: a second
+	// thread can lock it while the first waits.
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		c := s.NewCond("c")
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			m.Lock()
+			c.Wait(m)
+			m.Unlock()
+			return nil
+		}, nil)
+		if err := m.TryLock(); err != nil {
+			t.Fatalf("mutex not released by waiter: %v", err)
+		}
+		c.Signal() // waiter queues on m (we hold it)
+		m.Unlock() // hand-off to the waiter
+		s.Join(th)
+	})
+}
+
+func TestHandlerInterruptsCondWait(t *testing.T) {
+	// Paper: "If the user handler interrupted a conditional wait, the
+	// mutex is reacquired and the conditional wait terminated" — the
+	// wait returns spuriously with the mutex held.
+	var handlerRan bool
+	var ownerDuringHandler bool
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		c := s.NewCond("c")
+		var waiter *Thread
+		s.Sigaction(unixkern.SIGUSR1, func(sig unixkern.Signal, info *unixkern.SigInfo, sc *SigContext) {
+			handlerRan = true
+			ownerDuringHandler = m.Owner() == sc.Thread()
+		}, 0)
+
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		attr.Name = "waiter"
+		spurious := 0
+		done := false
+		waiter, _ = s.Create(attr, func(any) any {
+			m.Lock()
+			for !done {
+				c.Wait(m)
+				if !done {
+					spurious++
+				}
+				if m.Owner() != s.Self() {
+					t.Error("wait returned without the mutex")
+				}
+			}
+			m.Unlock()
+			return spurious
+		}, nil)
+
+		s.Sleep(vtime.Millisecond) // waiter is in Wait
+		s.Kill(waiter, unixkern.SIGUSR1)
+		s.Sleep(vtime.Millisecond) // spurious wakeup happened, waiter waits again
+		m.Lock()
+		done = true
+		c.Signal()
+		m.Unlock()
+		v, _ := s.Join(waiter)
+		if v != 1 {
+			t.Fatalf("spurious wakeups = %v, want 1", v)
+		}
+	})
+	if !handlerRan {
+		t.Fatal("handler did not run")
+	}
+	if !ownerDuringHandler {
+		t.Fatal("mutex not reacquired before the handler ran")
+	}
+}
+
+func TestCondWaitLotsOfCycles(t *testing.T) {
+	// Producer/consumer correctness over many items.
+	const items = 200
+	var got []int
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		notEmpty := s.NewCond("notEmpty")
+		notFull := s.NewCond("notFull")
+		var buf []int
+		const cap = 4
+
+		attr := DefaultAttr()
+		attr.Name = "producer"
+		prod, _ := s.Create(attr, func(any) any {
+			for i := 0; i < items; i++ {
+				m.Lock()
+				for len(buf) == cap {
+					notFull.Wait(m)
+				}
+				buf = append(buf, i)
+				notEmpty.Signal()
+				m.Unlock()
+			}
+			return nil
+		}, nil)
+
+		attr.Name = "consumer"
+		cons, _ := s.Create(attr, func(any) any {
+			for i := 0; i < items; i++ {
+				m.Lock()
+				for len(buf) == 0 {
+					notEmpty.Wait(m)
+				}
+				got = append(got, buf[0])
+				buf = buf[1:]
+				notFull.Signal()
+				m.Unlock()
+			}
+			return nil
+		}, nil)
+
+		s.Join(prod)
+		s.Join(cons)
+	})
+	if len(got) != items {
+		t.Fatalf("consumed %d items", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestCondWaitWithInheritMutex(t *testing.T) {
+	// Releasing an inheritance mutex on wait entry must drop any boost.
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m", Protocol: ProtocolInherit})
+		c := s.NewCond("c")
+		done := false
+		attr := DefaultAttr()
+		attr.Priority = 5
+		attr.Name = "waiter"
+		w, _ := s.Create(attr, func(any) any {
+			m.Lock()
+			for !done {
+				c.Wait(m)
+			}
+			m.Unlock()
+			return nil
+		}, nil)
+		s.Sleep(vtime.Millisecond)
+		m.Lock()
+		done = true
+		c.Signal()
+		m.Unlock()
+		s.Join(w)
+	})
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+// Scalability benchmarks: wall-clock cost of the reproduction itself at
+// thread counts beyond the latency benches at the repository root.
+
+func BenchmarkCreateJoin100Threads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New(Config{PoolSize: 128})
+		err := s.Run(func() {
+			attr := DefaultAttr()
+			attr.Priority = s.Self().Priority() - 1
+			ths := make([]*Thread, 0, 100)
+			for j := 0; j < 100; j++ {
+				th, err := s.Create(attr, func(any) any { return nil }, nil)
+				if err != nil {
+					panic(err)
+				}
+				ths = append(ths, th)
+			}
+			for _, th := range ths {
+				s.Join(th)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContendedMutex16Threads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New(Config{PoolSize: 24})
+		err := s.Run(func() {
+			m := s.MustMutex(MutexAttr{Name: "hot", Protocol: ProtocolInherit})
+			var ths []*Thread
+			for j := 0; j < 16; j++ {
+				attr := DefaultAttr()
+				attr.Priority = 8 + j%8
+				th, _ := s.Create(attr, func(any) any {
+					for k := 0; k < 10; k++ {
+						m.Lock()
+						s.Compute(10 * vtime.Microsecond)
+						m.Unlock()
+					}
+					return nil
+				}, nil)
+				ths = append(ths, th)
+			}
+			for _, th := range ths {
+				s.Join(th)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSignalStorm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New(Config{})
+		err := s.Run(func() {
+			s.Sigaction(sigalrm, func(unixkern.Signal, *unixkern.SigInfo, *SigContext) {}, 0)
+			// Arrival spacing comfortably above the per-signal handling
+			// cost; a tighter storm nests interrupt frames until the
+			// stack model faults, as it would on the real machine.
+			for j := 0; j < 100; j++ {
+				s.Alarm(vtime.Duration(j+1) * 500 * vtime.Microsecond)
+			}
+			s.Compute(60 * vtime.Millisecond)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"pthreads/internal/hw"
+	"pthreads/internal/sched"
+)
+
+// Create starts a new thread executing fn(arg) (pthread_create). The
+// returned handle identifies the thread for Join, Detach, Kill, Cancel
+// and the scheduling calls. With attr.Lazy the thread is created in
+// StateNew and activated — with its resources allocated — only when first
+// needed.
+func (s *System) Create(attr Attr, fn func(arg any) any, arg any) (*Thread, error) {
+	if fn == nil {
+		return nil, EINVAL.Or()
+	}
+	if attr.InheritSched && s.current != nil {
+		attr.Priority = s.current.basePrio
+		attr.Policy = s.current.policy
+	}
+	if attr.Priority == 0 && attr.StackSize == 0 && !sched.ValidPrio(attr.Priority) {
+		attr.Priority = sched.DefaultPrio
+	}
+	if !sched.ValidPrio(attr.Priority) {
+		return nil, EINVAL.Or()
+	}
+	if attr.StackSize != 0 && attr.StackSize < hw.MinStackSize {
+		return nil, EINVAL.Or()
+	}
+
+	s.enterKernel()
+	t := s.allocTCB(attr)
+	t.fn = fn
+	t.arg = arg
+	s.all = append(s.all, t)
+	s.liveCnt++
+	s.stats.ThreadsCreated++
+	s.trace(EvState, t, "created", attr.Name)
+	if attr.Lazy {
+		// Deferred activation: stays in StateNew, holding only a TCB.
+		// (allocTCB gave it a stack already; a production system would
+		// defer that too — modelled by charging activation separately.)
+		t.state = StateNew
+		t.waitingFor = "activation"
+	} else {
+		s.activateLocked(t)
+	}
+	s.leaveKernel()
+	return t, nil
+}
+
+// activateLocked makes a created thread eligible to run. Runs in the
+// kernel.
+func (s *System) activateLocked(t *Thread) {
+	t.state = StateBlocked // transitional: makeReady validates from Blocked
+	t.blockReason = BlockNone
+	s.makeReady(t, false)
+}
+
+// Activate triggers a lazily created thread explicitly. Activation also
+// happens implicitly when the thread is joined, signaled, or cancelled.
+func (s *System) Activate(t *Thread) error {
+	if err := s.checkThread(t); err != OK {
+		return err.Or()
+	}
+	s.enterKernel()
+	if t.state == StateNew {
+		s.activateLocked(t)
+	}
+	s.leaveKernel()
+	return nil
+}
+
+// Self returns the calling thread's handle (pthread_self).
+func (s *System) Self() *Thread { return s.current }
+
+// Equal reports whether two handles name the same thread (pthread_equal).
+func (s *System) Equal(a, b *Thread) bool { return a == b }
+
+// Errno returns the calling thread's error number; each thread has its
+// own, preserved across context switches and signal handlers.
+func (s *System) Errno() Errno { return s.current.errno }
+
+// SetErrno sets the calling thread's error number.
+func (s *System) SetErrno(e Errno) { s.current.errno = e }
+
+// Join waits for the thread to terminate and returns its exit status
+// (pthread_join / pthread_detach semantics for the return value). Joining
+// a detached thread is EINVAL; joining self is EDEADLK. Join is an
+// interruption point for cancellation. Joining a lazy thread activates
+// it.
+func (s *System) Join(t *Thread) (any, error) {
+	if err := s.checkThread(t); err != OK {
+		return nil, err.Or()
+	}
+	cur := s.current
+	if t == cur {
+		cur.errno = EDEADLK
+		return nil, EDEADLK.Or()
+	}
+	if t.detached {
+		cur.errno = EINVAL
+		return nil, EINVAL.Or()
+	}
+	s.TestCancel()
+
+	s.enterKernel()
+	if t.state == StateNew {
+		s.activateLocked(t)
+	}
+	if t.state != StateTerminated {
+		cur.joinTarget = t
+		t.joiners = append(t.joiners, cur)
+		cur.wake = wakeNone
+		s.blockCurrent(BlockJoin, "join "+t.String())
+		if cur.wake == wakeCancel {
+			s.TestCancel() // exits
+		}
+	} else {
+		s.leaveKernel()
+	}
+
+	ret := t.retval
+	s.enterKernel()
+	s.reclaim(t)
+	s.leaveKernel()
+	return ret, nil
+}
+
+// Detach marks the thread detached (pthread_detach): its resources are
+// reclaimed as soon as it terminates (immediately, if it already has),
+// and it can no longer be joined or referenced.
+func (s *System) Detach(t *Thread) error {
+	if err := s.checkThread(t); err != OK {
+		return err.Or()
+	}
+	if t.detached {
+		return EINVAL.Or()
+	}
+	s.enterKernel()
+	t.detached = true
+	if t.state == StateTerminated {
+		s.reclaim(t)
+	}
+	s.leaveKernel()
+	return nil
+}
+
+// Once runs fn exactly once across all callers sharing the OnceControl
+// (pthread_once). Concurrent callers block until the first completes.
+type OnceControl struct {
+	state   int // 0 new, 1 running, 2 done
+	waiters []*Thread
+}
+
+// Done reports whether the once-routine has completed.
+func (o *OnceControl) Done() bool { return o.state == 2 }
+
+// Once executes fn through the control block, exactly once.
+func (s *System) Once(o *OnceControl, fn func()) error {
+	if fn == nil {
+		return EINVAL.Or()
+	}
+	for {
+		s.enterKernel()
+		switch o.state {
+		case 2:
+			s.leaveKernel()
+			return nil
+		case 1:
+			t := s.current
+			o.waiters = append(o.waiters, t)
+			t.wake = wakeNone
+			s.blockCurrent(BlockSuspend, "once")
+			continue // re-check state
+		case 0:
+			o.state = 1
+			s.leaveKernel()
+			fn()
+			s.enterKernel()
+			o.state = 2
+			for _, w := range o.waiters {
+				s.makeReady(w, false)
+			}
+			o.waiters = nil
+			s.leaveKernel()
+			return nil
+		}
+	}
+}
+
+// Threads returns the live threads in creation order (diagnostics).
+func (s *System) Threads() []*Thread {
+	out := make([]*Thread, len(s.all))
+	copy(out, s.all)
+	return out
+}
+
+// Current is an alias of Self for readability in harness code.
+func (s *System) Current() *Thread { return s.current }

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+// Integration and property tests: whole-system scenarios combining
+// scheduling, synchronization, signals, and cancellation, plus
+// quick-checked invariants over randomized schedules.
+
+func TestIntegrationMixedWorkload(t *testing.T) {
+	// RR computers + FIFO synchronizers + a signal-driven supervisor +
+	// a cancelled straggler, all in one deterministic run.
+	s := New(Config{Quantum: vtime.Millisecond})
+	var log []string
+	err := s.Run(func() {
+		m := s.MustMutex(MutexAttr{Name: "log", Protocol: ProtocolInherit})
+		c := s.NewCond("phase")
+		phase := 0
+		add := func(entry string) {
+			m.Lock()
+			log = append(log, entry)
+			m.Unlock()
+		}
+
+		s.Sigaction(unixkern.SIGUSR1, func(unixkern.Signal, *unixkern.SigInfo, *SigContext) {
+			add("supervisor-signal")
+		}, 0)
+
+		var ths []*Thread
+		// Two RR computers.
+		for i := 0; i < 2; i++ {
+			attr := DefaultAttr()
+			attr.Policy = SchedRR
+			attr.Name = fmt.Sprintf("rr%d", i)
+			th, _ := s.Create(attr, func(arg any) any {
+				s.Compute(3 * vtime.Millisecond)
+				add(fmt.Sprintf("rr%v-done", arg))
+				m.Lock()
+				phase++
+				c.Broadcast()
+				m.Unlock()
+				return nil
+			}, i)
+			ths = append(ths, th)
+		}
+		// A FIFO waiter for both computers.
+		attrW := DefaultAttr()
+		attrW.Name = "waiter"
+		waiter, _ := s.Create(attrW, func(any) any {
+			m.Lock()
+			for phase < 2 {
+				c.Wait(m)
+			}
+			m.Unlock()
+			add("waiter-released")
+			return nil
+		}, nil)
+		ths = append(ths, waiter)
+
+		// A supervisor woken by a directed signal.
+		attrS := DefaultAttr()
+		attrS.Priority = s.Self().Priority() + 2
+		attrS.Name = "supervisor"
+		supervisor, _ := s.Create(attrS, func(any) any {
+			s.Sleep(20 * vtime.Millisecond)
+			return nil
+		}, nil)
+		ths = append(ths, supervisor)
+
+		// A straggler that would sleep forever; cancelled.
+		attrX := DefaultAttr()
+		attrX.Name = "straggler"
+		straggler, _ := s.Create(attrX, func(any) any {
+			s.Sleep(vtime.Second)
+			return nil
+		}, nil)
+
+		s.Kill(supervisor, unixkern.SIGUSR1)
+		s.Cancel(straggler)
+		for _, th := range ths {
+			s.Join(th)
+		}
+		v, _ := s.Join(straggler)
+		if v != Canceled {
+			t.Errorf("straggler = %v", v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(log, ",")
+	for _, want := range []string{"rr0-done", "rr1-done", "waiter-released", "supervisor-signal"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("log %v missing %s", log, want)
+		}
+	}
+}
+
+func TestIntegrationDeterministicEndToEnd(t *testing.T) {
+	// The same mixed workload twice: identical final virtual time and
+	// identical stats.
+	run := func() (vtime.Time, Stats) {
+		s := New(Config{Quantum: 2 * vtime.Millisecond, Seed: 11})
+		s.Run(func() {
+			m := s.MustMutex(MutexAttr{Name: "m", Protocol: ProtocolCeiling, Ceiling: 20})
+			var ths []*Thread
+			for i := 0; i < 4; i++ {
+				attr := DefaultAttr()
+				attr.Policy = SchedRR
+				attr.Priority = 10 + i
+				th, _ := s.Create(attr, func(any) any {
+					for j := 0; j < 5; j++ {
+						m.Lock()
+						s.Compute(200 * vtime.Microsecond)
+						m.Unlock()
+						s.Compute(700 * vtime.Microsecond)
+					}
+					return nil
+				}, nil)
+				ths = append(ths, th)
+			}
+			for _, th := range ths {
+				s.Join(th)
+			}
+		})
+		return s.Now(), s.Stats()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 || s1 != s2 {
+		t.Fatalf("nondeterministic: %v/%v vs %v/%v", t1, s1, t2, s2)
+	}
+}
+
+// Property: mutual exclusion holds under every perverted policy and seed
+// — the critical-section token is never observed held by two threads.
+func TestMutualExclusionProperty(t *testing.T) {
+	f := func(policyRaw uint8, seed int64) bool {
+		policy := PervertPolicy(int(policyRaw) % 4)
+		s := New(Config{Pervert: policy, Seed: seed})
+		inCS := 0
+		violated := false
+		err := s.Run(func() {
+			m := s.MustMutex(MutexAttr{Name: "cs", Protocol: ProtocolInherit})
+			var ths []*Thread
+			for i := 0; i < 3; i++ {
+				attr := DefaultAttr()
+				th, _ := s.Create(attr, func(any) any {
+					for j := 0; j < 6; j++ {
+						m.Lock()
+						inCS++
+						if inCS != 1 {
+							violated = true
+						}
+						s.Compute(50 * vtime.Microsecond)
+						inCS--
+						m.Unlock()
+					}
+					return nil
+				}, nil)
+				ths = append(ths, th)
+			}
+			for _, th := range ths {
+				s.Join(th)
+			}
+		})
+		return err == nil && !violated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with priority inheritance, a high-priority thread's wait for
+// a short critical section is bounded — a medium-priority compute-bound
+// thread cannot extend it (no unbounded inversion), for any medium
+// priority strictly between low and high.
+func TestInversionBoundProperty(t *testing.T) {
+	f := func(medRaw uint8) bool {
+		med := 6 + int(medRaw)%13 // 6..18, between low=5 and high=20
+		s := New(Config{MainPriority: 31})
+		var wait vtime.Duration
+		err := s.Run(func() {
+			m := s.MustMutex(MutexAttr{Name: "m", Protocol: ProtocolInherit})
+			mk := func(name string, prio int, body func()) *Thread {
+				attr := DefaultAttr()
+				attr.Name = name
+				attr.Priority = prio
+				th, _ := s.Create(attr, func(any) any { body(); return nil }, nil)
+				return th
+			}
+			low := mk("low", 5, func() {
+				m.Lock()
+				s.Compute(5 * vtime.Millisecond)
+				m.Unlock()
+			})
+			mid := mk("mid", med, func() {
+				s.Sleep(vtime.Millisecond)
+				s.Compute(50 * vtime.Millisecond)
+			})
+			hi := mk("hi", 20, func() {
+				s.Sleep(vtime.Millisecond)
+				t0 := s.Now()
+				m.Lock()
+				wait = s.Now().Sub(t0)
+				m.Unlock()
+			})
+			for _, th := range []*Thread{low, mid, hi} {
+				s.Join(th)
+			}
+		})
+		// The bound: the remainder of low's 5ms critical section plus
+		// hand-off overhead — never the 50ms of the medium thread.
+		return err == nil && wait < 10*vtime.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every thread signal directed at a live unmasked thread with a
+// handler runs the handler exactly once, for any signal choice.
+func TestSignalDeliveryExactlyOnceProperty(t *testing.T) {
+	f := func(sigRaw uint8, count uint8) bool {
+		sig := unixkern.Signal(int(sigRaw)%(unixkern.NSIG-1) + 1)
+		if !sig.Maskable() {
+			return true
+		}
+		n := int(count)%5 + 1
+		s := New(Config{})
+		delivered := 0
+		err := s.Run(func() {
+			s.Sigaction(sig, func(unixkern.Signal, *unixkern.SigInfo, *SigContext) {
+				delivered++
+			}, 0)
+			attr := DefaultAttr()
+			attr.Priority = s.Self().Priority() + 1
+			th, _ := s.Create(attr, func(any) any {
+				for i := 0; i < n; i++ {
+					s.Sleep(vtime.Second)
+				}
+				return nil
+			}, nil)
+			for i := 0; i < n; i++ {
+				s.Kill(th, sig)
+			}
+			s.Join(th)
+		})
+		return err == nil && delivered == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspectAndDump(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "held", Protocol: ProtocolCeiling, Ceiling: 25})
+		m.Lock()
+		attr := DefaultAttr()
+		attr.Name = "sleeper"
+		attr.Priority = 3
+		th, _ := s.Create(attr, func(any) any {
+			s.Sleep(15 * vtime.Millisecond)
+			return nil
+		}, nil)
+		// Let the lower-priority sleeper run and enter its sleep, then
+		// come back.
+		s.Sleep(vtime.Millisecond)
+
+		info, err := s.Inspect(s.Self())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Name != "main" || info.State != StateRunning || info.Priority != 25 {
+			t.Fatalf("main info: %+v", info)
+		}
+		if len(info.HeldMutexes) != 1 || info.HeldMutexes[0] != "held" {
+			t.Fatalf("held mutexes: %v", info.HeldMutexes)
+		}
+		if !strings.Contains(info.String(), "holds=held") {
+			t.Fatalf("info string: %s", info)
+		}
+
+		dump := s.DumpThreads()
+		for _, want := range []string{"main", "sleeper", "* ", "blocked=sleep"} {
+			if !strings.Contains(dump, want) {
+				t.Fatalf("dump missing %q:\n%s", want, dump)
+			}
+		}
+		if _, err := s.Inspect(nil); err == nil {
+			t.Fatal("Inspect(nil) accepted")
+		}
+		m.Unlock()
+		s.Join(th)
+	})
+}
+
+func TestStackHighWaterTracksSignals(t *testing.T) {
+	runSystem(t, func(s *System) {
+		s.Sigaction(unixkern.SIGUSR1, func(unixkern.Signal, *unixkern.SigInfo, *SigContext) {}, 0)
+		before, _ := s.Inspect(s.Self())
+		s.Kill(s.Self(), unixkern.SIGUSR1)
+		after, _ := s.Inspect(s.Self())
+		if after.StackUsedMax <= before.StackUsedMax {
+			t.Fatalf("stack highwater did not grow: %d -> %d", before.StackUsedMax, after.StackUsedMax)
+		}
+	})
+}
+
+func TestManySystemsInParallel(t *testing.T) {
+	// Systems are fully independent: drive several concurrently from
+	// ordinary goroutines.
+	const n = 8
+	results := make(chan vtime.Time, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			s := New(Config{})
+			s.Run(func() {
+				sem := s.MustMutex(MutexAttr{Name: "m"})
+				for j := 0; j < 50; j++ {
+					sem.Lock()
+					s.Compute(10 * vtime.Microsecond)
+					sem.Unlock()
+				}
+			})
+			results <- s.Now()
+		}()
+	}
+	first := <-results
+	for i := 1; i < n; i++ {
+		if got := <-results; got != first {
+			t.Fatalf("parallel systems diverged: %v vs %v", got, first)
+		}
+	}
+}

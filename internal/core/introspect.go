@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pthreads/internal/unixkern"
+)
+
+// Debugging support, as the paper's future-work section sketches it:
+// "Information could be extracted from the thread control block and made
+// available to the user." ThreadInfo is that extraction; DumpThreads is
+// the debugger view of the whole system.
+
+// ThreadInfo is a point-in-time snapshot of one thread control block.
+type ThreadInfo struct {
+	ID           ThreadID
+	Name         string
+	State        State
+	BlockReason  BlockReason
+	WaitingFor   string
+	Priority     int
+	BasePriority int
+	Policy       Policy
+	Detached     bool
+	CancelState  CancelState
+	CancelReq    bool
+	SigMask      unixkern.Sigset
+	SigPending   unixkern.Sigset
+	Errno        Errno
+	HeldMutexes  []string
+	FakeCalls    int
+	CleanupDepth int
+	StackSize    int64
+	StackUsedMax int64
+	Dispatches   int64
+	SignalsTaken int64
+}
+
+// Inspect snapshots a thread's control block.
+func (s *System) Inspect(t *Thread) (ThreadInfo, error) {
+	if t == nil || t.sys != s {
+		return ThreadInfo{}, EINVAL.Or()
+	}
+	info := ThreadInfo{
+		ID:           t.id,
+		Name:         t.name,
+		State:        t.state,
+		BlockReason:  t.blockReason,
+		WaitingFor:   t.waitingFor,
+		Priority:     t.prio,
+		BasePriority: t.basePrio,
+		Policy:       t.policy,
+		Detached:     t.detached,
+		CancelState:  t.cancelState,
+		CancelReq:    t.cancelPending || t.pending[unixkern.SIGCANCEL] != nil,
+		SigMask:      t.sigMask,
+		SigPending:   s.ThreadPendingSet(t),
+		Errno:        t.errno,
+		FakeCalls:    len(t.fakeStack),
+		CleanupDepth: len(t.cleanup),
+		Dispatches:   t.Dispatches,
+		SignalsTaken: t.SigsTaken,
+	}
+	for _, m := range t.owned {
+		info.HeldMutexes = append(info.HeldMutexes, m.name)
+	}
+	if t.stack != nil {
+		info.StackSize = t.stack.Size
+		info.StackUsedMax = t.stack.HighWater
+	}
+	return info, nil
+}
+
+// String renders the snapshot in one debugger-style line.
+func (ti ThreadInfo) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%-3d %-12s %-10s prio=%d", ti.ID, ti.Name, ti.State, ti.Priority)
+	if ti.Priority != ti.BasePriority {
+		fmt.Fprintf(&b, "(base %d)", ti.BasePriority)
+	}
+	fmt.Fprintf(&b, " %v", ti.Policy)
+	if ti.State == StateBlocked {
+		fmt.Fprintf(&b, " blocked=%v[%s]", ti.BlockReason, ti.WaitingFor)
+	}
+	if ti.Detached {
+		b.WriteString(" detached")
+	}
+	if ti.CancelReq {
+		b.WriteString(" cancel-pending")
+	}
+	if len(ti.HeldMutexes) > 0 {
+		fmt.Fprintf(&b, " holds=%s", strings.Join(ti.HeldMutexes, ","))
+	}
+	if !ti.SigPending.Empty() {
+		fmt.Fprintf(&b, " sigpend=%v", ti.SigPending)
+	}
+	if ti.FakeCalls > 0 {
+		fmt.Fprintf(&b, " fakecalls=%d", ti.FakeCalls)
+	}
+	fmt.Fprintf(&b, " stack=%d/%d", ti.StackUsedMax, ti.StackSize)
+	return b.String()
+}
+
+// DumpThreads renders every live thread, the library flags, and the
+// headline counters — the "separate debugging window" of the paper's
+// sketch, as text.
+func (s *System) DumpThreads() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pthreads system at %v: %d live threads, kernel=%v dispatcher=%v\n",
+		s.clock.Now(), s.liveCnt, s.kernelFlag, s.dispatcherFlag)
+	for _, t := range s.all {
+		info, err := s.Inspect(t)
+		if err != nil {
+			continue
+		}
+		marker := "  "
+		if t == s.current {
+			marker = "* "
+		}
+		b.WriteString(marker)
+		b.WriteString(info.String())
+		b.WriteByte('\n')
+	}
+	st := s.stats
+	fmt.Fprintf(&b, "  switches=%d preemptions=%d kernel-entries=%d signals=%d/%d fakecalls=%d\n",
+		st.ContextSwitches, st.Preemptions, st.KernelEntries,
+		st.SignalsInternal, st.SignalsExternal, st.FakeCalls)
+	return b.String()
+}

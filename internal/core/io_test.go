@@ -1,0 +1,228 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+func TestAioReadReturnsBytes(t *testing.T) {
+	runSystem(t, func(s *System) {
+		t0 := s.Now()
+		n, err := s.AioRead(2*vtime.Millisecond, 1024)
+		if err != nil || n != 1024 {
+			t.Fatalf("AioRead = %d, %v", n, err)
+		}
+		if s.Now().Sub(t0) < 2*vtime.Millisecond {
+			t.Fatal("completed before latency elapsed")
+		}
+	})
+}
+
+func TestAioValidation(t *testing.T) {
+	runSystem(t, func(s *System) {
+		if _, err := s.AioRead(-1, 10); err == nil {
+			t.Fatal("negative latency accepted")
+		}
+		if _, err := s.AioRead(vtime.Millisecond, -1); err == nil {
+			t.Fatal("negative bytes accepted")
+		}
+	})
+}
+
+func TestAioOverlapsWithComputation(t *testing.T) {
+	// While one thread waits for I/O, another computes: total elapsed is
+	// max, not sum.
+	runSystem(t, func(s *System) {
+		t0 := s.Now()
+		attr := DefaultAttr()
+		attr.Name = "reader"
+		attr.Priority = s.Self().Priority() + 1 // issues the request first
+		reader, _ := s.Create(attr, func(any) any {
+			n, _ := s.AioRead(10*vtime.Millisecond, 64)
+			return n
+		}, nil)
+		s.Compute(10 * vtime.Millisecond)
+		v, _ := s.Join(reader)
+		if v != 64 {
+			t.Fatalf("reader = %v", v)
+		}
+		elapsed := s.Now().Sub(t0)
+		if elapsed > 12*vtime.Millisecond {
+			t.Fatalf("I/O and compute did not overlap: %v", elapsed)
+		}
+	})
+}
+
+func TestDeviceFIFOQueueing(t *testing.T) {
+	// Two transfers on one device serialize; the same transfers on two
+	// devices overlap.
+	elapsedOn := func(twoDevices bool) vtime.Duration {
+		var out vtime.Duration
+		s := New(Config{})
+		err := s.Run(func() {
+			d1, _ := s.OpenDevice("d1", vtime.Millisecond, 0)
+			d2 := d1
+			if twoDevices {
+				d2, _ = s.OpenDevice("d2", vtime.Millisecond, 0)
+			}
+			t0 := s.Now()
+			attr := DefaultAttr()
+			attr.Name = "other"
+			other, _ := s.Create(attr, func(any) any {
+				d2.Transfer(100)
+				return nil
+			}, nil)
+			d1.Transfer(100)
+			s.Join(other)
+			out = s.Now().Sub(t0)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := elapsedOn(false)
+	parallel := elapsedOn(true)
+	if serial < 2*vtime.Millisecond {
+		t.Fatalf("same-device transfers did not queue: %v", serial)
+	}
+	if parallel >= serial {
+		t.Fatalf("distinct devices did not overlap: %v vs %v", parallel, serial)
+	}
+}
+
+func TestDevicePerByteRate(t *testing.T) {
+	runSystem(t, func(s *System) {
+		d, _ := s.OpenDevice("disk", vtime.Millisecond, 10*vtime.Microsecond)
+		t0 := s.Now()
+		n, err := d.Transfer(100)
+		if err != nil || n != 100 {
+			t.Fatalf("Transfer = %d, %v", n, err)
+		}
+		want := vtime.Millisecond + 100*10*vtime.Microsecond
+		if got := s.Now().Sub(t0); got < want {
+			t.Fatalf("transfer took %v, want >= %v", got, want)
+		}
+		if d.Requests() != 1 || d.Name() != "disk" {
+			t.Fatal("device accessors wrong")
+		}
+	})
+}
+
+func TestDeviceValidation(t *testing.T) {
+	runSystem(t, func(s *System) {
+		if _, err := s.OpenDevice("x", -1, 0); err == nil {
+			t.Fatal("negative setup accepted")
+		}
+		d, _ := s.OpenDevice("x", 0, 0)
+		if _, err := d.Transfer(-1); err == nil {
+			t.Fatal("negative transfer accepted")
+		}
+	})
+}
+
+func TestDeviceCompletionOrderAcrossThreads(t *testing.T) {
+	// Three threads share one device: completions arrive in issue order.
+	var order []int
+	runSystem(t, func(s *System) {
+		d, _ := s.OpenDevice("tape", vtime.Millisecond, 0)
+		var ths []*Thread
+		for i := 0; i < 3; i++ {
+			i := i
+			attr := DefaultAttr()
+			attr.Priority = s.Self().Priority() - 1
+			th, _ := s.Create(attr, func(any) any {
+				d.Transfer(1)
+				order = append(order, i)
+				return nil
+			}, nil)
+			ths = append(ths, th)
+		}
+		for _, th := range ths {
+			s.Join(th)
+		}
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("completion order %v", order)
+		}
+	}
+}
+
+// --- UseStack ----------------------------------------------------------------
+
+func TestUseStackWithinLimit(t *testing.T) {
+	runSystem(t, func(s *System) {
+		free := s.StackFree()
+		ran := false
+		s.UseStack(free/2, func() {
+			ran = true
+			if s.StackFree() >= free {
+				t.Error("stack not consumed")
+			}
+		})
+		if !ran {
+			t.Fatal("body did not run")
+		}
+		if s.StackFree() != free {
+			t.Fatal("stack not released")
+		}
+	})
+}
+
+func TestUseStackOverflowFatalByDefault(t *testing.T) {
+	s := New(Config{})
+	err := s.Run(func() {
+		s.UseStack(s.StackFree()+1, func() {
+			t.Error("body ran despite overflow")
+		})
+	})
+	if err == nil || !strings.Contains(err.Error(), "SIGSEGV") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUseStackOverflowRecoveredByRedirect(t *testing.T) {
+	// The Ada storage-error pattern: a SIGSEGV handler redirects control
+	// to a recovery point; the program continues.
+	runSystem(t, func(s *System) {
+		var jb JmpBuf
+		var code int
+		s.Sigaction(unixkern.SIGSEGV, func(_ unixkern.Signal, info *unixkern.SigInfo, sc *SigContext) {
+			code = info.Code
+			sc.RedirectTo(&jb, 1)
+		}, 0)
+		recovered := false
+		v := s.Setjmp(&jb, func() {
+			s.UseStack(s.StackFree()+1, func() {})
+			t.Error("control continued past the fault")
+		})
+		if v == 1 {
+			recovered = true
+		}
+		if !recovered || code != SegvCodeStackOverflow {
+			t.Fatalf("recovered=%v code=%d", recovered, code)
+		}
+		// And the system still works.
+		s.Compute(vtime.Millisecond)
+	})
+}
+
+func TestUseStackNested(t *testing.T) {
+	runSystem(t, func(s *System) {
+		free := s.StackFree()
+		s.UseStack(1000, func() {
+			s.UseStack(1000, func() {
+				if s.StackFree() > free-2000 {
+					t.Error("nested frames not accounted")
+				}
+			})
+		})
+		if s.StackFree() != free {
+			t.Fatal("frames leaked")
+		}
+	})
+}

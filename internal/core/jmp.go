@@ -1,0 +1,99 @@
+package core
+
+import "pthreads/internal/unixkern"
+
+// setjmp/longjmp, modelled with the SPARC costs the paper measures: the
+// setjmp flushes the register windows (the same kernel trap a context
+// switch pays) and the longjmp takes a window underflow trap restoring
+// the target frame. The pair is the paper's lower bound on context-switch
+// cost.
+
+// JmpBuf is a jump buffer (jmp_buf). A buffer is valid from the moment
+// Setjmp establishes it until Setjmp's body returns, and only on the
+// establishing thread.
+type JmpBuf struct {
+	t       *Thread
+	active  bool
+	savMask bool
+	mask    unixkern.Sigset
+}
+
+// Valid reports whether the buffer can currently be jumped to.
+func (jb *JmpBuf) Valid() bool { return jb != nil && jb.active }
+
+// longjmpPanic unwinds the Go stack from Longjmp to the matching Setjmp.
+type longjmpPanic struct {
+	jb  *JmpBuf
+	val int
+}
+
+// Setjmp establishes jb and runs body. It returns 0 when body returns
+// normally, or the value passed to Longjmp when control arrives via a
+// longjmp — including one issued from a signal handler running on this
+// thread (the redirect feature fake-call wrappers implement for the Ada
+// runtime).
+func (s *System) Setjmp(jb *JmpBuf, body func()) int {
+	return s.setjmp(jb, body, false)
+}
+
+// Sigsetjmp is Setjmp that additionally saves the thread's signal mask
+// and restores it when the longjmp lands (sigsetjmp/siglongjmp with
+// savemask != 0).
+func (s *System) Sigsetjmp(jb *JmpBuf, body func()) int {
+	return s.setjmp(jb, body, true)
+}
+
+func (s *System) setjmp(jb *JmpBuf, body func(), saveMask bool) (ret int) {
+	if jb == nil {
+		panic("core: nil JmpBuf")
+	}
+	t := s.current
+	s.cpu.ChargeFlushWindows()
+	s.cpu.ChargeInstr(instrSetjmpSave)
+	jb.t = t
+	jb.active = true
+	jb.savMask = saveMask
+	if saveMask {
+		jb.mask = t.sigMask
+	}
+	defer func() {
+		jb.active = false
+		r := recover()
+		if r == nil {
+			return
+		}
+		lp, ok := r.(longjmpPanic)
+		if !ok || lp.jb != jb {
+			panic(r)
+		}
+		s.cpu.ChargeWindowUnderflow()
+		s.cpu.ChargeInstr(instrLongjmpLoad)
+		if jb.savMask {
+			s.enterKernel()
+			t.sigMask = jb.mask
+			s.flushThreadPending(t)
+			s.checkProcessPending()
+			s.leaveKernel()
+		}
+		ret = lp.val
+	}()
+	body()
+	return 0
+}
+
+// Longjmp transfers control to the Setjmp that established jb, which then
+// returns val (coerced to 1 if 0, like the C function). Jumping to an
+// inactive buffer or across threads panics: both are undefined behaviour
+// in C and library bugs here.
+func (s *System) Longjmp(jb *JmpBuf, val int) {
+	if jb == nil || !jb.active {
+		panic("core: longjmp to inactive JmpBuf")
+	}
+	if jb.t != s.current {
+		panic("core: longjmp across threads")
+	}
+	if val == 0 {
+		val = 1
+	}
+	panic(longjmpPanic{jb: jb, val: val})
+}

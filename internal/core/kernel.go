@@ -1,0 +1,467 @@
+package core
+
+import (
+	"fmt"
+
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+// This file is the Pthreads kernel of the paper: the monolithic monitor
+// (kernel flag + dispatcher flag), the dispatcher of Figure 2, and the
+// context switch.
+
+// Costs, in simple instructions, of the library-kernel primitives. They
+// are the calibration constants behind the composite Table 2 latencies;
+// see internal/eval for the calibration method.
+const (
+	instrKernelEnter   = 8   // set kernel flag, prologue
+	instrKernelExit    = 8   // test dispatcher flag, clear kernel flag
+	instrSelect        = 32  // find-first-set + dequeue in the ready queue
+	instrSwitchFixed   = 290 // dispatcher body around the two window traps
+	instrReadyQueueOp  = 18  // enqueue/remove on a priority queue
+	instrDirectSignal  = 180 // recipient+action rule evaluation, fixed part
+	instrPerThreadScan = 10  // recipient rule 5, per thread scanned
+	instrFakeCallPush  = 220 // build the wrapper frame, adjust saved SP/PC
+	instrFakeCallRun   = 350 // wrapper prologue/epilogue around the handler
+	instrSetjmpSave    = 36  // store non-scratch state into the jmp_buf
+	instrLongjmpLoad   = 14  // reload state, fix SP
+	instrMutexGrant    = 160 // ownership transfer to a suspended waiter
+	instrLockResume    = 400 // resumption of an interrupted lock operation
+	instrCondEnqueue   = 160 // condition wait queue + mutex association
+	instrCondResume    = 280 // terminate the wait, revalidate the mutex
+	instrTCBInit       = 400 // initialize TCB fields and the initial frame
+)
+
+// enterKernel sets the kernel flag, establishing the monolithic monitor.
+// Signals arriving while the flag is set are logged and deferred to the
+// dispatcher. Nested entry is a library bug and panics.
+func (s *System) enterKernel() {
+	if s.kernelFlag {
+		panic("core: nested kernel entry")
+	}
+	s.cpu.ChargeInstr(instrKernelEnter)
+	s.kernelFlag = true
+	s.stats.KernelEntries++
+}
+
+// leaveKernel leaves the monitor: if the dispatcher flag is clear the
+// kernel flag is simply reset; otherwise the dispatcher runs, which may
+// context switch. Either way, pending fake calls for the (then-) current
+// thread execute before control returns to user code.
+func (s *System) leaveKernel() {
+	if !s.kernelFlag {
+		panic("core: leaveKernel outside kernel")
+	}
+	if s.pervertArm && s.current.state == StateRunning {
+		s.pervertKernelExit()
+	}
+	if !s.dispatcherFlag {
+		s.cpu.ChargeInstr(instrKernelExit)
+		s.kernelFlag = false
+	} else {
+		s.dispatch()
+	}
+	s.pollOutsideKernel()
+	s.drainFakeCalls()
+	s.armSliceOnUserReturn()
+}
+
+// pollOutsideKernel delivers any timer/IO events whose due time has been
+// crossed by cost charging while the kernel flag was set. It runs with the
+// flag clear, so deliveries take the immediate path of the universal
+// handler.
+func (s *System) pollOutsideKernel() {
+	if s.kernelFlag {
+		panic("core: poll inside kernel")
+	}
+	s.kern.Poll()
+}
+
+// KernelEnterExit performs a null library call: enter and immediately
+// leave the Pthreads kernel. It exists for the paper's first performance
+// metric, which times exactly this to show the advantage over entering
+// the UNIX kernel.
+func (s *System) KernelEnterExit() {
+	s.enterKernel()
+	s.leaveKernel()
+}
+
+// dispatch implements the dispatcher of Figure 2. Entered with the kernel
+// flag set; on return the calling thread is (again) the running thread and
+// both flags are clear.
+func (s *System) dispatch() {
+	if !s.kernelFlag {
+		panic("core: dispatch outside kernel")
+	}
+	s.stats.DispatcherRuns++
+	for {
+		// Handle signals logged while the kernel flag was set; their
+		// handling may change which thread should run next, so
+		// selection follows it.
+		if len(s.caughtInKernel) > 0 {
+			s.handleCaught()
+		}
+
+		next := s.selectNext()
+		if next == nil {
+			s.idleStep()
+			continue
+		}
+
+		// Clear kernel and dispatcher flags, then re-check for signals
+		// that arrived in the window — Figure 2's restart arc.
+		s.kernelFlag = false
+		s.dispatcherFlag = false
+		if len(s.caughtInKernel) > 0 {
+			s.kernelFlag = true
+			if next != s.current {
+				s.ready.EnqueueHead(next, next.prio)
+			}
+			continue
+		}
+
+		if next != s.current {
+			s.contextSwitch(next)
+		} else if next.state != StateRunning {
+			// The current thread was requeued (perverted policy, time
+			// slice) and then selected again: no switch, but it resumes
+			// the running state (a fresh quantum is armed when control
+			// reaches user code).
+			next.state = StateRunning
+			s.trace(EvState, next, "running", "reselected")
+			s.cancelSliceTimer()
+		}
+		return
+	}
+}
+
+// selectNext picks the thread to run according to the scheduling policy
+// (or the active perverted policy). It dequeues the chosen thread; if the
+// current thread stays running it is returned as-is. Returns nil when no
+// thread can run (the caller idles).
+func (s *System) selectNext() *Thread {
+	s.cpu.ChargeInstr(instrSelect)
+	cur := s.current
+
+	if s.randomPick {
+		// Random-switch perverted policy: choose uniformly at random
+		// among ready threads (the current thread was already requeued
+		// by the policy hook).
+		s.randomPick = false
+		if n := s.ready.Len(); n > 0 {
+			t, p, _ := s.ready.Nth(s.prng.Intn(n))
+			s.ready.Remove(t, p)
+			return t
+		}
+	}
+
+	_, topPrio, ok := s.ready.PeekMax()
+	if cur != nil && cur.state == StateRunning {
+		if !ok || topPrio <= cur.prio {
+			return cur
+		}
+		// Preemption: the current thread goes to the *head* of its
+		// priority queue.
+		s.stats.Preemptions++
+		cur.state = StateReady
+		s.cpu.ChargeInstr(instrReadyQueueOp)
+		s.ready.EnqueueHead(cur, cur.prio)
+		s.trace(EvState, cur, "ready", "preempted")
+	}
+	t, _, ok := s.ready.DequeueMax()
+	if !ok {
+		return nil
+	}
+	return t
+}
+
+// contextSwitch performs the thread context switch: flush the current
+// register windows (kernel trap), load the new thread's frame (window
+// underflow trap on its first restore), swap errno, transfer control.
+// Called with both flags already clear. Returns when the *calling* thread
+// is dispatched again — or never, if the caller terminated.
+func (s *System) contextSwitch(next *Thread) {
+	prev := s.current
+	s.stats.ContextSwitches++
+
+	// Switching away from a thread that is inside the universal signal
+	// handler: the handler frame stays pending on its stack, so all
+	// signals must be disabled across the switch to bound stack growth
+	// — the second sigsetmask of the per-signal budget. The resumed
+	// side re-enables in park.
+	if s.inUniversal > 0 && !s.maskedForSwitch {
+		if !s.universalCharged {
+			s.universalCharged = true
+			s.preSwitchMask = s.proc.Sigsetmask(unixkern.FullSigset())
+		} else {
+			s.preSwitchMask = s.proc.Mask()
+			s.proc.RestoreMask(unixkern.FullSigset())
+		}
+		s.maskedForSwitch = true
+	}
+
+	s.cpu.ChargeFlushWindows()
+	s.cpu.ChargeInstr(instrSwitchFixed)
+	s.cpu.ChargeWindowUnderflow()
+
+	s.current = next
+	next.state = StateRunning
+	next.Dispatches++
+	s.trace(EvState, next, "running", "")
+	// The outgoing quantum dies with the switch; the incoming thread's
+	// quantum is armed when it reaches user code.
+	s.cancelSliceTimer()
+
+	if !next.started {
+		next.started = true
+		go s.trampoline(next)
+	}
+
+	// Everything after the send may run concurrently with the new
+	// thread, so the exit decision is taken first: a terminated caller
+	// returns (its goroutine unwinds), everyone else parks. A system
+	// shutdown that lands in this window is delivered through the park
+	// channel as a kill message.
+	exiting := prev.state == StateTerminated
+	next.resume <- resumeMsg{}
+	if exiting {
+		return
+	}
+	s.park(prev)
+}
+
+// park blocks the thread's goroutine until it is dispatched again.
+func (s *System) park(t *Thread) {
+	msg := <-t.resume
+	if msg.kill {
+		panic(killPanic{})
+	}
+	if s.maskedForSwitch {
+		// Signals were disabled across the switch out of a universal
+		// handler; the resumed context re-enables them (sigreturn-style,
+		// no extra system call).
+		s.maskedForSwitch = false
+		s.proc.RestoreMask(s.preSwitchMask)
+	}
+}
+
+// idleStep advances virtual time to the next pending event when no thread
+// is ready. With no event to wait for, every live thread is blocked
+// forever: a deadlock.
+func (s *System) idleStep() {
+	at, ok := s.kern.NextEventAt()
+	if !ok {
+		s.deadlock()
+	}
+	if at > s.clock.Now() {
+		s.clock.AdvanceTo(at)
+	}
+	// Events post signals; the kernel flag is set, so the universal
+	// handler logs them into caughtInKernel for the dispatch loop.
+	s.kern.Poll()
+}
+
+// makeReady transitions a thread to ready and requests a dispatcher run at
+// kernel exit. Head placement is used for threads whose boosted priority
+// was just reset (the paper's recommendation); everything else enqueues at
+// the tail.
+func (s *System) makeReady(t *Thread, atHead bool) {
+	if t.state == StateReady || t.state == StateRunning || t.state == StateTerminated {
+		panic(fmt.Sprintf("core: makeReady(%v) in state %v", t, t.state))
+	}
+	t.state = StateReady
+	t.blockReason = BlockNone
+	t.waitingFor = ""
+	s.cpu.ChargeInstr(instrReadyQueueOp)
+	if atHead {
+		s.ready.EnqueueHead(t, t.prio)
+	} else {
+		s.ready.Enqueue(t, t.prio)
+	}
+	s.dispatcherFlag = true
+	s.trace(EvState, t, "ready", "")
+}
+
+// blockCurrent marks the current thread blocked and runs the dispatcher to
+// hand the processor over. Must be called inside the kernel; returns (with
+// the kernel flag clear and fake calls drained) once the thread is
+// dispatched again.
+func (s *System) blockCurrent(reason BlockReason, what string) {
+	t := s.current
+	t.state = StateBlocked
+	t.blockReason = reason
+	t.waitingFor = what
+	s.cancelSliceTimer()
+	s.trace(EvState, t, "blocked", what)
+	s.dispatcherFlag = true
+	s.leaveKernel()
+}
+
+// setPriority changes a thread's current priority, repositioning it in
+// whatever queue it occupies. atHead controls ready-queue placement at the
+// new level.
+func (s *System) setPriority(t *Thread, newPrio int, atHead bool) {
+	if t.prio == newPrio {
+		return
+	}
+	old := t.prio
+	s.cpu.ChargeInstr(instrReadyQueueOp)
+	switch t.state {
+	case StateReady:
+		if !s.ready.Remove(t, t.prio) {
+			// Perverted policies may have queued the thread at a level
+			// other than its priority.
+			s.ready.RemoveAny(t)
+		}
+		t.prio = newPrio
+		if atHead {
+			s.ready.EnqueueHead(t, newPrio)
+		} else {
+			s.ready.Enqueue(t, newPrio)
+		}
+		s.dispatcherFlag = true
+	case StateRunning:
+		t.prio = newPrio
+		// Lowering the running thread may let a ready thread preempt.
+		s.dispatcherFlag = true
+	case StateBlocked:
+		t.prio = newPrio
+		if t.waitingMutex != nil {
+			t.waitingMutex.waiters.Remove(t, old)
+			t.waitingMutex.waiters.Enqueue(t, newPrio)
+		}
+		if t.waitingCond != nil {
+			t.waitingCond.waiters.Remove(t, old)
+			t.waitingCond.waiters.Enqueue(t, newPrio)
+		}
+	default:
+		t.prio = newPrio
+	}
+	s.trace(EvPrio, t, fmt.Sprintf("%d", newPrio), fmt.Sprintf("from %d", old))
+}
+
+// --- Time slicing -----------------------------------------------------------
+
+// armSliceOnUserReturn starts the round-robin quantum for the current
+// thread at the moment control returns to its user code — the
+// ITIMER_VIRTUAL view of a time slice, which guarantees the quantum
+// measures user execution, not the dispatch and signal-return overhead
+// (otherwise a quantum shorter than that overhead would thrash forever
+// without progress). The quantum rides a standing interval timer the
+// library armed at initialization, so no system call is charged.
+// Repeated kernel exits within one dispatch do not reset the quantum.
+func (s *System) armSliceOnUserReturn() {
+	t := s.current
+	if t == nil || t.policy != SchedRR || s.finished || t.state != StateRunning {
+		return
+	}
+	if s.sliceFor == t && s.sliceTimer != 0 {
+		return
+	}
+	s.cancelSliceTimer()
+	s.sliceFor = t
+	s.sliceUserMark = t.userNS
+	s.sliceTimer = s.kern.ArmQuantum(s.proc, s.quantum, t)
+}
+
+// cancelSliceTimer disarms any running quantum timer.
+func (s *System) cancelSliceTimer() {
+	if s.sliceTimer != 0 {
+		s.kern.DisarmQuantum(s.sliceTimer)
+	}
+	s.sliceTimer = 0
+	s.sliceFor = nil
+}
+
+// --- User-facing scheduling calls -------------------------------------------
+
+// Yield voluntarily releases the processor: the calling thread moves to
+// the tail of its priority queue (sched_yield).
+func (s *System) Yield() {
+	s.enterKernel()
+	t := s.current
+	t.state = StateReady
+	s.cpu.ChargeInstr(instrReadyQueueOp)
+	s.ready.Enqueue(t, t.prio)
+	s.trace(EvState, t, "ready", "yield")
+	s.dispatcherFlag = true
+	s.leaveKernel()
+}
+
+// Compute models d worth of user computation by the calling thread.
+// Virtual time advances in steps, delivering any timer or I/O events that
+// come due — including the round-robin quantum, so a computing thread is
+// preempted exactly as the paper's SIGALRM-driven time slicing would.
+func (s *System) Compute(d vtime.Duration) {
+	if d < 0 {
+		panic("core: negative compute")
+	}
+	remaining := d
+	for remaining > 0 {
+		advanced, due := s.clock.Step(remaining)
+		remaining -= advanced
+		s.current.userNS += int64(advanced)
+		if due {
+			// An event is due at the current instant: deliver it. The
+			// kernel flag is clear (user code), so handling is
+			// immediate and may context switch away and back.
+			polled := s.kern.Poll()
+			if polled == 0 && advanced == 0 {
+				panic("core: Compute stalled on an event that never fires")
+			}
+			if polled > 0 {
+				s.drainFakeCalls()
+				s.armSliceOnUserReturn()
+			}
+		}
+	}
+}
+
+// SetSchedParam changes a thread's base priority and policy
+// (pthread_setschedparam). A running thread whose priority drops may be
+// preempted; a ready thread is requeued at the tail of its new level.
+func (s *System) SetSchedParam(t *Thread, policy Policy, prio int) error {
+	if err := s.checkThread(t); err != OK {
+		return err.Or()
+	}
+	if !validPrioPolicy(prio, policy) {
+		return EINVAL.Or()
+	}
+	s.enterKernel()
+	t.policy = policy
+	boost := t.prio - t.basePrio
+	if boost < 0 {
+		boost = 0
+	}
+	t.basePrio = prio
+	s.setPriority(t, prio+boost, false)
+	s.leaveKernel()
+	return nil
+}
+
+// GetSchedParam reads a thread's policy and base priority.
+func (s *System) GetSchedParam(t *Thread) (Policy, int, error) {
+	if err := s.checkThread(t); err != OK {
+		return 0, 0, err.Or()
+	}
+	return t.policy, t.basePrio, nil
+}
+
+func validPrioPolicy(prio int, policy Policy) bool {
+	if policy != SchedFIFO && policy != SchedRR {
+		return false
+	}
+	return prio >= 0 && prio <= 31
+}
+
+// checkThread validates a thread handle.
+func (s *System) checkThread(t *Thread) Errno {
+	if t == nil || t.sys != s {
+		return EINVAL
+	}
+	if t.dead {
+		return ESRCH
+	}
+	return OK
+}

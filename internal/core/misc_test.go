@@ -1,0 +1,700 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pthreads/internal/sched"
+	"pthreads/internal/vtime"
+)
+
+// --- Thread-specific data ----------------------------------------------------
+
+func TestTSDBasic(t *testing.T) {
+	runSystem(t, func(s *System) {
+		k, err := s.KeyCreate(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := s.GetSpecific(k); v != nil {
+			t.Fatalf("unset key = %v", v)
+		}
+		s.SetSpecific(k, 42)
+		if v := s.GetSpecific(k); v != 42 {
+			t.Fatalf("GetSpecific = %v", v)
+		}
+	})
+}
+
+func TestTSDPerThread(t *testing.T) {
+	runSystem(t, func(s *System) {
+		k, _ := s.KeyCreate(nil)
+		s.SetSpecific(k, "main")
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			if v := s.GetSpecific(k); v != nil {
+				t.Errorf("child saw %v", v)
+			}
+			s.SetSpecific(k, "child")
+			return s.GetSpecific(k)
+		}, nil)
+		v, _ := s.Join(th)
+		if v != "child" {
+			t.Fatalf("child value %v", v)
+		}
+		if v := s.GetSpecific(k); v != "main" {
+			t.Fatalf("main value %v", v)
+		}
+	})
+}
+
+func TestTSDDestructorRounds(t *testing.T) {
+	// A destructor that re-sets another key runs again, up to
+	// DestructorIterations rounds.
+	rounds := 0
+	runSystem(t, func(s *System) {
+		var k Key
+		k, _ = s.KeyCreate(func(v any) {
+			rounds++
+			if rounds < 10 {
+				s.SetSpecific(k, rounds) // re-arm: next round fires
+			}
+		})
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			s.SetSpecific(k, 0)
+			return nil
+		}, nil)
+		s.Join(th)
+	})
+	if rounds != DestructorIterations {
+		t.Fatalf("destructor rounds = %d, want %d", rounds, DestructorIterations)
+	}
+}
+
+func TestTSDKeyDeleteSkipsDestructor(t *testing.T) {
+	ran := false
+	runSystem(t, func(s *System) {
+		k, _ := s.KeyCreate(func(any) { ran = true })
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			s.SetSpecific(k, 1)
+			s.KeyDelete(k)
+			return nil
+		}, nil)
+		s.Join(th)
+		if err := s.KeyDelete(k); err == nil {
+			t.Fatal("double delete accepted")
+		}
+		if _, err := s.KeyCreate(nil); err != nil {
+			t.Fatal("slot not reusable")
+		}
+	})
+	if ran {
+		t.Fatal("destructor ran for deleted key")
+	}
+}
+
+func TestTSDInvalidKey(t *testing.T) {
+	runSystem(t, func(s *System) {
+		if err := s.SetSpecific(Key(99), 1); err == nil {
+			t.Fatal("invalid key accepted")
+		}
+		if v := s.GetSpecific(Key(99)); v != nil {
+			t.Fatal("invalid key returned value")
+		}
+	})
+}
+
+func TestTSDMaxKeys(t *testing.T) {
+	runSystem(t, func(s *System) {
+		for i := 0; i < MaxKeys; i++ {
+			if _, err := s.KeyCreate(nil); err != nil {
+				t.Fatalf("KeyCreate %d: %v", i, err)
+			}
+		}
+		_, err := s.KeyCreate(nil)
+		if e, _ := AsErrno(err); e != EAGAIN {
+			t.Fatalf("beyond MaxKeys: %v, want EAGAIN", err)
+		}
+	})
+}
+
+// --- Cleanup handlers --------------------------------------------------------
+
+func TestCleanupPopExecute(t *testing.T) {
+	var order []string
+	runSystem(t, func(s *System) {
+		s.CleanupPush(func(arg any) { order = append(order, "a:"+arg.(string)) }, "1")
+		s.CleanupPush(func(arg any) { order = append(order, "b") }, nil)
+		s.CleanupPop(false) // b discarded
+		s.CleanupPop(true)  // a runs
+		if err := s.CleanupPop(true); err == nil {
+			t.Fatal("unbalanced pop accepted")
+		}
+	})
+	if len(order) != 1 || order[0] != "a:1" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestCleanupRunOnExit(t *testing.T) {
+	var order []string
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			s.CleanupPush(func(any) { order = append(order, "1") }, nil)
+			s.CleanupPush(func(any) { order = append(order, "2") }, nil)
+			s.Exit("done")
+			return nil
+		}, nil)
+		s.Join(th)
+	})
+	if len(order) != 2 || order[0] != "2" || order[1] != "1" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestCleanupNotRunOnNormalReturnWithoutPop(t *testing.T) {
+	// POSIX: handlers still pushed at return DO run (return acts like
+	// pthread_exit).
+	ran := false
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			s.CleanupPush(func(any) { ran = true }, nil)
+			return nil
+		}, nil)
+		s.Join(th)
+	})
+	if !ran {
+		t.Fatal("cleanup skipped at thread return")
+	}
+}
+
+// --- Once ---------------------------------------------------------------------
+
+func TestOnceRunsOnce(t *testing.T) {
+	count := 0
+	runSystem(t, func(s *System) {
+		var once OnceControl
+		for i := 0; i < 3; i++ {
+			s.Once(&once, func() { count++ })
+		}
+		if !once.Done() {
+			t.Fatal("not done")
+		}
+	})
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestOnceBlocksConcurrentCallers(t *testing.T) {
+	var order []string
+	runSystem(t, func(s *System) {
+		var once OnceControl
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		attr.Name = "second"
+		th, _ := s.Create(attr, func(any) any {
+			s.Once(&once, func() { order = append(order, "second-init") })
+			order = append(order, "second-done")
+			return nil
+		}, nil)
+		s.Once(&once, func() {
+			order = append(order, "init-start")
+			s.Sleep(2 * vtime.Millisecond) // second caller arrives now
+			order = append(order, "init-end")
+		})
+		s.Join(th)
+	})
+	want := []string{"init-start", "init-end", "second-done"}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// --- setjmp/longjmp -----------------------------------------------------------
+
+func TestSetjmpNormalReturn(t *testing.T) {
+	runSystem(t, func(s *System) {
+		var jb JmpBuf
+		if v := s.Setjmp(&jb, func() {}); v != 0 {
+			t.Fatalf("Setjmp = %d", v)
+		}
+		if jb.Valid() {
+			t.Fatal("buffer valid after body returned")
+		}
+	})
+}
+
+func TestLongjmpNested(t *testing.T) {
+	runSystem(t, func(s *System) {
+		var outer, inner JmpBuf
+		hit := ""
+		v := s.Setjmp(&outer, func() {
+			v2 := s.Setjmp(&inner, func() {
+				s.Longjmp(&outer, 7) // jump over the inner frame
+			})
+			hit = "inner-returned"
+			_ = v2
+		})
+		if v != 7 || hit != "" {
+			t.Fatalf("v=%d hit=%q", v, hit)
+		}
+	})
+}
+
+func TestLongjmpZeroBecomesOne(t *testing.T) {
+	runSystem(t, func(s *System) {
+		var jb JmpBuf
+		if v := s.Setjmp(&jb, func() { s.Longjmp(&jb, 0) }); v != 1 {
+			t.Fatalf("Setjmp = %d, want 1", v)
+		}
+	})
+}
+
+func TestLongjmpInactivePanics(t *testing.T) {
+	s := New(Config{})
+	err := s.Run(func() {
+		var jb JmpBuf
+		s.Longjmp(&jb, 1)
+	})
+	if err == nil || !strings.Contains(err.Error(), "inactive") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// --- Lazy creation, pool, detach ----------------------------------------------
+
+func TestLazyActivatedByJoin(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Lazy = true
+		attr.Priority = s.Self().Priority() - 1
+		th, _ := s.Create(attr, func(any) any { return "ran" }, nil)
+		if th.State() != StateNew {
+			t.Fatalf("state %v", th.State())
+		}
+		v, err := s.Join(th)
+		if err != nil || v != "ran" {
+			t.Fatalf("Join = %v, %v", v, err)
+		}
+	})
+}
+
+func TestLazyExplicitActivate(t *testing.T) {
+	runSystem(t, func(s *System) {
+		ran := false
+		attr := DefaultAttr()
+		attr.Lazy = true
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any { ran = true; return nil }, nil)
+		if ran {
+			t.Fatal("lazy thread ran before activation")
+		}
+		s.Activate(th)
+		if !ran {
+			t.Fatal("activation did not run the higher-priority thread")
+		}
+		s.Join(th)
+	})
+}
+
+func TestPoolReuse(t *testing.T) {
+	s := New(Config{PoolSize: 2})
+	err := s.Run(func() {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		for i := 0; i < 6; i++ {
+			th, _ := s.Create(attr, func(any) any { return nil }, nil)
+			s.Join(th)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	// Pool of 2, one main (drawn at Run), sequential create/join: after
+	// the main thread consumes one slot, reclaimed slots keep the pool
+	// non-empty.
+	if st.PoolMisses > 1 {
+		t.Fatalf("PoolMisses = %d; reclaim not feeding the pool", st.PoolMisses)
+	}
+}
+
+func TestDisablePoolAlwaysAllocates(t *testing.T) {
+	s := New(Config{DisablePool: true})
+	err := s.Run(func() {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		for i := 0; i < 3; i++ {
+			th, _ := s.Create(attr, func(any) any { return nil }, nil)
+			s.Join(th)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().PoolHits != 0 {
+		t.Fatal("pool hit with pool disabled")
+	}
+	if s.CPU().HeapAllocs != 4 { // main + 3 children
+		t.Fatalf("HeapAllocs = %d, want 4", s.CPU().HeapAllocs)
+	}
+}
+
+func TestDetachedThreadReclaimed(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Detached = true
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any { return nil }, nil)
+		// Ran and terminated already (higher priority, detached).
+		if _, err := s.Join(th); err == nil {
+			t.Fatal("join of detached thread succeeded")
+		}
+	})
+}
+
+func TestDetachAfterTermination(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any { return nil }, nil)
+		if err := s.Detach(th); err != nil {
+			t.Fatalf("Detach: %v", err)
+		}
+		if err := s.Detach(th); err == nil {
+			t.Fatal("double detach accepted")
+		}
+	})
+}
+
+func TestJoinSelfEDEADLK(t *testing.T) {
+	runSystem(t, func(s *System) {
+		_, err := s.Join(s.Self())
+		if e, _ := AsErrno(err); e != EDEADLK {
+			t.Fatalf("self join: %v", err)
+		}
+	})
+}
+
+func TestMultipleJoiners(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		attr.Name = "target"
+		target, _ := s.Create(attr, func(any) any {
+			s.Sleep(2 * vtime.Millisecond)
+			return "x"
+		}, nil)
+		results := make([]any, 2)
+		var joiners []*Thread
+		for i := 0; i < 2; i++ {
+			i := i
+			attrJ := DefaultAttr()
+			attrJ.Priority = s.Self().Priority() - 1
+			j, _ := s.Create(attrJ, func(any) any {
+				v, _ := s.Join(target)
+				results[i] = v
+				return nil
+			}, nil)
+			joiners = append(joiners, j)
+		}
+		for _, j := range joiners {
+			s.Join(j)
+		}
+		if results[0] != "x" || results[1] != "x" {
+			t.Fatalf("results = %v", results)
+		}
+	})
+}
+
+// --- Scheduling ---------------------------------------------------------------
+
+func TestRRTimeSlicing(t *testing.T) {
+	// Two RR threads computing: they must alternate every quantum.
+	var order []string
+	s := New(Config{Quantum: vtime.Millisecond})
+	err := s.Run(func() {
+		attr := DefaultAttr()
+		attr.Policy = SchedRR
+		mk := func(name string) *Thread {
+			attr.Name = name
+			th, _ := s.Create(attr, func(any) any {
+				for i := 0; i < 3; i++ {
+					order = append(order, name)
+					s.Compute(vtime.Millisecond) // exactly one quantum
+				}
+				return nil
+			}, nil)
+			return th
+		}
+		a := mk("a")
+		b := mk("b")
+		s.Join(a)
+		s.Join(b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect alternation a,b,a,b,a,b.
+	if len(order) != 6 {
+		t.Fatalf("order = %v", order)
+	}
+	for i, name := range order {
+		want := "a"
+		if i%2 == 1 {
+			want = "b"
+		}
+		if name != want {
+			t.Fatalf("order = %v: no time-slice alternation", order)
+		}
+	}
+	if s.Stats().Preemptions == 0 && s.Stats().ContextSwitches < 5 {
+		t.Fatal("no slicing context switches")
+	}
+}
+
+func TestFIFONoSlicing(t *testing.T) {
+	// FIFO threads run to their next blocking point regardless of time.
+	var order []string
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		mk := func(name string) *Thread {
+			attr.Name = name
+			th, _ := s.Create(attr, func(any) any {
+				order = append(order, name+"-start")
+				s.Compute(30 * vtime.Millisecond)
+				order = append(order, name+"-end")
+				return nil
+			}, nil)
+			return th
+		}
+		a := mk("a")
+		b := mk("b")
+		s.Join(a)
+		s.Join(b)
+	})
+	want := []string{"a-start", "a-end", "b-start", "b-end"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestSetSchedParam(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = 4
+		th, _ := s.Create(attr, func(any) any {
+			s.Sleep(5 * vtime.Millisecond)
+			return nil
+		}, nil)
+		if err := s.SetSchedParam(th, SchedRR, 9); err != nil {
+			t.Fatal(err)
+		}
+		pol, prio, err := s.GetSchedParam(th)
+		if err != nil || pol != SchedRR || prio != 9 {
+			t.Fatalf("GetSchedParam = %v %d %v", pol, prio, err)
+		}
+		if err := s.SetSchedParam(th, SchedFIFO, 99); err == nil {
+			t.Fatal("invalid priority accepted")
+		}
+		s.Join(th)
+	})
+}
+
+func TestRaisePriorityPreempts(t *testing.T) {
+	var order []string
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		th, _ := s.Create(attr, func(any) any {
+			order = append(order, "low-ran")
+			return nil
+		}, nil)
+		order = append(order, "before-raise")
+		s.SetSchedParam(th, SchedFIFO, s.Self().Priority()+1)
+		order = append(order, "after-raise")
+		s.Join(th)
+	})
+	want := []string{"before-raise", "low-ran", "after-raise"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+// --- System-level --------------------------------------------------------------
+
+func TestErrnoPerThread(t *testing.T) {
+	runSystem(t, func(s *System) {
+		s.SetErrno(EBUSY)
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			if e := s.Errno(); e != OK {
+				t.Errorf("child errno = %v", e)
+			}
+			s.SetErrno(ENOMEM)
+			s.Yield()
+			return s.Errno()
+		}, nil)
+		v, _ := s.Join(th)
+		if v != ENOMEM {
+			t.Fatalf("child errno = %v", v)
+		}
+		if e := s.Errno(); e != EBUSY {
+			t.Fatalf("main errno = %v", e)
+		}
+	})
+}
+
+func TestShutdownTerminatesEverything(t *testing.T) {
+	s := New(Config{})
+	err := s.Run(func() {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		s.Create(attr, func(any) any {
+			s.Sleep(vtime.Second)
+			return nil
+		}, nil)
+		s.Shutdown(3)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.ExitStatus() != 3 {
+		t.Fatalf("ExitStatus = %v", s.ExitStatus())
+	}
+}
+
+func TestUserPanicBecomesRunError(t *testing.T) {
+	s := New(Config{})
+	err := s.Run(func() {
+		panic("user bug")
+	})
+	if err == nil || !strings.Contains(err.Error(), "user bug") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	s := New(Config{})
+	s.Run(func() {})
+	if err := s.Run(func() {}); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestDeadlockReportNamesThreads(t *testing.T) {
+	s := New(Config{})
+	err := s.Run(func() {
+		m := s.MustMutex(MutexAttr{Name: "the-mutex"})
+		m.Lock()
+		attr := DefaultAttr()
+		attr.Name = "starved"
+		attr.Priority = s.Self().Priority() + 1
+		s.Create(attr, func(any) any {
+			m.Lock()
+			return nil
+		}, nil)
+		c := s.NewCond("nobody-signals")
+		m2 := s.MustMutex(MutexAttr{Name: "m2"})
+		m2.Lock()
+		c.Wait(m2)
+	})
+	if err == nil {
+		t.Fatal("no deadlock error")
+	}
+	for _, want := range []string{"starved", "the-mutex", "nobody-signals", "main"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("deadlock report missing %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New(Config{})
+	s.Run(func() {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority()
+		th, _ := s.Create(attr, func(any) any { return nil }, nil)
+		s.Yield()
+		s.Join(th)
+	})
+	st := s.Stats()
+	if st.ThreadsCreated != 2 || st.ThreadsExited != 2 {
+		t.Fatalf("threads: %+v", st)
+	}
+	if st.ContextSwitches == 0 || st.KernelEntries == 0 || st.DispatcherRuns == 0 {
+		t.Fatalf("counters zero: %+v", st)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	runSystem(t, func(s *System) {
+		if _, err := s.Create(DefaultAttr(), nil, nil); err == nil {
+			t.Fatal("nil fn accepted")
+		}
+		bad := DefaultAttr()
+		bad.Priority = 77
+		if _, err := s.Create(bad, func(any) any { return nil }, nil); err == nil {
+			t.Fatal("bad priority accepted")
+		}
+		small := DefaultAttr()
+		small.StackSize = 10
+		if _, err := s.Create(small, func(any) any { return nil }, nil); err == nil {
+			t.Fatal("tiny stack accepted")
+		}
+	})
+}
+
+func TestInheritSched(t *testing.T) {
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.InheritSched = true
+		attr.Priority = 1 // ignored
+		attr.Priority = 1
+		th, _ := s.Create(attr, func(any) any {
+			return s.Self().BasePriority()
+		}, nil)
+		v, _ := s.Join(th)
+		if v != sched.DefaultPrio {
+			t.Fatalf("inherited priority = %v, want %d", v, sched.DefaultPrio)
+		}
+	})
+}
+
+func TestThreadStringAndAccessors(t *testing.T) {
+	runSystem(t, func(s *System) {
+		self := s.Self()
+		if self.Name() != "main" || !strings.Contains(self.String(), "main") {
+			t.Fatalf("main thread: %v", self)
+		}
+		if !s.Equal(self, s.Current()) {
+			t.Fatal("Equal/Current wrong")
+		}
+		if self.Detached() {
+			t.Fatal("main detached")
+		}
+		if len(s.Threads()) != 1 {
+			t.Fatal("Threads() wrong")
+		}
+	})
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+
+	"pthreads/internal/hw"
+	"pthreads/internal/sched"
+)
+
+// Protocol selects a mutex's priority protocol.
+type Protocol int
+
+const (
+	// ProtocolNone is a plain mutex with no priority protocol.
+	ProtocolNone Protocol = iota
+	// ProtocolInherit is priority inheritance: a thread holding the
+	// mutex inherits the priority of the highest-priority thread
+	// contending for it, transitively.
+	ProtocolInherit
+	// ProtocolCeiling is priority ceiling emulation via the stack
+	// resource policy (SRP): the locking thread's priority is raised to
+	// the mutex's ceiling at lock time and restored at unlock.
+	ProtocolCeiling
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolNone:
+		return "none"
+	case ProtocolInherit:
+		return "inherit"
+	case ProtocolCeiling:
+		return "ceiling"
+	}
+	return "unknown-protocol"
+}
+
+// MutexAttr configures a mutex at initialization.
+type MutexAttr struct {
+	// Protocol is the priority protocol.
+	Protocol Protocol
+	// Ceiling is the priority ceiling (ProtocolCeiling only). It must be
+	// at least the priority of the highest-priority thread that will
+	// ever lock the mutex.
+	Ceiling int
+	// Primitive selects the atomic lock path; the zero value
+	// (hw.TASOnly) is remapped to the paper's choice, hw.TASWithRAS,
+	// unless PrimitiveSet marks an explicit ablation choice.
+	Primitive hw.LockPrimitive
+	// PrimitiveSet marks Primitive as deliberately chosen (the
+	// lock-primitive ablation benchmark sets it).
+	PrimitiveSet bool
+	// Name labels the mutex in traces.
+	Name string
+}
+
+// Mutex is a POSIX mutex (pthread_mutex_t). Create it with
+// System.NewMutex; the zero value is not usable.
+type Mutex struct {
+	s         *System
+	name      string
+	protocol  Protocol
+	ceiling   int
+	primitive hw.LockPrimitive
+
+	lockWord  hw.Word
+	ownerWord hw.Word
+	owner     *Thread
+	waiters   sched.Queue[*Thread]
+
+	// Contentions counts lock attempts that had to suspend.
+	Contentions int64
+}
+
+// NewMutex initializes a mutex (pthread_mutex_init).
+func (s *System) NewMutex(attr MutexAttr) (*Mutex, error) {
+	switch attr.Protocol {
+	case ProtocolNone, ProtocolInherit:
+	case ProtocolCeiling:
+		if !sched.ValidPrio(attr.Ceiling) {
+			return nil, EINVAL.Or()
+		}
+	default:
+		return nil, EINVAL.Or()
+	}
+	prim := attr.Primitive
+	if !attr.PrimitiveSet {
+		prim = hw.TASWithRAS
+	}
+	if attr.Protocol == ProtocolInherit && prim == hw.TASOnly {
+		// Inheritance requires the owner to be recorded atomically with
+		// the lock (the whole point of Figure 4).
+		return nil, EINVAL.Or()
+	}
+	name := attr.Name
+	if name == "" {
+		name = "mutex"
+	}
+	return &Mutex{s: s, name: name, protocol: attr.Protocol, ceiling: attr.Ceiling, primitive: prim}, nil
+}
+
+// MustMutex is NewMutex that panics on invalid attributes; a convenience
+// for examples and tests.
+func (s *System) MustMutex(attr MutexAttr) *Mutex {
+	m, err := s.NewMutex(attr)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name returns the mutex's label.
+func (m *Mutex) Name() string { return m.name }
+
+// Protocol returns the mutex's priority protocol.
+func (m *Mutex) Protocol() Protocol { return m.protocol }
+
+// Ceiling returns the priority ceiling (meaningful for ProtocolCeiling).
+func (m *Mutex) Ceiling() int { return m.ceiling }
+
+// Owner returns the thread currently holding the mutex, or nil.
+func (m *Mutex) Owner() *Thread { return m.owner }
+
+// Lock acquires the mutex (pthread_mutex_lock), suspending the calling
+// thread on contention. Locking a mutex is deliberately not an
+// interruption point. Errors: EDEADLK if the caller already holds it,
+// EINVAL if the caller's priority exceeds the ceiling.
+func (m *Mutex) Lock() error {
+	s := m.s
+	t := s.current
+	if m.owner == t {
+		t.errno = EDEADLK
+		return EDEADLK.Or()
+	}
+	if m.protocol == ProtocolCeiling && t.prio > m.ceiling {
+		t.errno = EINVAL
+		return EINVAL.Or()
+	}
+	s.mutexLock(m)
+	return nil
+}
+
+// TryLock acquires the mutex only if it is free (pthread_mutex_trylock),
+// returning EBUSY otherwise.
+func (m *Mutex) TryLock() error {
+	s := m.s
+	t := s.current
+	if m.owner == t {
+		t.errno = EDEADLK
+		return EDEADLK.Or()
+	}
+	if m.protocol == ProtocolCeiling && t.prio > m.ceiling {
+		t.errno = EINVAL
+		return EINVAL.Or()
+	}
+	if !s.acquireAtomic(m, t) {
+		t.errno = EBUSY
+		return EBUSY.Or()
+	}
+	s.afterAcquire(m, t)
+	return nil
+}
+
+// Unlock releases the mutex (pthread_mutex_unlock). Only the owner may
+// unlock (EPERM). If threads are waiting, ownership passes directly to
+// the highest-priority waiter.
+func (m *Mutex) Unlock() error {
+	s := m.s
+	t := s.current
+	if m.owner != t {
+		t.errno = EPERM
+		return EPERM.Or()
+	}
+	s.mutexUnlock(m)
+	return nil
+}
+
+// Destroy invalidates the mutex (pthread_mutex_destroy); EBUSY while
+// locked or contended.
+func (m *Mutex) Destroy() error {
+	if m.owner != nil || !m.waiters.Empty() {
+		return EBUSY.Or()
+	}
+	m.s = nil
+	return nil
+}
+
+// acquireAtomic runs the user-level atomic acquisition path: the lock
+// primitive of Figure 4 (or an ablation variant), plus the protocol
+// attribute check the paper notes every lock now pays.
+func (s *System) acquireAtomic(m *Mutex, t *Thread) bool {
+	s.cpu.ChargeInstr(12) // protocol attribute check + owned-list append
+	switch m.primitive {
+	case hw.TASWithRAS:
+		if s.atoms.LockRAS(&m.lockWord, &m.ownerWord, int64(t.id)) {
+			m.owner = t
+			return true
+		}
+	case hw.CompareAndSwap:
+		if s.atoms.CAS(&m.lockWord, int64(t.id)) {
+			m.ownerWord.Store(int64(t.id))
+			m.owner = t
+			return true
+		}
+	case hw.TASOnly:
+		if s.atoms.TAS(&m.lockWord) {
+			// Owner recorded non-atomically: fine without protocols.
+			m.ownerWord.Store(int64(t.id))
+			m.owner = t
+			return true
+		}
+	}
+	return false
+}
+
+// afterAcquire completes a successful user-level acquisition: ownership
+// bookkeeping, the SRP ceiling boost, tracing, and the mutex-switch
+// perverted policy.
+func (s *System) afterAcquire(m *Mutex, t *Thread) {
+	t.owned = append(t.owned, m)
+	if m.protocol == ProtocolCeiling {
+		s.enterKernel()
+		t.ceilStack = append(t.ceilStack, t.prio)
+		if m.ceiling > t.prio {
+			s.setPriority(t, m.ceiling, true)
+		}
+		s.leaveKernel()
+	}
+	s.traceObj(EvMutex, t, m.name, "lock", "")
+	if s.cfg.Pervert == PervertMutexSwitch {
+		s.pervertMutexSwitch()
+	}
+}
+
+// mutexLock is the full lock path, shared by the public Lock and the
+// fake-call wrapper's conditional-wait reacquisition.
+func (s *System) mutexLock(m *Mutex) {
+	t := s.current
+	if s.acquireAtomic(m, t) {
+		s.afterAcquire(m, t)
+		return
+	}
+
+	// Contention: enter the kernel and suspend.
+	s.enterKernel()
+	s.stats.MutexContentions++
+	m.Contentions++
+	s.traceObj(EvMutex, t, m.name, "block", fmt.Sprintf("owner=%v", m.owner))
+
+	// Re-test under kernel protection: the owner may have released
+	// between the failed test-and-set and kernel entry.
+	if m.lockWord.Load() == 0 {
+		s.atoms.TAS(&m.lockWord)
+		m.ownerWord.Store(int64(t.id))
+		m.owner = t
+		s.leaveKernel()
+		s.afterAcquire(m, t)
+		return
+	}
+
+	if m.protocol == ProtocolInherit {
+		s.boostOwnerChain(m, t.prio)
+	}
+	t.waitingMutex = m
+	m.waiters.Enqueue(t, t.prio)
+	t.wake = wakeNone
+	s.blockCurrent(BlockMutex, "mutex "+m.name)
+
+	// Woken: the unlocker handed us ownership directly. Resuming the
+	// interrupted lock operation re-establishes its frame and re-checks
+	// the acquisition.
+	s.cpu.ChargeInstr(instrLockResume)
+	if m.owner != t {
+		panic(fmt.Sprintf("core: %v woke from mutex %s without ownership", t, m.name))
+	}
+	t.waitingMutex = nil
+	s.traceObj(EvMutex, t, m.name, "lock", "after contention")
+	if s.cfg.Pervert == PervertMutexSwitch {
+		s.pervertMutexSwitch()
+	}
+}
+
+// mutexUnlock releases the mutex, restoring any priority boost and
+// handing the mutex to the highest-priority waiter.
+func (s *System) mutexUnlock(m *Mutex) {
+	t := s.current
+
+	// Drop m from the owned list.
+	for i, x := range t.owned {
+		if x == m {
+			t.owned = append(t.owned[:i], t.owned[i+1:]...)
+			break
+		}
+	}
+	s.cpu.ChargeInstr(8) // owned-list bookkeeping + attribute check
+
+	if m.protocol == ProtocolNone && m.waiters.Empty() {
+		// Fast path: clear the word, no kernel entry.
+		m.owner = nil
+		m.ownerWord.Store(0)
+		m.lockWord.Store(0)
+		s.cpu.ChargeInstr(12)
+		s.traceObj(EvMutex, t, m.name, "unlock", "")
+		return
+	}
+
+	s.enterKernel()
+	switch m.protocol {
+	case ProtocolInherit:
+		// "Linear search of locked mutexes" to find the remaining
+		// boost; reset places the thread at the head of its level.
+		if np := s.recomputePrio(t); np != t.prio {
+			s.setPriority(t, np, true)
+		}
+	case ProtocolCeiling:
+		var saved int
+		if n := len(t.ceilStack); n > 0 {
+			saved = t.ceilStack[n-1]
+			t.ceilStack = t.ceilStack[:n-1]
+		} else {
+			saved = t.basePrio
+		}
+		if s.cfg.MixedProtocolUnlock == MixLinearSearch {
+			// Safe mixing: recompute across every held mutex instead
+			// of trusting the stack (Table 4, column Pi).
+			if np := s.recomputePrio(t); np != t.prio {
+				s.setPriority(t, np, true)
+			}
+		} else if saved != t.prio {
+			// SRP proper: restore the pre-lock priority (Table 4,
+			// column Pc — diverges if an inheritance boost arrived in
+			// between).
+			s.setPriority(t, saved, true)
+		}
+	}
+
+	if w, _, ok := m.waiters.DequeueMax(); ok {
+		s.grantLocked(m, w)
+	} else {
+		m.owner = nil
+		m.ownerWord.Store(0)
+		m.lockWord.Store(0)
+	}
+	s.traceObj(EvMutex, t, m.name, "unlock", "")
+	s.leaveKernel()
+}
+
+// grantLocked transfers mutex ownership to a woken waiter. Runs in the
+// kernel; the waiter may have been blocked in Lock or parked on the mutex
+// by a condition-variable signal.
+func (s *System) grantLocked(m *Mutex, w *Thread) {
+	s.cpu.ChargeInstr(instrMutexGrant)
+	m.owner = w
+	m.ownerWord.Store(int64(w.id))
+	w.owned = append(w.owned, m)
+	if m.protocol == ProtocolCeiling {
+		w.ceilStack = append(w.ceilStack, w.prio)
+		if m.ceiling > w.prio {
+			w.prio = m.ceiling
+			s.trace(EvPrio, w, fmt.Sprintf("%d", w.prio), "ceiling boost at grant")
+		}
+	}
+	if w.wake == wakeNone {
+		w.wake = wakeGrant
+	}
+	s.traceObj(EvMutex, w, m.name, "grant", "")
+	s.makeReady(w, false)
+}
+
+// boostOwnerChain applies the inheritance boost transitively: the owner of
+// the contended mutex inherits prio; if that owner is itself blocked on a
+// mutex, its owner inherits too, and so on.
+func (s *System) boostOwnerChain(m *Mutex, prio int) {
+	for m != nil {
+		o := m.owner
+		if o == nil || o.prio >= prio {
+			return
+		}
+		s.setPriority(o, prio, true)
+		s.trace(EvPrio, o, fmt.Sprintf("%d", prio), "priority inheritance")
+		m = o.waitingMutex
+	}
+}
+
+// recomputePrio performs the unlock-side linear search: the thread's
+// priority is the maximum of its base priority, the priorities of threads
+// contending for inheritance mutexes it still holds, and the ceilings of
+// ceiling mutexes it still holds.
+func (s *System) recomputePrio(t *Thread) int {
+	p := t.basePrio
+	for _, m := range t.owned {
+		s.cpu.ChargeInstr(6)
+		switch m.protocol {
+		case ProtocolInherit:
+			if _, wp, ok := m.waiters.PeekMax(); ok && wp > p {
+				p = wp
+			}
+		case ProtocolCeiling:
+			if m.ceiling > p {
+				p = m.ceiling
+			}
+		}
+	}
+	return p
+}

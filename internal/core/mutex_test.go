@@ -1,0 +1,445 @@
+package core
+
+import (
+	"testing"
+
+	"pthreads/internal/hw"
+	"pthreads/internal/vtime"
+)
+
+func TestTryLock(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		if err := m.TryLock(); err != nil {
+			t.Fatalf("TryLock free: %v", err)
+		}
+		if err := m.TryLock(); err == nil {
+			t.Fatal("TryLock held by self should fail")
+		}
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			err := m.TryLock()
+			if e, _ := AsErrno(err); e != EBUSY {
+				t.Errorf("TryLock held: %v, want EBUSY", err)
+			}
+			return nil
+		}, nil)
+		s.Join(th)
+		m.Unlock()
+	})
+}
+
+func TestMutexDestroy(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		m.Lock()
+		if err := m.Destroy(); err == nil {
+			t.Fatal("Destroy of locked mutex")
+		}
+		m.Unlock()
+		if err := m.Destroy(); err != nil {
+			t.Fatalf("Destroy: %v", err)
+		}
+	})
+}
+
+func TestMutexAttrValidation(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.NewMutex(MutexAttr{Protocol: ProtocolCeiling, Ceiling: 99}); err == nil {
+		t.Fatal("ceiling out of range accepted")
+	}
+	if _, err := s.NewMutex(MutexAttr{Protocol: Protocol(9)}); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+	if _, err := s.NewMutex(MutexAttr{Protocol: ProtocolInherit, Primitive: hw.TASOnly, PrimitiveSet: true}); err == nil {
+		t.Fatal("inheritance with bare ldstub accepted")
+	}
+	if m, err := s.NewMutex(MutexAttr{}); err != nil || m.Name() != "mutex" {
+		t.Fatal("default attr rejected")
+	}
+}
+
+func TestWaitersGrantedByPriority(t *testing.T) {
+	var order []int
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		m.Lock()
+		var ths []*Thread
+		// Create waiters with priorities 10, 12, 11 — all higher than
+		// main would matter; keep main highest so creation doesn't
+		// switch.
+		for _, p := range []int{10, 12, 11} {
+			p := p
+			attr := DefaultAttr()
+			attr.Priority = p
+			th, _ := s.Create(attr, func(any) any {
+				m.Lock()
+				order = append(order, p)
+				m.Unlock()
+				return nil
+			}, nil)
+			ths = append(ths, th)
+		}
+		// Let all three block on the mutex.
+		s.Sleep(vtime.Millisecond)
+		m.Unlock()
+		for _, th := range ths {
+			s.Join(th)
+		}
+	})
+	want := []int{12, 11, 10}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestInheritanceBoostsOwner(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m", Protocol: ProtocolInherit})
+		var boosted int
+		attr := DefaultAttr()
+		attr.Priority = 5
+		attr.Name = "low"
+		low, _ := s.Create(attr, func(any) any {
+			m.Lock()
+			s.Compute(2 * vtime.Millisecond) // hi contends during this
+			boosted = s.Self().Priority()
+			m.Unlock()
+			if p := s.Self().Priority(); p != 5 {
+				t.Errorf("priority after unlock = %d, want 5", p)
+			}
+			return nil
+		}, nil)
+		attr2 := DefaultAttr()
+		attr2.Priority = 20
+		attr2.Name = "hi"
+		hi, _ := s.Create(attr2, func(any) any {
+			s.Sleep(vtime.Millisecond)
+			m.Lock()
+			m.Unlock()
+			return nil
+		}, nil)
+		s.Join(low)
+		s.Join(hi)
+		if boosted != 20 {
+			t.Fatalf("owner boosted to %d, want 20", boosted)
+		}
+	})
+}
+
+func TestInheritanceTransitive(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m1 := s.MustMutex(MutexAttr{Name: "m1", Protocol: ProtocolInherit})
+		m2 := s.MustMutex(MutexAttr{Name: "m2", Protocol: ProtocolInherit})
+		var aBoost int
+
+		// A (prio 3) holds m1. B (prio 6) holds m2 and blocks on m1.
+		// C (prio 25) blocks on m2: the boost must reach A through B.
+		attrA := DefaultAttr()
+		attrA.Priority = 3
+		attrA.Name = "A"
+		a, _ := s.Create(attrA, func(any) any {
+			m1.Lock()
+			s.Compute(4 * vtime.Millisecond)
+			aBoost = s.Self().Priority()
+			m1.Unlock()
+			return nil
+		}, nil)
+
+		attrB := DefaultAttr()
+		attrB.Priority = 6
+		attrB.Name = "B"
+		b, _ := s.Create(attrB, func(any) any {
+			s.Sleep(vtime.Millisecond)
+			m2.Lock()
+			m1.Lock()
+			m1.Unlock()
+			m2.Unlock()
+			return nil
+		}, nil)
+
+		attrC := DefaultAttr()
+		attrC.Priority = 25
+		attrC.Name = "C"
+		c, _ := s.Create(attrC, func(any) any {
+			s.Sleep(2 * vtime.Millisecond)
+			m2.Lock()
+			m2.Unlock()
+			return nil
+		}, nil)
+
+		s.Join(a)
+		s.Join(b)
+		s.Join(c)
+		if aBoost != 25 {
+			t.Fatalf("transitive boost reached %d, want 25", aBoost)
+		}
+	})
+}
+
+func TestInheritanceUnlockRecomputesAcrossMutexes(t *testing.T) {
+	runSystem(t, func(s *System) {
+		mA := s.MustMutex(MutexAttr{Name: "mA", Protocol: ProtocolInherit})
+		mB := s.MustMutex(MutexAttr{Name: "mB", Protocol: ProtocolInherit})
+		var prioAfterA, prioAfterB int
+
+		attr := DefaultAttr()
+		attr.Priority = 2
+		attr.Name = "holder"
+		holder, _ := s.Create(attr, func(any) any {
+			mA.Lock()
+			mB.Lock()
+			s.Compute(3 * vtime.Millisecond) // both contenders arrive
+			mA.Unlock()                      // still boosted via mB's waiter
+			prioAfterA = s.Self().Priority()
+			mB.Unlock()
+			prioAfterB = s.Self().Priority()
+			return nil
+		}, nil)
+
+		attrA := DefaultAttr()
+		attrA.Priority = 10
+		wa, _ := s.Create(attrA, func(any) any {
+			s.Sleep(vtime.Millisecond)
+			mA.Lock()
+			mA.Unlock()
+			return nil
+		}, nil)
+		attrB := DefaultAttr()
+		attrB.Priority = 15
+		wb, _ := s.Create(attrB, func(any) any {
+			s.Sleep(vtime.Millisecond)
+			mB.Lock()
+			mB.Unlock()
+			return nil
+		}, nil)
+
+		s.Join(holder)
+		s.Join(wa)
+		s.Join(wb)
+		// After releasing mA the holder still holds mB, whose waiter has
+		// priority 15: the linear search keeps the boost at 15.
+		if prioAfterA != 15 {
+			t.Fatalf("after unlock(mA): prio %d, want 15", prioAfterA)
+		}
+		if prioAfterB != 2 {
+			t.Fatalf("after unlock(mB): prio %d, want 2", prioAfterB)
+		}
+	})
+}
+
+func TestCeilingBoostAtLock(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m", Protocol: ProtocolCeiling, Ceiling: 25})
+		base := s.Self().Priority()
+		m.Lock()
+		if p := s.Self().Priority(); p != 25 {
+			t.Fatalf("priority at lock = %d, want ceiling 25", p)
+		}
+		m.Unlock()
+		if p := s.Self().Priority(); p != base {
+			t.Fatalf("priority after unlock = %d, want %d", p, base)
+		}
+	})
+}
+
+func TestCeilingNestedSRP(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m1 := s.MustMutex(MutexAttr{Name: "m1", Protocol: ProtocolCeiling, Ceiling: 20})
+		m2 := s.MustMutex(MutexAttr{Name: "m2", Protocol: ProtocolCeiling, Ceiling: 28})
+		base := s.Self().Priority()
+		m1.Lock()
+		m2.Lock()
+		if p := s.Self().Priority(); p != 28 {
+			t.Fatalf("nested ceiling prio = %d, want 28", p)
+		}
+		m2.Unlock()
+		if p := s.Self().Priority(); p != 20 {
+			t.Fatalf("after inner unlock prio = %d, want 20", p)
+		}
+		m1.Unlock()
+		if p := s.Self().Priority(); p != base {
+			t.Fatalf("after outer unlock prio = %d, want %d", p, base)
+		}
+	})
+}
+
+func TestCeilingLowerCeilingDoesNotLowerPrio(t *testing.T) {
+	runSystem(t, func(s *System) {
+		// Locking a mutex whose ceiling is below the current priority
+		// must not drop the priority (ceiling is a floor on the boost).
+		m := s.MustMutex(MutexAttr{Name: "m", Protocol: ProtocolCeiling, Ceiling: 16})
+		attr := DefaultAttr()
+		attr.Priority = 10
+		th, _ := s.Create(attr, func(any) any {
+			inner := s.MustMutex(MutexAttr{Name: "inner", Protocol: ProtocolCeiling, Ceiling: 10})
+			m.Lock() // boost to 16
+			inner.Lock()
+			if p := s.Self().Priority(); p != 16 {
+				t.Errorf("prio with lower-ceiling mutex = %d, want 16", p)
+			}
+			inner.Unlock()
+			m.Unlock()
+			return nil
+		}, nil)
+		s.Join(th)
+	})
+}
+
+func TestCeilingViolationEINVAL(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m", Protocol: ProtocolCeiling, Ceiling: 4})
+		err := m.Lock() // main runs at DefaultPrio (16) > ceiling 4
+		if e, _ := AsErrno(err); e != EINVAL {
+			t.Fatalf("Lock above ceiling: %v, want EINVAL", err)
+		}
+	})
+}
+
+func TestCeilingPreventsPreemptionBySameCeiling(t *testing.T) {
+	// SRP: a thread holding a ceiling-20 mutex is not preempted by a
+	// priority-20 thread (preemption requires strictly higher priority).
+	var order []string
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m", Protocol: ProtocolCeiling, Ceiling: 20})
+		attr := DefaultAttr()
+		attr.Priority = 5
+		attr.Name = "low"
+		low, _ := s.Create(attr, func(any) any {
+			m.Lock()
+			s.Compute(3 * vtime.Millisecond)
+			order = append(order, "low-cs-done")
+			m.Unlock()
+			return nil
+		}, nil)
+		attr2 := DefaultAttr()
+		attr2.Priority = 20
+		attr2.Name = "hi"
+		hi, _ := s.Create(attr2, func(any) any {
+			s.Sleep(vtime.Millisecond) // wake mid-CS
+			order = append(order, "hi-ran")
+			return nil
+		}, nil)
+		s.Join(low)
+		s.Join(hi)
+	})
+	if order[0] != "low-cs-done" {
+		t.Fatalf("order %v: ceiling failed to defer equal-priority thread", order)
+	}
+}
+
+func TestUnlockHeadPlacementAfterBoostReset(t *testing.T) {
+	// When a boosted thread's priority resets at unlock, it continues at
+	// the *head* of its level: an equal-priority ready thread must not
+	// cut in.
+	var order []string
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m", Protocol: ProtocolCeiling, Ceiling: 24})
+		attr := DefaultAttr()
+		attr.Priority = 8
+		attr.Name = "worker"
+		worker, _ := s.Create(attr, func(any) any {
+			m.Lock()
+			s.Compute(2 * vtime.Millisecond)
+			m.Unlock() // resets 24 -> 8 with peer ready at 8
+			order = append(order, "worker-after-unlock")
+			return nil
+		}, nil)
+		attr2 := DefaultAttr()
+		attr2.Priority = 8
+		attr2.Name = "peer"
+		peer, _ := s.Create(attr2, func(any) any {
+			order = append(order, "peer")
+			return nil
+		}, nil)
+		s.Join(worker)
+		s.Join(peer)
+	})
+	// The worker was created first and runs first (FIFO); at its unlock
+	// it must continue, not yield to the peer.
+	if order[0] != "worker-after-unlock" {
+		t.Fatalf("order %v: thread was penalized for its boost", order)
+	}
+}
+
+func TestMutexPrimitiveVariants(t *testing.T) {
+	for _, prim := range []hw.LockPrimitive{hw.TASOnly, hw.TASWithRAS, hw.CompareAndSwap} {
+		prim := prim
+		runSystem(t, func(s *System) {
+			m := s.MustMutex(MutexAttr{Name: "m", Primitive: prim, PrimitiveSet: true})
+			for i := 0; i < 3; i++ {
+				if err := m.Lock(); err != nil {
+					t.Fatalf("%v Lock: %v", prim, err)
+				}
+				if m.Owner() != s.Self() {
+					t.Fatalf("%v owner wrong", prim)
+				}
+				if err := m.Unlock(); err != nil {
+					t.Fatalf("%v Unlock: %v", prim, err)
+				}
+			}
+		})
+	}
+}
+
+func TestContentionCountsStats(t *testing.T) {
+	s := New(Config{})
+	err := s.Run(func() {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		m.Lock()
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			m.Lock()
+			m.Unlock()
+			return nil
+		}, nil)
+		s.Sleep(vtime.Millisecond)
+		m.Unlock()
+		s.Join(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().MutexContentions != 1 {
+		t.Fatalf("MutexContentions = %d", s.Stats().MutexContentions)
+	}
+}
+
+func TestManyThreadsHammerOneMutex(t *testing.T) {
+	// Integration: 8 threads × 20 critical sections with RR slicing.
+	total := 0
+	s := New(Config{Quantum: vtime.Millisecond})
+	err := s.Run(func() {
+		m := s.MustMutex(MutexAttr{Name: "m", Protocol: ProtocolInherit})
+		var ths []*Thread
+		for i := 0; i < 8; i++ {
+			attr := DefaultAttr()
+			attr.Policy = SchedRR
+			th, _ := s.Create(attr, func(any) any {
+				for j := 0; j < 20; j++ {
+					m.Lock()
+					v := total
+					s.Compute(100 * vtime.Microsecond)
+					total = v + 1
+					m.Unlock()
+					s.Compute(50 * vtime.Microsecond)
+				}
+				return nil
+			}, nil)
+			ths = append(ths, th)
+		}
+		for _, th := range ths {
+			s.Join(th)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 160 {
+		t.Fatalf("total = %d, want 160 (mutex failed under RR slicing)", total)
+	}
+}

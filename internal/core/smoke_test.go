@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+
+	"pthreads/internal/vtime"
+)
+
+// runSystem runs main in a fresh default system and fails the test on any
+// system-level error.
+func runSystem(t *testing.T, main func(s *System)) *System {
+	t.Helper()
+	s := New(Config{})
+	if err := s.Run(func() { main(s) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return s
+}
+
+func TestRunMainOnly(t *testing.T) {
+	ran := false
+	runSystem(t, func(s *System) { ran = true })
+	if !ran {
+		t.Fatal("main thread body did not run")
+	}
+}
+
+func TestCreateAndJoin(t *testing.T) {
+	runSystem(t, func(s *System) {
+		th, err := s.Create(DefaultAttr(), func(arg any) any {
+			return arg.(int) * 2
+		}, 21)
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		v, err := s.Join(th)
+		if err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+		if v != 42 {
+			t.Fatalf("Join returned %v, want 42", v)
+		}
+	})
+}
+
+func TestHigherPriorityPreemptsOnCreate(t *testing.T) {
+	var order []string
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		attr.Name = "hi"
+		th, _ := s.Create(attr, func(any) any {
+			order = append(order, "hi")
+			return nil
+		}, nil)
+		order = append(order, "main")
+		s.Join(th)
+	})
+	if len(order) != 2 || order[0] != "hi" || order[1] != "main" {
+		t.Fatalf("order = %v, want [hi main]", order)
+	}
+}
+
+func TestLowerPriorityRunsAfter(t *testing.T) {
+	var order []string
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		th, _ := s.Create(attr, func(any) any {
+			order = append(order, "lo")
+			return nil
+		}, nil)
+		order = append(order, "main")
+		s.Join(th)
+	})
+	if len(order) != 2 || order[0] != "main" || order[1] != "lo" {
+		t.Fatalf("order = %v, want [main lo]", order)
+	}
+}
+
+func TestYieldRoundRobinSamePrio(t *testing.T) {
+	var order []int
+	runSystem(t, func(s *System) {
+		attr := DefaultAttr()
+		var ths []*Thread
+		for i := 0; i < 3; i++ {
+			th, _ := s.Create(attr, func(arg any) any {
+				order = append(order, arg.(int))
+				s.Yield()
+				order = append(order, arg.(int))
+				return nil
+			}, i)
+			ths = append(ths, th)
+		}
+		s.Yield() // let them run
+		for _, th := range ths {
+			s.Join(th)
+		}
+	})
+	want := []int{0, 1, 2, 0, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMutexBasic(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		if err := m.Lock(); err != nil {
+			t.Fatalf("Lock: %v", err)
+		}
+		if m.Owner() != s.Self() {
+			t.Fatal("owner not set")
+		}
+		if err := m.Lock(); err == nil {
+			t.Fatal("relock should EDEADLK")
+		}
+		if err := m.Unlock(); err != nil {
+			t.Fatalf("Unlock: %v", err)
+		}
+		if err := m.Unlock(); err == nil {
+			t.Fatal("unlock unowned should EPERM")
+		}
+	})
+}
+
+func TestMutexContentionHandoff(t *testing.T) {
+	var got []string
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		m.Lock()
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			m.Lock()
+			got = append(got, "locked-by-hi")
+			m.Unlock()
+			return nil
+		}, nil)
+		got = append(got, "main-holds")
+		m.Unlock() // hand-off should run hi immediately (higher prio)
+		got = append(got, "main-after-unlock")
+		s.Join(th)
+	})
+	want := []string{"main-holds", "locked-by-hi", "main-after-unlock"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCondSignalWakes(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		c := s.NewCond("c")
+		done := false
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.Create(attr, func(any) any {
+			m.Lock()
+			for !done {
+				c.Wait(m)
+			}
+			m.Unlock()
+			return nil
+		}, nil)
+		// hi-prio thread is now blocked in Wait
+		m.Lock()
+		done = true
+		c.Signal()
+		m.Unlock()
+		s.Join(th)
+	})
+}
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	runSystem(t, func(s *System) {
+		start := s.Now()
+		rem := s.Sleep(5 * vtime.Millisecond)
+		if rem != 0 {
+			t.Fatalf("Sleep remaining = %v, want 0", rem)
+		}
+		if d := s.Now().Sub(start); d < 5*vtime.Millisecond {
+			t.Fatalf("slept %v, want >= 5ms", d)
+		}
+	})
+}
+
+func TestComputeChargesTime(t *testing.T) {
+	runSystem(t, func(s *System) {
+		start := s.Now()
+		s.Compute(3 * vtime.Millisecond)
+		if d := s.Now().Sub(start); d < 3*vtime.Millisecond {
+			t.Fatalf("computed %v, want >= 3ms", d)
+		}
+	})
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	s := New(Config{})
+	err := s.Run(func() {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		m.Lock()
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		s.Create(attr, func(any) any {
+			m.Lock() // blocks forever: main never unlocks
+			return nil
+		}, nil)
+		c := s.NewCond("never")
+		m2 := s.MustMutex(MutexAttr{Name: "m2"})
+		m2.Lock()
+		c.Wait(m2) // main blocks forever too
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestExitStatusViaJoin(t *testing.T) {
+	runSystem(t, func(s *System) {
+		th, _ := s.Create(DefaultAttr(), func(any) any {
+			s.Exit("bye")
+			return "unreached"
+		}, nil)
+		v, err := s.Join(th)
+		if err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+		if v != "bye" {
+			t.Fatalf("status = %v, want bye", v)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pthreads/internal/hw"
+	"pthreads/internal/vtime"
+)
+
+// Soak test: randomized whole-system workloads across seeds, policies,
+// machines and quanta. Each run mixes mutex-protected counting, condvar
+// hand-offs, signals, sleeps, cancellation and exits, then verifies the
+// invariants that must hold regardless of interleaving.
+func TestSoakRandomWorkloads(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := Config{
+				Seed:    seed,
+				Pervert: PervertPolicy(rng.Intn(4)),
+				Quantum: vtime.Duration(1+rng.Intn(10)) * vtime.Millisecond,
+			}
+			if rng.Intn(2) == 0 {
+				cfg.Machine = hw.SPARCstation1Plus()
+			}
+			s := New(cfg)
+
+			nWorkers := 2 + rng.Intn(5)
+			iters := 4 + rng.Intn(12)
+			wantTotal := 0
+			total := 0
+			cancelled := 0
+
+			err := s.Run(func() {
+				m := s.MustMutex(MutexAttr{Name: "m", Protocol: ProtocolInherit})
+				c := s.NewCond("c")
+				tokens := 1 // condvar-guarded token pool
+
+				var ths []*Thread
+				var cancelTargets []*Thread
+				for w := 0; w < nWorkers; w++ {
+					attr := DefaultAttr()
+					attr.Policy = Policy(rng.Intn(2))
+					attr.Priority = 8 + rng.Intn(16)
+					attr.Name = fmt.Sprintf("w%d", w)
+					doomed := rng.Intn(4) == 0
+					if !doomed {
+						wantTotal += iters
+					}
+					th, _ := s.Create(attr, func(any) any {
+						if doomed {
+							s.Sleep(vtime.Second) // cancelled here
+						}
+						for i := 0; i < iters; i++ {
+							m.Lock()
+							for tokens == 0 {
+								c.Wait(m)
+							}
+							tokens--
+							v := total
+							s.Compute(vtime.Duration(rng.Intn(50)) * vtime.Microsecond)
+							total = v + 1
+							tokens++
+							c.Signal()
+							m.Unlock()
+						}
+						return nil
+					}, nil)
+					ths = append(ths, th)
+					if doomed {
+						cancelTargets = append(cancelTargets, th)
+					}
+				}
+				s.Sleep(vtime.Millisecond)
+				for _, th := range cancelTargets {
+					if s.Cancel(th) == nil {
+						cancelled++
+					}
+				}
+				for _, th := range ths {
+					s.Join(th)
+				}
+			})
+			if err != nil {
+				t.Fatalf("run failed: %v", err)
+			}
+			if total != wantTotal {
+				t.Fatalf("total = %d, want %d (mutex/cond protection broke)", total, wantTotal)
+			}
+			if s.Stats().Cancellations != int64(cancelled) {
+				t.Fatalf("cancellations %d vs %d", s.Stats().Cancellations, cancelled)
+			}
+		})
+	}
+}
+
+// TestConfigValidation pins constructor behaviour on odd configurations.
+func TestConfigValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for out-of-range main priority")
+			}
+		}()
+		New(Config{MainPriority: 99})
+	}()
+
+	// Defaults fill in.
+	s := New(Config{})
+	if s.Config().Machine == nil || s.Config().Quantum <= 0 || s.Config().PoolSize == 0 {
+		t.Fatal("defaults not applied")
+	}
+}

@@ -1,0 +1,524 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pthreads/internal/hw"
+	"pthreads/internal/sched"
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+// MixMode selects how a priority boost is undone when mutexes with
+// different protocols are nested — the ambiguity the paper analyzes with
+// Table 4.
+type MixMode int
+
+const (
+	// MixStack restores the pre-lock priority from the SRP ceiling stack
+	// on unlocking a ceiling mutex: fast, but when ceiling and
+	// inheritance sections are nested it discards an inheritance boost
+	// (the "protocol divergence" of Table 4, column Pc).
+	MixStack MixMode = iota
+	// MixLinearSearch recomputes the priority by a linear search over
+	// every mutex still held, regardless of protocol — the safe
+	// composition the paper recommends if the protocols must mix
+	// (column Pi), at the cost of degrading the ceiling protocol to
+	// inheritance-like bookkeeping.
+	MixLinearSearch
+)
+
+// String names the mix mode.
+func (m MixMode) String() string {
+	if m == MixStack {
+		return "stack"
+	}
+	return "linear-search"
+}
+
+// Config parameterizes a thread system.
+type Config struct {
+	// Machine is the cost model; nil selects the SPARCstation IPX.
+	Machine *hw.CostModel
+	// MainPriority is the initial thread's priority (default
+	// sched.DefaultPrio).
+	MainPriority int
+	// MainPolicy is the initial thread's scheduling policy.
+	MainPolicy Policy
+	// Quantum is the SCHED_RR time slice (default 10ms of virtual time).
+	Quantum vtime.Duration
+	// PoolSize preallocates that many TCB+stack pairs (default 8).
+	PoolSize int
+	// DisablePool forces every creation through heap allocation; the
+	// pool-ablation benchmark uses it to reproduce the paper's "70% of
+	// thread creation time is allocation" claim.
+	DisablePool bool
+	// DefaultStackSize overrides the stack size for threads whose
+	// attributes do not specify one.
+	DefaultStackSize int64
+	// Pervert selects a perverted scheduling debug policy.
+	Pervert PervertPolicy
+	// Seed seeds the PRNG of the random-switch policy.
+	Seed int64
+	// MixedProtocolUnlock selects the Table 4 behaviour (see MixMode).
+	MixedProtocolUnlock MixMode
+	// Tracer, when non-nil, receives every scheduling/synchronization
+	// event with its virtual timestamp.
+	Tracer Tracer
+}
+
+// Stats aggregates the library-level counters the evaluation harness
+// reports. UNIX-level counters (syscalls, signals lost) live on the
+// simulated kernel.
+type Stats struct {
+	ContextSwitches  int64
+	Preemptions      int64
+	KernelEntries    int64
+	DispatcherRuns   int64
+	ThreadsCreated   int64
+	ThreadsExited    int64
+	SignalsInternal  int64 // delivered thread-to-thread without UNIX help
+	SignalsExternal  int64 // demultiplexed from process-level signals
+	FakeCalls        int64
+	Cancellations    int64
+	MutexContentions int64
+	CondWaits        int64
+	LostThreadSigs   int64 // overwritten in a thread's per-signal pending slot
+	PoolHits         int64
+	PoolMisses       int64
+}
+
+// sigactionRec is the process-wide action table entry for one signal
+// (installed by Sigaction).
+type sigactionRec struct {
+	Handler SigHandler
+	Mask    unixkern.Sigset
+	Ignore  bool
+}
+
+// SigHandler is a per-thread user signal handler. It runs via a fake call
+// at the priority of the thread the signal was directed to. The context
+// exposes the redirect hook the Ada runtime needs.
+type SigHandler func(sig unixkern.Signal, info *unixkern.SigInfo, sc *SigContext)
+
+// System is one instance of the Pthreads library: one simulated process on
+// one simulated uniprocessor. Create it with New, then call Run with the
+// initial thread's body. Systems are independent; tests run many of them.
+type System struct {
+	cfg   Config
+	clock *vtime.Clock
+	kern  *unixkern.Kernel
+	proc  *unixkern.Process
+	cpu   *hw.CPU
+	atoms *hw.Atomics
+
+	// The monolithic monitor: the kernel flag guards all state below;
+	// the dispatcher flag requests a dispatcher run at kernel exit.
+	kernelFlag     bool
+	dispatcherFlag bool
+	caughtInKernel []*unixkern.SigInfo
+
+	ready   sched.Queue[*Thread]
+	current *Thread
+	all     []*Thread // live threads in creation order (rule-5 search order)
+	nextID  ThreadID
+	liveCnt int
+
+	sigactions     [unixkern.NSIGAll]sigactionRec
+	processPending [unixkern.NSIGAll]*unixkern.SigInfo
+
+	pool          []*poolEntry
+	prng          *rand.Rand
+	quantum       vtime.Duration
+	sliceTimer    vtime.TimerID
+	sliceFor      *Thread
+	sliceUserMark int64 // sliceFor's userNS when the quantum was armed
+	keys          []keySlot
+	stats         Stats
+	tracer        Tracer
+	pervertArm    bool // set when the active perverted policy wants a switch at kernel exit
+	randomPick    bool // random-switch: pick the next thread at random
+	runCalled     bool
+	finished      bool
+	finishErr     error
+	exitStatus    any
+	doneCh        chan struct{}
+	inUniversal   int // nesting depth of the universal signal handler
+
+	// Mask state across a context switch out of the universal handler.
+	maskedForSwitch bool
+	preSwitchMask   unixkern.Sigset
+	// universalCharged marks that the innermost universal-handler frame
+	// already paid its disable-before-switch sigsetmask; later switches
+	// under the same frame flip the mask kernel-internally, keeping the
+	// budget at two system calls per received signal.
+	universalCharged bool
+}
+
+type poolEntry struct {
+	tcb   *Thread
+	stack *hw.Stack
+}
+
+// New creates a thread system over a fresh simulated machine.
+func New(cfg Config) *System {
+	if cfg.Machine == nil {
+		cfg.Machine = hw.SPARCstationIPX()
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 10 * vtime.Millisecond
+	}
+	if cfg.MainPriority == 0 {
+		cfg.MainPriority = sched.DefaultPrio
+	}
+	if !sched.ValidPrio(cfg.MainPriority) {
+		panic(fmt.Sprintf("core: main priority %d out of range", cfg.MainPriority))
+	}
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = 8
+	}
+	if cfg.DefaultStackSize == 0 {
+		cfg.DefaultStackSize = hw.DefaultStackSize
+	}
+	k := unixkern.New(cfg.Machine)
+	s := &System{
+		cfg:     cfg,
+		clock:   k.Clock,
+		kern:    k,
+		cpu:     k.CPU,
+		quantum: cfg.Quantum,
+		tracer:  cfg.Tracer,
+		prng:    rand.New(rand.NewSource(cfg.Seed)),
+		doneCh:  make(chan struct{}),
+	}
+	s.atoms = hw.NewAtomics(s.cpu)
+	s.pervertArm = cfg.Pervert == PervertRROrdered || cfg.Pervert == PervertRandom
+	s.proc = k.NewProcess("pthreads")
+	s.proc.OnTerminate = func(sig unixkern.Signal) {
+		s.finish(fmt.Errorf("process terminated by %v", sig), nil)
+		panic(killPanic{})
+	}
+
+	// Library initialization, as the paper describes it: install the
+	// universal signal handler for all maskable UNIX signals and
+	// pre-allocate the TCB/stack pool.
+	for sig := unixkern.Signal(1); sig < unixkern.NSIG; sig++ {
+		if sig.Maskable() {
+			if err := s.proc.Sigvec(sig, s.universalHandler, 0); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if !cfg.DisablePool {
+		for i := 0; i < cfg.PoolSize; i++ {
+			s.pool = append(s.pool, &poolEntry{
+				tcb:   &Thread{sys: s, resume: make(chan resumeMsg, 1), pooled: true},
+				stack: hw.NewStack(cfg.DefaultStackSize),
+			})
+		}
+	}
+	return s
+}
+
+// Clock exposes the virtual clock (read-only use intended).
+func (s *System) Clock() *vtime.Clock { return s.clock }
+
+// Now returns the current virtual time.
+func (s *System) Now() vtime.Time { return s.clock.Now() }
+
+// Kernel exposes the simulated UNIX kernel, for harnesses that inspect
+// syscall counts or drive cross-process benchmarks.
+func (s *System) Kernel() *unixkern.Kernel { return s.kern }
+
+// Process exposes the simulated UNIX process the library lives in.
+func (s *System) Process() *unixkern.Process { return s.proc }
+
+// CPU exposes the cost-model CPU, for harness attribution reports.
+func (s *System) CPU() *hw.CPU { return s.cpu }
+
+// Stats returns a snapshot of the library counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Config returns the configuration the system was created with.
+func (s *System) Config() Config { return s.cfg }
+
+// exitPanic unwinds a thread that called Exit (or was cancelled).
+type exitPanic struct {
+	status any
+}
+
+// killPanic tears down a thread goroutine at system shutdown.
+type killPanic struct{}
+
+// Canceled is the status a cancelled thread exits with
+// (PTHREAD_CANCELED).
+var Canceled any = canceledType{}
+
+type canceledType struct{}
+
+func (canceledType) String() string { return "PTHREAD_CANCELED" }
+
+// Run starts the system with an initial thread executing main and blocks
+// until every thread has terminated, Shutdown is called, or a fatal
+// condition (deadlock, unhandled panic, fatal signal) ends the process.
+// It returns nil on clean termination.
+func (s *System) Run(main func()) error {
+	if s.runCalled {
+		return fmt.Errorf("core: Run called twice")
+	}
+	s.runCalled = true
+
+	t := s.allocTCB(Attr{
+		Priority:  s.cfg.MainPriority,
+		Policy:    s.cfg.MainPolicy,
+		StackSize: s.cfg.DefaultStackSize,
+		Name:      "main",
+	})
+	t.fn = func(any) any { main(); return nil }
+	s.all = append(s.all, t)
+	s.liveCnt++
+	s.stats.ThreadsCreated++
+	t.state = StateRunning
+	s.current = t
+	s.trace(EvState, t, "running", "")
+
+	t.started = true
+	go s.trampoline(t)
+	t.resume <- resumeMsg{}
+
+	<-s.doneCh
+	return s.finishErr
+}
+
+// finish ends the simulation: records the outcome, releases every parked
+// thread goroutine, and unblocks Run. Safe to call once; later calls are
+// ignored (first outcome wins).
+func (s *System) finish(err error, status any) {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.finishErr = err
+	s.exitStatus = status
+	for _, t := range s.all {
+		if t != s.current && t.started && t.state != StateTerminated {
+			select {
+			case t.resume <- resumeMsg{kill: true}:
+			default:
+			}
+		}
+	}
+	close(s.doneCh)
+}
+
+// ExitStatus returns the value passed to Shutdown/exit, if any.
+func (s *System) ExitStatus() any { return s.exitStatus }
+
+// Shutdown terminates the whole process from thread context, like exit().
+// It does not return.
+func (s *System) Shutdown(status any) {
+	s.finish(nil, status)
+	panic(killPanic{})
+}
+
+// trampoline is the goroutine body backing one thread.
+func (s *System) trampoline(t *Thread) {
+	completed := false
+	defer func() {
+		r := recover()
+		switch {
+		case r == nil && completed:
+			return
+		case r == nil:
+			// runtime.Goexit (e.g. t.FailNow called from a thread
+			// body): the goroutine is unwinding without a panic. The
+			// whole system would hang waiting for this thread, so end
+			// the process with a diagnosis instead.
+			s.finish(fmt.Errorf("%v: goroutine exited prematurely (runtime.Goexit, e.g. t.Fatal in thread code)", t), nil)
+		default:
+			if _, ok := r.(killPanic); ok {
+				return // system shutdown
+			}
+			// A user panic escaped the thread body: fatal, like an
+			// unhandled fault crashing the process.
+			s.finish(fmt.Errorf("panic in %v: %v", t, r), nil)
+		}
+	}()
+
+	s.park(t)
+	s.drainFakeCalls()
+	s.armSliceOnUserReturn()
+
+	status := s.callBody(t)
+	s.exitCurrent(status)
+	completed = true
+}
+
+// callBody runs the thread function, converting Exit unwinding into a
+// return value.
+func (s *System) callBody(t *Thread) (status any) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch v := r.(type) {
+			case exitPanic:
+				status = v.status
+			default:
+				panic(r)
+			}
+		}
+	}()
+	return t.fn(t.arg)
+}
+
+// Exit terminates the calling thread with the given status
+// (pthread_exit). Cleanup handlers run first, then thread-specific data
+// destructors. It does not return.
+func (s *System) Exit(status any) {
+	panic(exitPanic{status: status})
+}
+
+// exitCurrent finalizes the current thread: cleanup handlers, TSD
+// destructors, then kernel-side termination and a final dispatch. Runs on
+// the dying thread's goroutine and returns to the trampoline, ending it.
+func (s *System) exitCurrent(status any) {
+	t := s.current
+
+	// Cleanup handlers, LIFO, in thread context (they may use the
+	// library freely). An Exit from inside a cleanup handler is
+	// absorbed: the thread is already exiting.
+	for len(t.cleanup) > 0 {
+		rec := t.cleanup[len(t.cleanup)-1]
+		t.cleanup = t.cleanup[:len(t.cleanup)-1]
+		s.runProtected(func() { rec.fn(rec.arg) })
+	}
+	s.runTSDDestructors(t)
+
+	s.enterKernel()
+	s.stats.ThreadsExited++
+	t.state = StateTerminated
+	t.retval = status
+	t.fakeStack = nil
+	t.cancelPending = false
+	s.liveCnt--
+	s.trace(EvState, t, "terminated", fmt.Sprintf("status=%v", status))
+	s.cancelSliceTimer()
+
+	// Wake joiners.
+	for _, j := range t.joiners {
+		j.joinTarget = nil
+		j.wake = wakeJoin
+		s.makeReady(j, false)
+	}
+	t.joiners = nil
+
+	if t.detached {
+		s.reclaim(t)
+	}
+
+	if s.liveCnt == 0 {
+		s.finish(nil, status)
+		return
+	}
+
+	// Final dispatch: the dying thread hands the processor over and its
+	// goroutine ends.
+	s.dispatcherFlag = true
+	s.dispatch()
+}
+
+// runProtected runs fn, absorbing Exit unwinding (used for cleanup
+// handlers and TSD destructors on an already-exiting thread).
+func (s *System) runProtected(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(exitPanic); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+}
+
+// reclaim returns a terminated (and detached or joined) thread's memory
+// to the pool. The TCB is dead afterwards: further use of the handle is a
+// reference to a destroyed thread.
+func (s *System) reclaim(t *Thread) {
+	if t.dead {
+		return
+	}
+	t.dead = true
+	for i, x := range s.all {
+		if x == t {
+			s.all = append(s.all[:i], s.all[i+1:]...)
+			break
+		}
+	}
+	if t.pooled && !s.cfg.DisablePool && t.stack != nil {
+		stk := t.stack
+		stk.Reset()
+		s.pool = append(s.pool, &poolEntry{
+			tcb:   &Thread{sys: s, resume: make(chan resumeMsg, 1), pooled: true},
+			stack: stk,
+		})
+	}
+	t.stack = nil
+	t.tsd = nil
+}
+
+// allocTCB produces a TCB with a stack, drawing from the pool when
+// possible ("pre-allocating a pool of thread control blocks and stacks").
+func (s *System) allocTCB(attr Attr) *Thread {
+	var t *Thread
+	var stack *hw.Stack
+	size := attr.StackSize
+	if size == 0 {
+		size = s.cfg.DefaultStackSize
+	}
+	if !s.cfg.DisablePool && len(s.pool) > 0 && size == s.cfg.DefaultStackSize {
+		e := s.pool[len(s.pool)-1]
+		s.pool = s.pool[:len(s.pool)-1]
+		t, stack = e.tcb, e.stack
+		s.stats.PoolHits++
+		s.cpu.ChargeInstr(12) // pop of the pool free list
+	} else {
+		s.stats.PoolMisses++
+		s.cpu.ChargeHeapAlloc()
+		t = &Thread{sys: s, resume: make(chan resumeMsg, 1)}
+		stack = hw.NewStack(size)
+	}
+	s.nextID++
+	t.id = s.nextID
+	t.name = attr.Name
+	t.basePrio = attr.Priority
+	t.prio = attr.Priority
+	t.policy = attr.Policy
+	t.detached = attr.Detached
+	t.lazy = attr.Lazy
+	t.stack = stack
+	t.state = StateNew
+	t.errno = OK
+	t.sigMask = 0
+	t.cancelState = CancelControlled
+	// TCB field initialization cost: the measured creation path.
+	s.cpu.ChargeInstr(instrTCBInit)
+	return t
+}
+
+// deadlock reports that every live thread is blocked with no timer that
+// could wake any of them, then ends the process. The report names each
+// blocked thread and what it waits for — the library doubles as the
+// debugging aid the paper positions it as.
+func (s *System) deadlock() {
+	var b strings.Builder
+	fmt.Fprintf(&b, "deadlock at %v: all %d live threads blocked:\n", s.clock.Now(), s.liveCnt)
+	for _, t := range s.all {
+		if t.state == StateBlocked || t.state == StateNew {
+			fmt.Fprintf(&b, "  %v: %v %s\n", t, t.blockReason, t.waitingFor)
+		}
+	}
+	s.finish(fmt.Errorf("%s", b.String()), nil)
+	panic(killPanic{})
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+
+	"pthreads/internal/hw"
+	"pthreads/internal/sched"
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+// ThreadID identifies a thread within its System. IDs are never reused.
+type ThreadID int32
+
+// State is a thread's scheduling state, per the paper's "Thread States"
+// section: blocked, ready, running, or terminated — plus New for threads
+// whose activation is deferred (lazy creation) and not yet triggered.
+type State int
+
+const (
+	// StateNew: created with deferred activation and not yet activated.
+	StateNew State = iota
+	// StateReady: eligible to run, waiting in the ready queue.
+	StateReady
+	// StateRunning: dispatched on the (one) processor.
+	StateRunning
+	// StateBlocked: waiting for some event.
+	StateBlocked
+	// StateTerminated: cannot be scheduled any more.
+	StateTerminated
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateTerminated:
+		return "terminated"
+	}
+	return "unknown-state"
+}
+
+// BlockReason records why a blocked thread is blocked; diagnostics (in
+// particular the deadlock report) print it.
+type BlockReason int
+
+const (
+	BlockNone BlockReason = iota
+	BlockJoin
+	BlockMutex
+	BlockCond
+	BlockSigwait
+	BlockSleep
+	BlockIO
+	BlockSuspend
+)
+
+// String names the block reason.
+func (b BlockReason) String() string {
+	switch b {
+	case BlockNone:
+		return "none"
+	case BlockJoin:
+		return "join"
+	case BlockMutex:
+		return "mutex"
+	case BlockCond:
+		return "cond"
+	case BlockSigwait:
+		return "sigwait"
+	case BlockSleep:
+		return "sleep"
+	case BlockIO:
+		return "io"
+	case BlockSuspend:
+		return "suspend"
+	}
+	return "unknown-block"
+}
+
+// Policy is a scheduling policy.
+type Policy int
+
+const (
+	// SchedFIFO is preemptive priority scheduling, first-in first-out
+	// within a priority level; a thread runs until it blocks, yields, or
+	// is preempted by a higher-priority thread.
+	SchedFIFO Policy = iota
+	// SchedRR adds time slicing within a priority level.
+	SchedRR
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case SchedFIFO:
+		return "SCHED_FIFO"
+	case SchedRR:
+		return "SCHED_RR"
+	}
+	return "unknown-policy"
+}
+
+// CancelState is the interruptibility state of Table 1.
+type CancelState int
+
+const (
+	// CancelControlled: cancellation enabled, acted upon at interruption
+	// points (the default).
+	CancelControlled CancelState = iota
+	// CancelDisabled: SIGCANCEL pends on the thread until enabled.
+	CancelDisabled
+	// CancelAsynchronous: cancellation acted upon immediately.
+	CancelAsynchronous
+)
+
+// String names the interruptibility state.
+func (c CancelState) String() string {
+	switch c {
+	case CancelControlled:
+		return "enabled/controlled"
+	case CancelDisabled:
+		return "disabled"
+	case CancelAsynchronous:
+		return "enabled/asynchronous"
+	}
+	return "unknown-cancelstate"
+}
+
+// Attr is a thread creation attribute object (pthread_attr_t).
+type Attr struct {
+	// Priority in [sched.MinPrio, sched.MaxPrio]; higher is more urgent.
+	Priority int
+	// Policy is SCHED_FIFO or SCHED_RR.
+	Policy Policy
+	// InheritSched, when true, takes priority and policy from the
+	// creating thread instead of this attribute object.
+	InheritSched bool
+	// StackSize in bytes; 0 means the system default.
+	StackSize int64
+	// Detached creates the thread already detached: its resources are
+	// reclaimed at termination and it cannot be joined.
+	Detached bool
+	// Lazy defers activation: the thread is created in StateNew and only
+	// becomes ready — with its stack allocated — when first needed (a
+	// join, a kill, or an explicit Activate). This is the paper's lazy
+	// thread creation extension.
+	Lazy bool
+	// Name labels the thread in traces and diagnostics.
+	Name string
+}
+
+// DefaultAttr returns the default attribute object: default priority,
+// FIFO policy, default stack, joinable, eager activation.
+func DefaultAttr() Attr {
+	return Attr{Priority: sched.DefaultPrio, Policy: SchedFIFO, StackSize: hw.DefaultStackSize}
+}
+
+// cleanupRec is one pushed cleanup handler.
+type cleanupRec struct {
+	fn  func(arg any)
+	arg any
+}
+
+// fakeFrame is a pending fake call: a frame conceptually pushed onto the
+// thread's stack that will run when the thread is next dispatched.
+type fakeFrame struct {
+	kind fakeKind
+	// For user signal handlers:
+	sig     unixkern.Signal
+	info    *unixkern.SigInfo
+	handler SigHandler
+	mask    unixkern.Sigset // sigaction mask to hold while the handler runs
+	// reacquire, when non-nil, is the mutex of a condition wait this
+	// fake call interrupted; the wrapper reacquires it and terminates
+	// the wait before calling the handler.
+	reacquire *Mutex
+}
+
+type fakeKind int
+
+const (
+	fakeHandler fakeKind = iota
+	fakeCancel
+)
+
+// Thread is a thread control block (TCB). All fields are owned by the
+// library kernel; user code holds *Thread purely as a handle.
+type Thread struct {
+	id   ThreadID
+	name string
+	sys  *System
+
+	state       State
+	blockReason BlockReason
+
+	basePrio int // the priority assigned by the program
+	prio     int // current priority, including protocol boosts
+	policy   Policy
+
+	detached bool
+	lazy     bool
+
+	// Baton-passing machinery: the thread's goroutine parks on resume.
+	resume  chan resumeMsg
+	started bool
+
+	fn     func(arg any) any
+	arg    any
+	retval any
+
+	joiners    []*Thread // threads blocked joining this one
+	joinTarget *Thread   // the thread this one is blocked joining
+	waitingFor string    // human-readable wait description for diagnostics
+
+	// Signal state.
+	sigMask    unixkern.Sigset
+	pending    [unixkern.NSIGAll]*unixkern.SigInfo
+	fakeStack  []*fakeFrame
+	inSigwait  bool
+	sigwaitSet unixkern.Sigset
+	sigwaitGot unixkern.Signal
+
+	// Cancellation (Table 1).
+	cancelState   CancelState
+	cancelPending bool
+
+	// Cleanup handlers and thread-specific data.
+	cleanup []cleanupRec
+	tsd     []any
+
+	errno Errno
+
+	// Synchronization bookkeeping.
+	owned        []*Mutex // mutexes currently held (for inheritance recomputation)
+	waitingMutex *Mutex
+	waitingCond  *Cond
+	condMutex    *Mutex
+	ceilStack    []int // SRP: saved priorities, one per held ceiling mutex
+
+	// Why the last blocking wait ended.
+	wake wakeCause
+
+	// Sleep / timed wait / I/O.
+	waitTimer vtime.TimerID
+	aioID     unixkern.AioID
+
+	// Simulated stack.
+	stack *hw.Stack
+
+	// Per-thread stats.
+	Dispatches int64
+	SigsTaken  int64
+	// userNS accumulates modelled user computation (Compute); the RR
+	// quantum measures it, ITIMER_VIRTUAL-style.
+	userNS int64
+
+	// pooled marks TCBs drawn from (and returned to) the creation pool.
+	pooled bool
+	// dead marks a TCB whose memory has been reclaimed; any use is a
+	// reference to a destroyed thread.
+	dead bool
+}
+
+// ID returns the thread's identifier.
+func (t *Thread) ID() ThreadID { return t.id }
+
+// Name returns the thread's label.
+func (t *Thread) Name() string { return t.name }
+
+// State returns the current scheduling state. Like the rest of the
+// handle-inspection API it is meaningful only from inside the system (from
+// thread code or between Run steps); it exists for tests and diagnostics.
+func (t *Thread) State() State { return t.state }
+
+// Priority returns the thread's current (possibly boosted) priority.
+func (t *Thread) Priority() int { return t.prio }
+
+// BasePriority returns the thread's assigned priority, ignoring boosts.
+func (t *Thread) BasePriority() int { return t.basePrio }
+
+// Detached reports whether the thread is detached.
+func (t *Thread) Detached() bool { return t.detached }
+
+// String renders a compact description for traces and deadlock reports.
+func (t *Thread) String() string {
+	if t == nil {
+		return "thread(nil)"
+	}
+	if t.name != "" {
+		return fmt.Sprintf("%s(#%d)", t.name, t.id)
+	}
+	return fmt.Sprintf("thread#%d", t.id)
+}
+
+// resumeMsg wakes a parked thread goroutine. kill tears the goroutine down
+// during system shutdown.
+type resumeMsg struct {
+	kill bool
+}

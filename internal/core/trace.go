@@ -1,0 +1,82 @@
+package core
+
+import "pthreads/internal/vtime"
+
+// EventKind classifies a trace event.
+type EventKind int
+
+const (
+	// EvState: a thread changed scheduling state (Arg = new state).
+	EvState EventKind = iota
+	// EvPrio: a thread's current priority changed (Arg = new priority).
+	EvPrio
+	// EvMutex: a mutex operation (Arg = "lock"/"unlock"/"block"/"grant").
+	EvMutex
+	// EvCond: a condition variable operation.
+	EvCond
+	// EvSignal: a signal was directed at a thread.
+	EvSignal
+	// EvCancel: a cancellation event.
+	EvCancel
+	// EvUser: an application-injected marker (Tracepoint).
+	EvUser
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvState:
+		return "state"
+	case EvPrio:
+		return "prio"
+	case EvMutex:
+		return "mutex"
+	case EvCond:
+		return "cond"
+	case EvSignal:
+		return "signal"
+	case EvCancel:
+		return "cancel"
+	case EvUser:
+		return "user"
+	}
+	return "event"
+}
+
+// TraceEvent is one timestamped scheduling/synchronization event.
+type TraceEvent struct {
+	At     vtime.Time
+	Kind   EventKind
+	Thread *Thread // may be nil for system-wide events
+	Arg    string  // primary argument (state name, priority, op)
+	Detail string  // free-form context
+	Obj    string  // the object involved (mutex/cond name), if any
+}
+
+// Tracer receives every trace event as it happens, in virtual-time order.
+// Implementations must not call back into the system.
+type Tracer interface {
+	Event(ev TraceEvent)
+}
+
+// trace emits an event to the configured tracer, if any.
+func (s *System) trace(kind EventKind, t *Thread, arg, detail string) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Event(TraceEvent{At: s.clock.Now(), Kind: kind, Thread: t, Arg: arg, Detail: detail})
+}
+
+// traceObj emits an event naming a synchronization object.
+func (s *System) traceObj(kind EventKind, t *Thread, obj, arg, detail string) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Event(TraceEvent{At: s.clock.Now(), Kind: kind, Thread: t, Obj: obj, Arg: arg, Detail: detail})
+}
+
+// Tracepoint lets applications drop a marker into the trace from thread
+// context.
+func (s *System) Tracepoint(label string) {
+	s.trace(EvUser, s.current, label, "")
+}

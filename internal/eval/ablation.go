@@ -1,0 +1,214 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"pthreads/internal/adart"
+	"pthreads/internal/core"
+	"pthreads/internal/hw"
+	"pthreads/internal/vtime"
+)
+
+// Ablation studies for the design choices the paper discusses:
+//
+//   - TCB/stack pooling: "heap space ... accounts for about 70% of the
+//     thread creation time. Thus, thread creation could be sped up
+//     considerably if a memory pool for TCB and stack was established."
+//   - lock primitive: the Figure 4 discussion of ldstub-only vs
+//     ldstub-in-a-restartable-atomic-sequence vs a hypothetical
+//     compare-and-swap.
+//   - Ada layering: the rendezvous over the adart layer vs raw semaphore
+//     synchronization, supporting "the overhead of layering a runtime
+//     system on top of Pthreads is not prohibitive".
+
+// PoolAblation measures pthread_create with the pool enabled and
+// disabled.
+type PoolAblation struct {
+	Pooled, Unpooled float64 // µs
+	AllocShare       float64 // fraction of unpooled time spent allocating
+}
+
+// MeasurePoolAblation runs the thread-creation metric both ways.
+func MeasurePoolAblation(model *hw.CostModel) (PoolAblation, error) {
+	pooled, err := measureThreadCreate(model)
+	if err != nil {
+		return PoolAblation{}, err
+	}
+
+	const rounds = 32
+	cfg := core.Config{DisablePool: true}
+	unpooled, err := runInSystem(model, cfg, func(s *core.System) vtime.Duration {
+		attr := core.DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		attr.Name = "child"
+		var children []*core.Thread
+		d := dualLoop(s, rounds, func() {
+			th, err := s.Create(attr, func(any) any { return nil }, nil)
+			if err != nil {
+				panic(err)
+			}
+			children = append(children, th)
+		})
+		for _, th := range children {
+			s.Join(th)
+		}
+		return d
+	})
+	if err != nil {
+		return PoolAblation{}, err
+	}
+	p, u := Micros(pooled), Micros(unpooled)
+	return PoolAblation{Pooled: p, Unpooled: u, AllocShare: (u - p) / u}, nil
+}
+
+// PrimitiveAblation measures the no-contention mutex pair for each lock
+// primitive.
+type PrimitiveAblation struct {
+	Primitive hw.LockPrimitive
+	PairMicro float64
+}
+
+// MeasurePrimitiveAblation compares the three lock paths of the Figure 4
+// discussion.
+func MeasurePrimitiveAblation(model *hw.CostModel) ([]PrimitiveAblation, error) {
+	var out []PrimitiveAblation
+	for _, prim := range []hw.LockPrimitive{hw.TASOnly, hw.TASWithRAS, hw.CompareAndSwap} {
+		prim := prim
+		d, err := runInSystem(model, core.Config{}, func(s *core.System) vtime.Duration {
+			m := s.MustMutex(core.MutexAttr{Name: "bench", Primitive: prim, PrimitiveSet: true})
+			return dualLoop(s, 64, func() {
+				m.Lock()
+				m.Unlock()
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PrimitiveAblation{Primitive: prim, PairMicro: Micros(d)})
+	}
+	return out, nil
+}
+
+// RendezvousAblation compares an Ada rendezvous round trip with raw
+// semaphore synchronization.
+type RendezvousAblation struct {
+	RendezvousMicro float64 // one entry call + accept, per rendezvous
+	SemaphoreMicro  float64 // one P + one V (Table 2 row 5)
+	Overhead        float64 // rendezvous / (2 * semaphore sync) — one
+	// rendezvous is two hand-offs, so this ratio isolates the layer cost
+}
+
+// MeasureRendezvousAblation measures the Ada layering overhead.
+func MeasureRendezvousAblation(model *hw.CostModel) (RendezvousAblation, error) {
+	semD, err := measureSemaphoreSync(model)
+	if err != nil {
+		return RendezvousAblation{}, err
+	}
+
+	rvD, err := runInSystem(model, core.Config{}, func(s *core.System) vtime.Duration {
+		const rounds = 32
+		rt := adart.New(s)
+		server, err := rt.Spawn("server", s.Self().Priority(), func(t *adart.Task) {
+			for i := 0; i < rounds+1; i++ {
+				t.Accept("echo", func(arg any) (any, error) { return arg, nil })
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		// Warm-up rendezvous.
+		server.Call("echo", 0)
+
+		t0 := s.Now()
+		for i := 0; i < rounds; i++ {
+			if _, err := server.Call("echo", i); err != nil {
+				panic(err)
+			}
+		}
+		elapsed := s.Now().Sub(t0)
+		server.Await()
+		return elapsed / rounds
+	})
+	if err != nil {
+		return RendezvousAblation{}, err
+	}
+
+	rv, sp := Micros(rvD), Micros(semD)
+	return RendezvousAblation{RendezvousMicro: rv, SemaphoreMicro: sp, Overhead: rv / (2 * sp)}, nil
+}
+
+// FormatAblations renders all three studies on the IPX model.
+func FormatAblations() (string, error) {
+	model := hw.SPARCstationIPX()
+	var b strings.Builder
+
+	pool, err := MeasurePoolAblation(model)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("Ablation 1: TCB/stack pool (thread create, no context switch)\n")
+	fmt.Fprintf(&b, "  pooled:   %7.1f µs\n", pool.Pooled)
+	fmt.Fprintf(&b, "  unpooled: %7.1f µs\n", pool.Unpooled)
+	fmt.Fprintf(&b, "  allocation share of unpooled create: %.0f%%  (paper: ~70%%)\n\n", pool.AllocShare*100)
+
+	prims, err := MeasurePrimitiveAblation(model)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("Ablation 2: lock primitive (mutex lock/unlock pair, no contention)\n")
+	for _, p := range prims {
+		fmt.Fprintf(&b, "  %-18s %6.2f µs\n", p.Primitive, p.PairMicro)
+	}
+	b.WriteString("  (ldstub alone cannot support inheritance: no atomic owner record)\n\n")
+
+	rv, err := MeasureRendezvousAblation(model)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("Ablation 3: Ada rendezvous over Pthreads (layering overhead)\n")
+	fmt.Fprintf(&b, "  rendezvous (call+accept):    %7.1f µs\n", rv.RendezvousMicro)
+	fmt.Fprintf(&b, "  semaphore sync (P+V):        %7.1f µs\n", rv.SemaphoreMicro)
+	fmt.Fprintf(&b, "  layer cost ratio (rendezvous / 2 hand-offs): %.2fx\n", rv.Overhead)
+	return b.String(), nil
+}
+
+// Attribution reports where the thread context switch time goes,
+// reproducing the paper's observation that "most of the time is spent in
+// the kernel traps to save and restore registers".
+type Attribution struct {
+	Total, FlushTrap, UnderflowTrap, Rest float64 // µs
+	TrapShare                             float64
+}
+
+// MeasureAttribution computes the context-switch breakdown for a model.
+func MeasureAttribution(model *hw.CostModel) (Attribution, error) {
+	total, err := measureContextSwitch(model)
+	if err != nil {
+		return Attribution{}, err
+	}
+	t := Micros(total)
+	f := float64(model.FlushWindowsTrapNS) / 1e3
+	u := float64(model.WindowUnderflowTrapNS) / 1e3
+	return Attribution{
+		Total: t, FlushTrap: f, UnderflowTrap: u,
+		Rest:      t - f - u,
+		TrapShare: (f + u) / t,
+	}, nil
+}
+
+// FormatAttribution renders the breakdown for both machines.
+func FormatAttribution() (string, error) {
+	var b strings.Builder
+	b.WriteString("Context switch cost attribution\n")
+	for _, model := range []*hw.CostModel{hw.SPARCstation1Plus(), hw.SPARCstationIPX()} {
+		a, err := MeasureAttribution(model)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %s: total %.1f µs = flush trap %.1f + underflow trap %.1f + dispatcher %.1f  (traps: %.0f%%)\n",
+			model.Name, a.Total, a.FlushTrap, a.UnderflowTrap, a.Rest, a.TrapShare*100)
+	}
+	b.WriteString("  (paper: \"most of the time is spent in the kernel traps to save and restore registers\")\n")
+	return b.String(), nil
+}

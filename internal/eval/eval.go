@@ -1,0 +1,66 @@
+// Package eval is the evaluation harness: it regenerates every table and
+// figure of the paper's "Measurements and Evaluation" section against the
+// Go reproduction, using the same dual-loop timing method in exact
+// virtual time, and embeds the paper's reported numbers for side-by-side
+// comparison.
+package eval
+
+import (
+	"fmt"
+
+	"pthreads/internal/core"
+	"pthreads/internal/hw"
+	"pthreads/internal/vtime"
+)
+
+// Blank marks a cell the paper leaves empty.
+const Blank = -1
+
+// runInSystem runs f as the main thread of a fresh system configured for
+// the given machine and returns f's measurement. A non-nil error means
+// the scenario itself failed (deadlock, fault), which is a harness bug.
+func runInSystem(model *hw.CostModel, cfg core.Config, f func(s *core.System) vtime.Duration) (vtime.Duration, error) {
+	cfg.Machine = model
+	s := core.New(cfg)
+	var out vtime.Duration
+	err := s.Run(func() { out = f(s) })
+	return out, err
+}
+
+// dualLoop times op with the paper's dual-loop method: a timed loop of n
+// operations minus a timed empty loop of n iterations. In virtual time
+// the empty loop is exactly free, so the subtraction is exact; the method
+// is kept for fidelity and to absorb one-time warm-up costs.
+func dualLoop(s *core.System, n int, op func()) vtime.Duration {
+	if n <= 0 {
+		n = 1
+	}
+	// Warm-up: first invocation may take pool-fill or other one-time
+	// costs that the steady-state metric excludes.
+	op()
+
+	empty0 := s.Now()
+	for i := 0; i < n; i++ {
+	}
+	emptyCost := s.Now().Sub(empty0)
+
+	t0 := s.Now()
+	for i := 0; i < n; i++ {
+		op()
+	}
+	return (s.Now().Sub(t0) - emptyCost) / vtime.Duration(n)
+}
+
+// Micros converts a duration measurement to the paper's µs unit.
+func Micros(d vtime.Duration) float64 { return d.Micros() }
+
+// fmtCell renders one table cell, blank-aware.
+func fmtCell(v float64, width int) string {
+	if v < 0 {
+		return fmt.Sprintf("%*s", width, "")
+	}
+	if v < 10 {
+		return fmt.Sprintf("%*.1f", width, v)
+	}
+	return fmt.Sprintf("%*.0f", width, v)
+}

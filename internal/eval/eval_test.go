@@ -1,0 +1,399 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"pthreads/internal/core"
+	"pthreads/internal/hw"
+)
+
+// The regression tests here pin the *shape* of every reproduced
+// experiment: who wins, by roughly what factor, where the qualitative
+// behaviour lands. Absolute virtual latencies are also checked against
+// the paper within a tolerance, since the cost model is calibrated to it.
+
+// within reports whether got is within frac of want.
+func within(got, want, frac float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	d := got/want - 1
+	if d < 0 {
+		d = -d
+	}
+	return d <= frac
+}
+
+func ipxRow(t *testing.T, rows []Table2Row, name string) Table2Row {
+	t.Helper()
+	for _, r := range rows {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("row %q not found", name)
+	return Table2Row{}
+}
+
+func TestTable2ShapeAndCalibration(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+
+	get := func(name string) Table2Row { return ipxRow(t, rows, name) }
+
+	kern := get("enter and exit Pthreads kernel")
+	unix := get("enter and exit UNIX kernel")
+	mutexNC := get("mutex lock/unlock, no contention")
+	mutexC := get("mutex lock/unlock, contention")
+	sem := get("semaphore synchronization")
+	create := get("thread create, no context switch")
+	sjlj := get("setjmp/longjmp pair")
+	ctx := get("thread context switch (yield)")
+	proc := get("UNIX process context switch")
+	sigInt := get("thread signal handler (internal)")
+	sigExt := get("thread signal handler (external)")
+	sigUnix := get("UNIX signal handler")
+
+	// Headline claims of the paper, as shape assertions on the IPX.
+	if !(kern.MeasIPX*20 < unix.MeasIPX) {
+		t.Errorf("library kernel entry (%v) not ≪ UNIX kernel entry (%v)", kern.MeasIPX, unix.MeasIPX)
+	}
+	if !(ctx.MeasIPX*2 < proc.MeasIPX) {
+		t.Errorf("thread switch (%v) not ≪ process switch (%v)", ctx.MeasIPX, proc.MeasIPX)
+	}
+	if !(mutexNC.MeasIPX*20 < mutexC.MeasIPX) {
+		t.Errorf("uncontended mutex (%v) not ≪ contended (%v)", mutexNC.MeasIPX, mutexC.MeasIPX)
+	}
+	if !(sigInt.MeasIPX*3 < sigExt.MeasIPX) {
+		t.Errorf("internal signal (%v) not ≪ external (%v)", sigInt.MeasIPX, sigExt.MeasIPX)
+	}
+	if !(sjlj.MeasIPX < ctx.MeasIPX) {
+		t.Errorf("setjmp/longjmp (%v) not a lower bound on switch (%v)", sjlj.MeasIPX, ctx.MeasIPX)
+	}
+	// Ours beats the Sun baseline where the paper compares.
+	if !(sem.Meas1Plus < sem.Sun1Plus) {
+		t.Errorf("semaphore sync on 1+ (%v) not faster than Sun (%v)", sem.Meas1Plus, sem.Sun1Plus)
+	}
+	if !(create.Meas1Plus < create.Sun1Plus) {
+		t.Errorf("create on 1+ (%v) not faster than Sun (%v)", create.Meas1Plus, create.Sun1Plus)
+	}
+	if !(sjlj.Meas1Plus < sjlj.Sun1Plus) {
+		t.Errorf("setjmp on 1+ (%v) not faster than Sun (%v)", sjlj.Meas1Plus, sjlj.Sun1Plus)
+	}
+
+	// Calibration: every cell the paper reports for "Ours" matches
+	// within 15%.
+	for _, r := range rows {
+		if r.OursIPX >= 0 && !within(r.MeasIPX, r.OursIPX, 0.15) {
+			t.Errorf("%s IPX: measured %.2f vs paper %.2f", r.Name, r.MeasIPX, r.OursIPX)
+		}
+		if r.Ours1Plus >= 0 && !within(r.Meas1Plus, r.Ours1Plus, 0.15) {
+			t.Errorf("%s 1+: measured %.2f vs paper %.2f", r.Name, r.Meas1Plus, r.Ours1Plus)
+		}
+	}
+
+	// The 1+ is slower than the IPX on every metric.
+	for _, r := range rows {
+		if r.Meas1Plus <= r.MeasIPX {
+			t.Errorf("%s: 1+ (%v) not slower than IPX (%v)", r.Name, r.Meas1Plus, r.MeasIPX)
+		}
+	}
+
+	_ = sigUnix
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "semaphore synchronization") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestTable2Deterministic(t *testing.T) {
+	a, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].MeasIPX != b[i].MeasIPX || a[i].Meas1Plus != b[i].Meas1Plus {
+			t.Fatalf("run-to-run variation on %s", a[i].Name)
+		}
+	}
+}
+
+func TestSyscallProfilesHotPathsFree(t *testing.T) {
+	profiles, err := SyscallProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perOp := map[string]SyscallProfile{}
+	for _, p := range profiles {
+		perOp[p.Operation] = p
+	}
+	// The paper's objective: the hot paths make no kernel calls at all.
+	for _, hot := range []string{
+		"enter/exit Pthreads kernel",
+		"mutex lock/unlock pair",
+		"condvar signal, no waiters",
+		"thread create (pooled)",
+		"context switch (yield pair)",
+	} {
+		if p := perOp[hot]; p.Total != 0 {
+			t.Errorf("%s costs %.2g syscalls: %v", hot, p.Total, p.PerOp)
+		}
+	}
+	// The external signal path pays exactly the budget: the kill itself
+	// plus two sigsetmask calls (the receiver's sleep re-arm rides
+	// along in this scenario).
+	ext := perOp["kill(getpid()) + demux (external)"]
+	if ext.PerOp["kill"] != 1 || ext.PerOp["sigsetmask"] != 2 {
+		t.Errorf("external signal bill: %v", ext.PerOp)
+	}
+	out, err := FormatSyscallProfiles()
+	if err != nil || !strings.Contains(out, "none") {
+		t.Fatalf("format: %v", err)
+	}
+}
+
+func TestFullReportDeterministic(t *testing.T) {
+	// Every formatted artifact reproduces byte-for-byte across runs —
+	// the property EXPERIMENTS.md relies on.
+	render := func() string {
+		out := ""
+		for _, f := range []func() (string, error){
+			FormatTable1, FormatFigure5, FormatTable4,
+			func() (string, error) { return FormatPervert(1) },
+			FormatAttribution,
+		} {
+			s, err := f()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out += s
+		}
+		return out
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatal("report varies across runs")
+	}
+}
+
+func TestTable1AllRowsReproduce(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("Table 1 %s/%s did not reproduce: %s", r.State, r.Type, r.Observed)
+		}
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	results, err := Figure5All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := results[core.ProtocolNone]
+	inh := results[core.ProtocolInherit]
+	ceil := results[core.ProtocolCeiling]
+
+	if !none.Inverted {
+		t.Error("(a) no protocol: P2 did not run during P3's wait — no inversion observed")
+	}
+	if inh.Inverted {
+		t.Error("(b) inheritance: priority inversion still occurred")
+	}
+	if ceil.Inverted {
+		t.Error("(c) ceiling: priority inversion still occurred")
+	}
+	// Bound quality: none ≫ inheritance > ceiling.
+	if !(none.P3Wait > inh.P3Wait && inh.P3Wait > ceil.P3Wait) {
+		t.Errorf("P3 waits not ordered: none=%v inh=%v ceil=%v", none.P3Wait, inh.P3Wait, ceil.P3Wait)
+	}
+	// "This protocol tends to require fewer context switches than the
+	// inheritance protocol."
+	if !(ceil.ContextSwitches < inh.ContextSwitches) {
+		t.Errorf("ceiling switches (%d) not fewer than inheritance (%d)", ceil.ContextSwitches, inh.ContextSwitches)
+	}
+	if none.P1BoostedTo != fig5PrioLow {
+		t.Errorf("(a): P1 boosted to %d without a protocol", none.P1BoostedTo)
+	}
+	if inh.P1BoostedTo != fig5PrioHigh || ceil.P1BoostedTo != fig5PrioHigh {
+		t.Errorf("boosts: inh=%d ceil=%d, want %d", inh.P1BoostedTo, ceil.P1BoostedTo, fig5PrioHigh)
+	}
+
+	out, err := FormatFigure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "priority inheritance") || !strings.Contains(out, "Table 3") {
+		t.Fatal("Figure 5 format broken")
+	}
+}
+
+func TestTable4BothColumns(t *testing.T) {
+	linear, err := RunTable4(core.MixLinearSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := RunTable4(core.MixStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if linear[i].Prio != table4Pi[i] {
+			t.Errorf("step %d Pi: got %d, want %d", i+1, linear[i].Prio, table4Pi[i])
+		}
+		if stack[i].Prio != table4Pc[i] {
+			t.Errorf("step %d Pc: got %d, want %d", i+1, stack[i].Prio, table4Pc[i])
+		}
+	}
+	out, err := FormatTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "all steps match the paper") {
+		t.Fatalf("Table 4 format:\n%s", out)
+	}
+}
+
+func TestPervertExperimentShape(t *testing.T) {
+	results, err := PervertExperiment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		switch r.Policy {
+		case core.PervertNone:
+			if r.Detected {
+				t.Errorf("FIFO exposed the race (final %d)", r.Final)
+			}
+		default:
+			if !r.Detected {
+				t.Errorf("%v did not expose the race (final %d)", r.Policy, r.Final)
+			}
+		}
+	}
+}
+
+func TestPervertSweepDeterministic(t *testing.T) {
+	a, _ := PervertSeedSweep([]int64{5, 6})
+	b, _ := PervertSeedSweep([]int64{5, 6})
+	for i := range a {
+		if a[i].Final != b[i].Final || a[i].Switches != b[i].Switches {
+			t.Fatal("seed sweep not reproducible")
+		}
+	}
+}
+
+func TestPoolAblation70Percent(t *testing.T) {
+	res, err := MeasurePoolAblation(hw.SPARCstationIPX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Pooled < res.Unpooled) {
+		t.Fatalf("pooling did not speed creation: %v vs %v", res.Pooled, res.Unpooled)
+	}
+	// Paper: allocation is about 70% of creation time.
+	if !within(res.AllocShare, 0.70, 0.15) {
+		t.Errorf("allocation share %.2f, paper ~0.70", res.AllocShare)
+	}
+}
+
+func TestPrimitiveAblationOrdering(t *testing.T) {
+	res, err := MeasurePrimitiveAblation(hw.SPARCstationIPX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPrim := map[hw.LockPrimitive]float64{}
+	for _, r := range res {
+		byPrim[r.Primitive] = r.PairMicro
+	}
+	// TAS alone < CAS < TAS+RAS (the CAS saves the owner-store sequence
+	// at two extra cycles; the RAS pays the extra instructions).
+	if !(byPrim[hw.TASOnly] < byPrim[hw.CompareAndSwap]) {
+		t.Errorf("TAS (%v) not cheaper than CAS (%v)", byPrim[hw.TASOnly], byPrim[hw.CompareAndSwap])
+	}
+	if !(byPrim[hw.CompareAndSwap] < byPrim[hw.TASWithRAS]) {
+		t.Errorf("CAS (%v) not cheaper than TAS+RAS (%v)", byPrim[hw.CompareAndSwap], byPrim[hw.TASWithRAS])
+	}
+}
+
+func TestRendezvousOverheadNotProhibitive(t *testing.T) {
+	res, err := MeasureRendezvousAblation(hw.SPARCstationIPX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "The overhead of layering a runtime system on top of Pthreads is
+	// not prohibitive": under 3x the raw synchronization cost.
+	if res.Overhead > 3 {
+		t.Errorf("rendezvous overhead %.2fx", res.Overhead)
+	}
+	if res.RendezvousMicro <= res.SemaphoreMicro {
+		t.Error("rendezvous cheaper than a semaphore pair?")
+	}
+}
+
+func TestAttributionTrapsDominate(t *testing.T) {
+	for _, model := range []*hw.CostModel{hw.SPARCstation1Plus(), hw.SPARCstationIPX()} {
+		a, err := MeasureAttribution(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.TrapShare < 0.5 {
+			t.Errorf("%s: traps only %.0f%% of the switch", model.Name, a.TrapShare*100)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if out, err := FormatTable1(); err != nil || !strings.Contains(out, "Cancellation") {
+		t.Fatalf("FormatTable1: %v", err)
+	}
+	if out, err := FormatAblations(); err != nil || !strings.Contains(out, "Ablation") {
+		t.Fatalf("FormatAblations: %v", err)
+	}
+	if out, err := FormatAttribution(); err != nil || !strings.Contains(out, "flush trap") {
+		t.Fatalf("FormatAttribution: %v", err)
+	}
+	if out, err := FormatPervert(2); err != nil || !strings.Contains(out, "seed") {
+		t.Fatalf("FormatPervert: %v", err)
+	}
+}
+
+func TestUtilizationSweepShape(t *testing.T) {
+	points, err := UtilizationSweep([]float64{0.3, 0.45, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawNoneMiss := false
+	for _, p := range points {
+		if p.MissesCeil > p.MissesNone {
+			t.Errorf("u=%.2f: ceiling misses (%d) exceed none (%d)", p.Utilization, p.MissesCeil, p.MissesNone)
+		}
+		if p.WorstCeil >= p.WorstNone {
+			t.Errorf("u=%.2f: ceiling worst response (%v) not better than none (%v)", p.Utilization, p.WorstCeil, p.WorstNone)
+		}
+		if p.MissesCeil != 0 {
+			t.Errorf("u=%.2f: ceiling missed %d deadlines below overload", p.Utilization, p.MissesCeil)
+		}
+		if p.MissesNone > 0 {
+			sawNoneMiss = true
+		}
+	}
+	if !sawNoneMiss {
+		t.Error("the unprotected set never missed below overload — inversion not manifesting")
+	}
+}

@@ -1,0 +1,157 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"pthreads/internal/core"
+	"pthreads/internal/hw"
+	"pthreads/internal/vtime"
+)
+
+// Table 1: the action taken upon a cancellation request as a function of
+// the receiving thread's interruptibility state. The harness runs one
+// scenario per row and reports what actually happened, beside the paper's
+// specification.
+
+// Table1Row is one reproduced row.
+type Table1Row struct {
+	State    string
+	Type     string
+	Paper    string
+	Observed string
+	OK       bool
+}
+
+// Table1 runs the three cancellation scenarios.
+func Table1() ([]Table1Row, error) {
+	rows := make([]Table1Row, 3)
+
+	// Row 1: disabled + any → pends until cancellation is enabled.
+	{
+		var aliveAfterCancel, exitedAtEnable bool
+		s := core.New(core.Config{Machine: hw.SPARCstationIPX()})
+		err := s.Run(func() {
+			attr := core.DefaultAttr()
+			attr.Name = "victim"
+			attr.Priority = s.Self().Priority() - 1
+			th, _ := s.Create(attr, func(any) any {
+				s.SetCancelState(core.CancelDisabled)
+				// The cancel request arrives mid-computation and pends:
+				// interruptibility is disabled.
+				s.Compute(2 * vtime.Millisecond)
+				aliveAfterCancel = true
+				// Enabling acts on the pended request (controlled: at
+				// the next interruption point).
+				s.SetCancelState(core.CancelControlled)
+				s.TestCancel()
+				return "not cancelled"
+			}, nil)
+			s.Sleep(vtime.Millisecond)
+			s.Cancel(th)
+			v, _ := s.Join(th)
+			exitedAtEnable = v == core.Canceled
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows[0] = Table1Row{
+			State: "disabled", Type: "any",
+			Paper:    "SIGCANCEL pends on thread until cancellation is enabled",
+			Observed: observe(aliveAfterCancel && exitedAtEnable, "pended; acted after enabling + interruption point"),
+			OK:       aliveAfterCancel && exitedAtEnable,
+		}
+	}
+
+	// Row 2: enabled + controlled → pends until an interruption point.
+	{
+		var survivedCompute, exitedAtPoint bool
+		s := core.New(core.Config{Machine: hw.SPARCstationIPX()})
+		err := s.Run(func() {
+			attr := core.DefaultAttr()
+			attr.Name = "victim"
+			attr.Priority = s.Self().Priority() - 1
+			th, _ := s.Create(attr, func(any) any {
+				// The cancel request arrives while we compute; controlled
+				// interruptibility defers it past all of this.
+				s.Compute(2 * vtime.Millisecond)
+				survivedCompute = true
+				s.TestCancel() // interruption point: acts here
+				return "not cancelled"
+			}, nil)
+			s.Sleep(vtime.Millisecond)
+			s.Cancel(th)
+			v, _ := s.Join(th)
+			exitedAtPoint = v == core.Canceled
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows[1] = Table1Row{
+			State: "enabled", Type: "controlled",
+			Paper:    "SIGCANCEL pends on thread until interruption point is reached",
+			Observed: observe(survivedCompute && exitedAtPoint, "survived computation; acted at interruption point"),
+			OK:       survivedCompute && exitedAtPoint,
+		}
+	}
+
+	// Row 3: enabled + asynchronous → acted upon immediately.
+	{
+		var reachedAfter bool
+		var exited bool
+		s := core.New(core.Config{Machine: hw.SPARCstationIPX()})
+		err := s.Run(func() {
+			attr := core.DefaultAttr()
+			attr.Name = "victim"
+			attr.Priority = s.Self().Priority() - 1
+			th, _ := s.Create(attr, func(any) any {
+				s.SetCancelState(core.CancelAsynchronous)
+				s.Compute(10 * vtime.Millisecond) // cancel lands mid-compute
+				reachedAfter = true
+				return "not cancelled"
+			}, nil)
+			s.Sleep(vtime.Millisecond)
+			s.Cancel(th)
+			v, _ := s.Join(th)
+			exited = v == core.Canceled
+		})
+		if err != nil {
+			return nil, err
+		}
+		ok := exited && !reachedAfter
+		rows[2] = Table1Row{
+			State: "enabled", Type: "asynchronous",
+			Paper:    "Cancellation is acted upon immediately",
+			Observed: observe(ok, "terminated mid-computation, no interruption point reached"),
+			OK:       ok,
+		}
+	}
+
+	return rows, nil
+}
+
+func observe(ok bool, good string) string {
+	if ok {
+		return good
+	}
+	return "UNEXPECTED BEHAVIOUR — see tests"
+}
+
+// FormatTable1 renders the reproduced Table 1.
+func FormatTable1() (string, error) {
+	rows, err := Table1()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Table 1: Action taken upon Cancellation Request\n")
+	fmt.Fprintf(&b, "  %-9s %-13s %-62s %s\n", "State", "Type", "Paper", "Reproduction")
+	for _, r := range rows {
+		mark := "ok"
+		if !r.OK {
+			mark = "MISMATCH"
+		}
+		fmt.Fprintf(&b, "  %-9s %-13s %-62s %s (%s)\n", r.State, r.Type, r.Paper, r.Observed, mark)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,430 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"pthreads/internal/core"
+	"pthreads/internal/hw"
+	"pthreads/internal/sem"
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+// Metric is one row of Table 2: the paper's reported numbers plus the
+// scenario that reproduces the measurement.
+type Metric struct {
+	ID   string
+	Name string
+
+	// Paper values in µs (Blank where the paper's cell is empty).
+	Sun1Plus  float64 // SunOS LWP on SPARCstation 1+
+	Ours1Plus float64 // the paper's library on SPARCstation 1+
+	OursIPX   float64 // the paper's library on SPARCstation IPX
+	LynxIPX   float64 // LynxOS pre-release on SPARCstation IPX
+
+	// Measure reproduces the metric on the given machine model.
+	Measure func(model *hw.CostModel) (vtime.Duration, error)
+}
+
+// Metrics returns the thirteen Table 2 metrics in the paper's order.
+func Metrics() []Metric {
+	return []Metric{
+		{
+			ID: "T2.1", Name: "enter and exit Pthreads kernel",
+			Sun1Plus: Blank, Ours1Plus: Blank, OursIPX: 0.4, LynxIPX: 7.5,
+			Measure: measureKernelEnterExit,
+		},
+		{
+			ID: "T2.2", Name: "enter and exit UNIX kernel",
+			Sun1Plus: Blank, Ours1Plus: Blank, OursIPX: 18, LynxIPX: Blank,
+			Measure: measureUnixGetpid,
+		},
+		{
+			ID: "T2.3", Name: "mutex lock/unlock, no contention",
+			Sun1Plus: Blank, Ours1Plus: Blank, OursIPX: 1, LynxIPX: 5,
+			Measure: measureMutexNoContention,
+		},
+		{
+			ID: "T2.4", Name: "mutex lock/unlock, contention",
+			Sun1Plus: Blank, Ours1Plus: Blank, OursIPX: 51, LynxIPX: Blank,
+			Measure: measureMutexContention,
+		},
+		{
+			ID: "T2.5", Name: "semaphore synchronization",
+			Sun1Plus: 158, Ours1Plus: 101, OursIPX: 55, LynxIPX: 75,
+			Measure: measureSemaphoreSync,
+		},
+		{
+			ID: "T2.6", Name: "thread create, no context switch",
+			Sun1Plus: 56, Ours1Plus: 25, OursIPX: 12, LynxIPX: Blank,
+			Measure: measureThreadCreate,
+		},
+		{
+			ID: "T2.7", Name: "setjmp/longjmp pair",
+			Sun1Plus: 59, Ours1Plus: 49, OursIPX: 29, LynxIPX: Blank,
+			Measure: measureSetjmpLongjmp,
+		},
+		{
+			ID: "T2.8", Name: "thread context switch (yield)",
+			Sun1Plus: Blank, Ours1Plus: Blank, OursIPX: 37, LynxIPX: 38,
+			Measure: measureContextSwitch,
+		},
+		{
+			ID: "T2.9", Name: "UNIX process context switch",
+			Sun1Plus: Blank, Ours1Plus: Blank, OursIPX: 123, LynxIPX: 41,
+			Measure: measureProcessContextSwitch,
+		},
+		{
+			ID: "T2.10", Name: "thread signal handler (internal)",
+			Sun1Plus: Blank, Ours1Plus: Blank, OursIPX: 52, LynxIPX: Blank,
+			Measure: measureSignalInternal,
+		},
+		{
+			ID: "T2.11", Name: "thread signal handler (external)",
+			Sun1Plus: Blank, Ours1Plus: Blank, OursIPX: 250, LynxIPX: Blank,
+			Measure: measureSignalExternal,
+		},
+		{
+			ID: "T2.12", Name: "UNIX signal handler",
+			Sun1Plus: Blank, Ours1Plus: Blank, OursIPX: 154, LynxIPX: Blank,
+			Measure: measureUnixSignal,
+		},
+	}
+}
+
+// --- Individual metric scenarios --------------------------------------------
+
+func measureKernelEnterExit(model *hw.CostModel) (vtime.Duration, error) {
+	return runInSystem(model, core.Config{}, func(s *core.System) vtime.Duration {
+		return dualLoop(s, 64, s.KernelEnterExit)
+	})
+}
+
+func measureUnixGetpid(model *hw.CostModel) (vtime.Duration, error) {
+	return runInSystem(model, core.Config{}, func(s *core.System) vtime.Duration {
+		p := s.Process()
+		return dualLoop(s, 64, func() { p.Getpid() })
+	})
+}
+
+func measureMutexNoContention(model *hw.CostModel) (vtime.Duration, error) {
+	return runInSystem(model, core.Config{}, func(s *core.System) vtime.Duration {
+		m := s.MustMutex(core.MutexAttr{Name: "bench"})
+		return dualLoop(s, 64, func() {
+			m.Lock()
+			m.Unlock()
+		})
+	})
+}
+
+// measureMutexContention reproduces the paper's definition: "the interval
+// between an unlock by thread A and the return from a lock operation by
+// thread B (which was suspended while A held the mutex)".
+func measureMutexContention(model *hw.CostModel) (vtime.Duration, error) {
+	return runInSystem(model, core.Config{}, func(s *core.System) vtime.Duration {
+		const rounds = 32
+		m := s.MustMutex(core.MutexAttr{Name: "bench"})
+		gate := sem.Must(s, "gate", 0)
+		var t0 vtime.Time
+		var total vtime.Duration
+
+		m.Lock()
+		attr := core.DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		attr.Name = "locker"
+		b, _ := s.Create(attr, func(any) any {
+			for i := 0; i < rounds; i++ {
+				m.Lock() // suspends: main holds m
+				total += s.Now().Sub(t0)
+				m.Unlock()
+				gate.P() // wait for main to re-hold m
+			}
+			return nil
+		}, nil)
+
+		for i := 0; i < rounds; i++ {
+			t0 = s.Now()
+			m.Unlock() // B is granted the mutex, preempts, samples
+			m.Lock()   // free again: re-hold for the next round
+			gate.V()   // release B into its next contended Lock
+		}
+		m.Unlock()
+		s.Join(b)
+		return total / rounds
+	})
+}
+
+// measureSemaphoreSync times "one Dijkstra P operation plus one V
+// operation" as synchronization between two threads: each ping-pong round
+// trip is two P and two V operations, so the metric is half the round.
+func measureSemaphoreSync(model *hw.CostModel) (vtime.Duration, error) {
+	return runInSystem(model, core.Config{}, func(s *core.System) vtime.Duration {
+		const rounds = 32
+		ping := sem.Must(s, "ping", 0)
+		pong := sem.Must(s, "pong", 0)
+
+		attr := core.DefaultAttr()
+		attr.Priority = s.Self().Priority()
+		attr.Name = "echo"
+		b, _ := s.Create(attr, func(any) any {
+			for i := 0; i < rounds+1; i++ {
+				ping.P()
+				pong.V()
+			}
+			return nil
+		}, nil)
+
+		// Warm-up round outside the timed region.
+		ping.V()
+		pong.P()
+
+		t0 := s.Now()
+		for i := 0; i < rounds; i++ {
+			ping.V()
+			pong.P()
+		}
+		elapsed := s.Now().Sub(t0)
+		s.Join(b)
+		return elapsed / (2 * rounds)
+	})
+}
+
+// measureThreadCreate times pthread_create with a pre-cached TCB/stack
+// pool and no context switch (the new thread has lower priority).
+func measureThreadCreate(model *hw.CostModel) (vtime.Duration, error) {
+	const rounds = 32
+	cfg := core.Config{PoolSize: rounds + 8}
+	return runInSystem(model, cfg, func(s *core.System) vtime.Duration {
+		attr := core.DefaultAttr()
+		attr.Priority = s.Self().Priority() - 1
+		attr.Name = "child"
+		var children []*core.Thread
+		d := dualLoop(s, rounds, func() {
+			th, err := s.Create(attr, func(any) any { return nil }, nil)
+			if err != nil {
+				panic(err)
+			}
+			children = append(children, th)
+		})
+		for _, th := range children {
+			s.Join(th)
+		}
+		return d
+	})
+}
+
+func measureSetjmpLongjmp(model *hw.CostModel) (vtime.Duration, error) {
+	return runInSystem(model, core.Config{}, func(s *core.System) vtime.Duration {
+		return dualLoop(s, 32, func() {
+			var jb core.JmpBuf
+			if s.Setjmp(&jb, func() { s.Longjmp(&jb, 1) }) != 1 {
+				panic("longjmp did not land")
+			}
+		})
+	})
+}
+
+// measureContextSwitch times a thread context switch via sched_yield
+// between two equal-priority threads: each timed iteration of the main
+// loop is exactly two switches (away and back).
+func measureContextSwitch(model *hw.CostModel) (vtime.Duration, error) {
+	return runInSystem(model, core.Config{}, func(s *core.System) vtime.Duration {
+		const rounds = 32
+		stop := false
+		attr := core.DefaultAttr()
+		attr.Priority = s.Self().Priority()
+		attr.Name = "partner"
+		b, _ := s.Create(attr, func(any) any {
+			for !stop {
+				s.Yield()
+			}
+			return nil
+		}, nil)
+
+		s.Yield() // warm-up: partner reaches its yield loop
+
+		t0 := s.Now()
+		for i := 0; i < rounds; i++ {
+			s.Yield()
+		}
+		elapsed := s.Now().Sub(t0)
+		stop = true
+		s.Join(b)
+		return elapsed / (2 * rounds)
+	})
+}
+
+// measureUnixSignal times kill(getpid(), sig) to handler entry in one
+// process, with no thread library involved.
+func measureUnixSignal(model *hw.CostModel) (vtime.Duration, error) {
+	k := unixkern.New(model)
+	p := k.NewProcess("solo")
+	var tH vtime.Time
+	if err := p.Sigvec(unixkern.SIGUSR1, func(unixkern.Signal, *unixkern.SigInfo) {
+		tH = k.Clock.Now()
+	}, 0); err != nil {
+		return 0, err
+	}
+	const rounds = 16
+	var total vtime.Duration
+	for i := 0; i < rounds; i++ {
+		t0 := k.Clock.Now()
+		if err := k.Kill(p.Pid, unixkern.SIGUSR1); err != nil {
+			return 0, err
+		}
+		total += tH.Sub(t0)
+	}
+	return total / rounds, nil
+}
+
+// measureProcessContextSwitch follows the paper's method: time the
+// activation of another process by a signal exchange, minus the process
+// signal delivery time measured separately.
+func measureProcessContextSwitch(model *hw.CostModel) (vtime.Duration, error) {
+	sigOnly, err := measureUnixSignal(model)
+	if err != nil {
+		return 0, err
+	}
+
+	k := unixkern.New(model)
+	a := k.NewProcess("A")
+	b := k.NewProcess("B")
+	_ = a
+	var tH vtime.Time
+	if err := b.Sigvec(unixkern.SIGUSR1, func(unixkern.Signal, *unixkern.SigInfo) {
+		tH = k.Clock.Now()
+	}, 0); err != nil {
+		return 0, err
+	}
+	const rounds = 16
+	var total vtime.Duration
+	for i := 0; i < rounds; i++ {
+		t0 := k.Clock.Now()
+		if err := k.Kill(b.Pid, unixkern.SIGUSR1); err != nil {
+			return 0, err
+		}
+		total += tH.Sub(t0)
+	}
+	crossProcess := total / rounds
+	return crossProcess - sigOnly, nil
+}
+
+// measureSignalInternal times pthread_kill from one thread to another —
+// "signals directed at a thread from within the process" — from the send
+// to the entry of the receiving thread's handler.
+func measureSignalInternal(model *hw.CostModel) (vtime.Duration, error) {
+	return runInSystem(model, core.Config{}, func(s *core.System) vtime.Duration {
+		const rounds = 16
+		var t0, tH vtime.Time
+		if err := s.Sigaction(unixkern.SIGUSR1, func(unixkern.Signal, *unixkern.SigInfo, *core.SigContext) {
+			tH = s.Now()
+		}, 0); err != nil {
+			panic(err)
+		}
+		attr := core.DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		attr.Name = "receiver"
+		b, _ := s.Create(attr, func(any) any {
+			for i := 0; i < rounds; i++ {
+				s.Sleep(vtime.Second) // interrupted by each signal
+			}
+			return nil
+		}, nil)
+
+		var total vtime.Duration
+		for i := 0; i < rounds; i++ {
+			t0 = s.Now()
+			if err := s.Kill(b, unixkern.SIGUSR1); err != nil {
+				panic(err)
+			}
+			// The receiver (higher priority) preempted, ran the
+			// handler, and went back to sleep (or exited).
+			total += tH.Sub(t0)
+		}
+		s.Join(b)
+		return total / rounds
+	})
+}
+
+// measureSignalExternal times a signal sent to the process with
+// kill(getpid(), sig) and demultiplexed to a thread by the universal
+// handler, from the send to the thread handler's entry.
+func measureSignalExternal(model *hw.CostModel) (vtime.Duration, error) {
+	return runInSystem(model, core.Config{}, func(s *core.System) vtime.Duration {
+		const rounds = 16
+		var t0, tH vtime.Time
+		if err := s.Sigaction(unixkern.SIGUSR2, func(unixkern.Signal, *unixkern.SigInfo, *core.SigContext) {
+			tH = s.Now()
+		}, 0); err != nil {
+			panic(err)
+		}
+		// Mask the signal on the sender so the rule-5 search selects
+		// the receiver.
+		s.SetSigmask(unixkern.MakeSigset(unixkern.SIGUSR2))
+
+		attr := core.DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		attr.Name = "receiver"
+		b, _ := s.Create(attr, func(any) any {
+			for i := 0; i < rounds; i++ {
+				s.Sleep(vtime.Second)
+			}
+			return nil
+		}, nil)
+
+		var total vtime.Duration
+		for i := 0; i < rounds; i++ {
+			t0 = s.Now()
+			if err := s.RaiseProcess(unixkern.SIGUSR2); err != nil {
+				panic(err)
+			}
+			total += tH.Sub(t0)
+		}
+		s.Join(b)
+		return total / rounds
+	})
+}
+
+// --- Table assembly ----------------------------------------------------------
+
+// Table2Row is one measured row.
+type Table2Row struct {
+	Metric
+	Meas1Plus float64 // µs on the SPARCstation 1+ model
+	MeasIPX   float64 // µs on the SPARCstation IPX model
+}
+
+// Table2 measures every metric on both machine models.
+func Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, m := range Metrics() {
+		d1, err := m.Measure(hw.SPARCstation1Plus())
+		if err != nil {
+			return nil, fmt.Errorf("%s on 1+: %w", m.ID, err)
+		}
+		dx, err := m.Measure(hw.SPARCstationIPX())
+		if err != nil {
+			return nil, fmt.Errorf("%s on IPX: %w", m.ID, err)
+		}
+		rows = append(rows, Table2Row{Metric: m, Meas1Plus: Micros(d1), MeasIPX: Micros(dx)})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders the rows in the paper's layout, with the
+// reproduction's measured columns beside the paper's.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Performance Metrics — paper (µs) vs reproduction (virtual µs)\n")
+	b.WriteString("                                      |      Sparc 1+       |          Sparc IPX\n")
+	b.WriteString("  Performance Metric                  |   Sun  Ours  *Repro | Ours  Lynx  *Repro\n")
+	b.WriteString("  ------------------------------------+---------------------+--------------------\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-36s|%s %s  %s |%s %s  %s\n",
+			r.Name,
+			fmtCell(r.Sun1Plus, 6), fmtCell(r.Ours1Plus, 5), fmtCell(r.Meas1Plus, 6),
+			fmtCell(r.OursIPX, 5), fmtCell(r.LynxIPX, 5), fmtCell(r.MeasIPX, 6))
+	}
+	return b.String()
+}

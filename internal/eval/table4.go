@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"pthreads/internal/core"
+	"pthreads/internal/hw"
+	"pthreads/internal/vtime"
+)
+
+// Table 4: mixing the inheritance and ceiling protocols. A base-priority-0
+// thread locks mutex inht (inheritance protocol), then mutex ceil
+// (ceiling protocol, ceiling 1); a priority-2 thread then contends for
+// inht, boosting the holder to 2. The holder's priority after unlocking
+// ceil reveals the divergence:
+//
+//	Pi (linear-search unlock): stays 2 — the inheritance boost survives;
+//	Pc (ceiling stack unlock):  drops to 0 — the boost is lost, and
+//	                            unbounded inversion becomes possible.
+
+// Table4Step is one row of the reproduced table.
+type Table4Step struct {
+	N       int
+	Action  string
+	Comment string
+	Prio    int
+}
+
+// paper values for the two columns.
+var table4Pi = [5]int{0, 1, 2, 2, 0}
+var table4Pc = [5]int{0, 1, 2, 0, 0}
+
+var table4Actions = [5]string{
+	"lock(inht)", "lock(ceil)", "(contention)", "unlock(ceil)", "unlock(inht)",
+}
+var table4Comments = [5]string{
+	"no contention for inht",
+	"ceil has prio ceiling 1",
+	"contention for inht, inherit prio 2",
+	"protocol divergence",
+	"",
+}
+
+// RunTable4 executes the mixing scenario under the given unlock mode and
+// returns the holder's priority after each step.
+func RunTable4(mode core.MixMode) ([]Table4Step, error) {
+	s := core.New(core.Config{
+		Machine:             hw.SPARCstationIPX(),
+		MainPriority:        31,
+		MixedProtocolUnlock: mode,
+	})
+
+	var prios [5]int
+	err := s.Run(func() {
+		inht := s.MustMutex(core.MutexAttr{Protocol: core.ProtocolInherit, Name: "inht"})
+		ceil := s.MustMutex(core.MutexAttr{Protocol: core.ProtocolCeiling, Ceiling: 1, Name: "ceil"})
+
+		attr := core.DefaultAttr()
+		attr.Priority = 0
+		attr.Name = "holder"
+		holder, _ := s.Create(attr, func(any) any {
+			inht.Lock()
+			prios[0] = s.Self().Priority()
+			ceil.Lock()
+			prios[1] = s.Self().Priority()
+			// The contender wakes mid-computation, blocks on inht, and
+			// boosts us to 2.
+			s.Compute(10 * vtime.Millisecond)
+			prios[2] = s.Self().Priority()
+			ceil.Unlock()
+			prios[3] = s.Self().Priority()
+			inht.Unlock()
+			prios[4] = s.Self().Priority()
+			return nil
+		}, nil)
+
+		attr2 := core.DefaultAttr()
+		attr2.Priority = 2
+		attr2.Name = "contender"
+		contender, _ := s.Create(attr2, func(any) any {
+			s.Sleep(5 * vtime.Millisecond)
+			inht.Lock()
+			inht.Unlock()
+			return nil
+		}, nil)
+
+		s.Join(holder)
+		s.Join(contender)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	steps := make([]Table4Step, 5)
+	for i := range steps {
+		steps[i] = Table4Step{
+			N:       i + 1,
+			Action:  table4Actions[i],
+			Comment: table4Comments[i],
+			Prio:    prios[i],
+		}
+	}
+	return steps, nil
+}
+
+// FormatTable4 renders the reproduced table, both columns, against the
+// paper's values.
+func FormatTable4() (string, error) {
+	stack, err := RunTable4(core.MixStack)
+	if err != nil {
+		return "", err
+	}
+	linear, err := RunTable4(core.MixLinearSearch)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	b.WriteString("Table 4: Mixing Inheritance and Ceiling Protocol\n")
+	b.WriteString("  #  Action        Pi(paper) Pi(repro)  Pc(paper) Pc(repro)  Comment\n")
+	ok := true
+	for i := 0; i < 5; i++ {
+		pi, pc := linear[i].Prio, stack[i].Prio
+		if pi != table4Pi[i] || pc != table4Pc[i] {
+			ok = false
+		}
+		fmt.Fprintf(&b, "  %d  %-13s %9d %9d  %9d %9d  %s\n",
+			i+1, table4Actions[i], table4Pi[i], pi, table4Pc[i], pc, table4Comments[i])
+	}
+	if ok {
+		b.WriteString("  all steps match the paper (Pi = linear-search unlock, Pc = ceiling-stack unlock)\n")
+	} else {
+		b.WriteString("  MISMATCH against the paper — see tests\n")
+	}
+	b.WriteString("  With the stack implementation, step 4 loses the inheritance boost:\n")
+	b.WriteString("  \"the linear search of the inheritance protocol would have to be used\n")
+	b.WriteString("   for the ceiling protocol as well if the protocols were mixed.\"\n")
+	return b.String(), nil
+}

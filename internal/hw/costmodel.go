@@ -1,0 +1,195 @@
+// Package hw models the hardware the paper's library ran on: a SPARC
+// uniprocessor with register windows, kernel traps, and a ldstub
+// (test-and-set) instruction.
+//
+// The model is a cost model, not an emulator: every primitive the library
+// executes (instructions, window traps, system calls, signal deliveries)
+// charges a calibrated number of virtual nanoseconds to the CPU. Composite
+// latencies — a context switch, a contended mutex hand-off, an external
+// signal delivered to a thread — are never charged as constants; they
+// emerge from the primitives the code path actually executes, which is
+// what lets the benchmark harness reproduce the structure of the paper's
+// Table 2.
+package hw
+
+import "pthreads/internal/vtime"
+
+// CostModel holds the per-primitive virtual-time costs of one machine.
+// Two presets are provided matching the machines of the paper's
+// evaluation: a SPARCstation 1+ (25 MHz) and a SPARCstation IPX (40 MHz).
+type CostModel struct {
+	// Name identifies the machine in reports ("SPARCstation IPX").
+	Name string
+
+	// InstrNS is the cost of one simple integer instruction.
+	InstrNS int64
+
+	// FlushWindowsTrapNS is the cost of the ST_FLUSH_WINDOWS trap that
+	// spills the active register windows to the stack. Together with the
+	// window underflow trap it dominates the thread context switch
+	// ("most of the time is spent in the kernel traps to save and
+	// restore registers").
+	FlushWindowsTrapNS int64
+
+	// WindowUnderflowTrapNS is the cost of the window underflow trap
+	// taken by the restore instruction when switching to the new
+	// thread's frame.
+	WindowUnderflowTrapNS int64
+
+	// SyscallNS is the round-trip cost of entering and leaving the UNIX
+	// kernel for a trivial system call (the paper measures it with
+	// getpid).
+	SyscallNS int64
+
+	// SignalDeliverNS is the kernel-side cost of posting a signal to a
+	// process and building the interrupt frame that invokes its handler,
+	// excluding the kill system call itself and the final sigreturn.
+	SignalDeliverNS int64
+
+	// SigreturnNS is the cost of returning from a UNIX signal handler
+	// through the kernel, restoring the interrupted context.
+	SigreturnNS int64
+
+	// ProcessSwitchNS is the cost of a full UNIX process context switch
+	// (kernel scheduler, address-space switch, full register state).
+	ProcessSwitchNS int64
+
+	// HeapAllocNS is the amortized cost of allocating a thread control
+	// block plus stack from the heap (malloc bookkeeping plus the
+	// occasional sbrk). Charged only when the TCB/stack pool is empty;
+	// the paper reports this allocation is about 70% of unpooled thread
+	// creation time.
+	HeapAllocNS int64
+
+	// TASNS is the cost of the ldstub test-and-set instruction,
+	// including the cache/store-buffer penalty of its atomic bus cycle.
+	TASNS int64
+
+	// CASExtraNS is the additional cost of the hypothetical
+	// compare-and-swap instruction the paper argues for ("two more
+	// cycles to execute than the test-and-set").
+	CASExtraNS int64
+}
+
+// SPARCstation1Plus returns the cost model of a 25 MHz SPARCstation 1+
+// (the "Sparc 1+" column of Table 2).
+func SPARCstation1Plus() *CostModel {
+	return &CostModel{
+		Name:                  "SPARCstation 1+",
+		InstrNS:               50,
+		FlushWindowsTrapNS:    30500,
+		WindowUnderflowTrapNS: 16500,
+		SyscallNS:             30000,
+		SignalDeliverNS:       246000,
+		SigreturnNS:           62000,
+		ProcessSwitchNS:       215000,
+		HeapAllocNS:           58000,
+		TASNS:                 90,
+		CASExtraNS:            90,
+	}
+}
+
+// SPARCstationIPX returns the cost model of a 40 MHz SPARCstation IPX
+// (the "Sparc IPX" columns of Table 2).
+func SPARCstationIPX() *CostModel {
+	return &CostModel{
+		Name:                  "SPARCstation IPX",
+		InstrNS:               25,
+		FlushWindowsTrapNS:    18000,
+		WindowUnderflowTrapNS: 10000,
+		SyscallNS:             18000,
+		SignalDeliverNS:       136000,
+		SigreturnNS:           36000,
+		ProcessSwitchNS:       123000,
+		HeapAllocNS:           28000,
+		TASNS:                 50,
+		CASExtraNS:            50,
+	}
+}
+
+// CPU charges virtual time against a clock according to a cost model, and
+// keeps counters that the evaluation harness uses to attribute where time
+// went.
+type CPU struct {
+	Model *CostModel
+	Clock *vtime.Clock
+
+	// Counters of charged primitives, for the harness's attribution
+	// reports.
+	Instrs         int64
+	FlushTraps     int64
+	UnderflowTraps int64
+	Syscalls       int64
+	SignalsKernel  int64
+	TASOps         int64
+	HeapAllocs     int64
+}
+
+// NewCPU binds a cost model to a clock.
+func NewCPU(m *CostModel, c *vtime.Clock) *CPU {
+	return &CPU{Model: m, Clock: c}
+}
+
+// Charge advances the clock by ns virtual nanoseconds.
+func (c *CPU) Charge(ns int64) {
+	if ns < 0 {
+		panic("hw: negative charge")
+	}
+	c.Clock.Advance(vtime.Duration(ns))
+}
+
+// ChargeInstr charges n simple instructions.
+func (c *CPU) ChargeInstr(n int64) {
+	c.Instrs += n
+	c.Charge(n * c.Model.InstrNS)
+}
+
+// ChargeFlushWindows charges the register-window flush trap.
+func (c *CPU) ChargeFlushWindows() {
+	c.FlushTraps++
+	c.Charge(c.Model.FlushWindowsTrapNS)
+}
+
+// ChargeWindowUnderflow charges the window underflow trap taken when
+// restoring the new thread's windows.
+func (c *CPU) ChargeWindowUnderflow() {
+	c.UnderflowTraps++
+	c.Charge(c.Model.WindowUnderflowTrapNS)
+}
+
+// ChargeSyscall charges one round trip into the UNIX kernel.
+func (c *CPU) ChargeSyscall() {
+	c.Syscalls++
+	c.Charge(c.Model.SyscallNS)
+}
+
+// ChargeSignalDeliver charges the kernel-side delivery of a signal.
+func (c *CPU) ChargeSignalDeliver() {
+	c.SignalsKernel++
+	c.Charge(c.Model.SignalDeliverNS)
+}
+
+// ChargeSigreturn charges the return from a UNIX signal handler.
+func (c *CPU) ChargeSigreturn() { c.Charge(c.Model.SigreturnNS) }
+
+// ChargeProcessSwitch charges a full UNIX process context switch.
+func (c *CPU) ChargeProcessSwitch() { c.Charge(c.Model.ProcessSwitchNS) }
+
+// ChargeHeapAlloc charges a heap allocation of a TCB plus stack.
+func (c *CPU) ChargeHeapAlloc() {
+	c.HeapAllocs++
+	c.Charge(c.Model.HeapAllocNS)
+}
+
+// ChargeTAS charges one ldstub.
+func (c *CPU) ChargeTAS() {
+	c.TASOps++
+	c.Charge(c.Model.TASNS)
+}
+
+// ChargeCAS charges one hypothetical compare-and-swap (a ldstub plus the
+// two extra comparison cycles the paper estimates).
+func (c *CPU) ChargeCAS() {
+	c.TASOps++
+	c.Charge(c.Model.TASNS + c.Model.CASExtraNS)
+}

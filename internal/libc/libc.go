@@ -1,0 +1,236 @@
+// Package libc is a miniature "C library" layered on the thread system,
+// built to address the paper's closing future-work item: "A major
+// obstacle to the use of threads is to make C libraries reentrant for
+// threads. Several library calls use global state information, some
+// interfaces are non-reentrant, ... This issue has not been addressed
+// yet."
+//
+// The package contains matched pairs of routines: the classic
+// non-reentrant interface with process-global state (Strtok, Rand, the
+// static TimeString buffer, unlocked stdio) and its thread-safe
+// counterpart (StrtokR, RandR / per-thread Rand via thread-specific
+// data, TimeStringR, flockfile-style stdio locking). The test suite
+// demonstrates the corruption of the former under perverted scheduling
+// and the correctness of the latter — exactly the debugging workflow the
+// paper proposes for such libraries.
+package libc
+
+import (
+	"fmt"
+	"strings"
+
+	"pthreads/internal/core"
+	"pthreads/internal/vtime"
+)
+
+// Lib is one instance of the C library, bound to a thread system. Its
+// unsafe entry points share state across every thread of the process, as
+// the historical libc did.
+type Lib struct {
+	s *core.System
+
+	// strtok's hidden global continuation pointer.
+	strtokRest string
+
+	// rand's global seed.
+	randSeed uint32
+
+	// The static buffer returned by TimeString (like asctime/gmtime).
+	timeBuf []byte
+
+	// Per-thread rand state lives under this TSD key; created lazily.
+	randKey    core.Key
+	haveKey    bool
+	randKeyErr error
+}
+
+// New binds a library instance to a system.
+func New(s *core.System) *Lib {
+	return &Lib{s: s, randSeed: 1, timeBuf: make([]byte, 0, 64)}
+}
+
+// --- strtok -----------------------------------------------------------------
+
+// Strtok is the classic non-reentrant tokenizer: passing a non-empty
+// string starts a new scan whose progress is stored in library-global
+// state; passing "" continues the previous scan — whoever's scan that
+// was. Two threads tokenizing concurrently corrupt each other.
+func (l *Lib) Strtok(str, delims string) string {
+	if str != "" {
+		l.strtokRest = str
+	}
+	var tok string
+	tok, l.strtokRest = nextToken(l.strtokRest, delims)
+	// The scan costs time proportional to the token: the window in
+	// which a context switch lets another thread clobber the state.
+	l.s.Compute(vtime.Duration(len(tok)+1) * vtime.Microsecond)
+	return tok
+}
+
+// StrtokR is the reentrant counterpart: the continuation lives in the
+// caller-provided savePtr, so concurrent scans are independent.
+func (l *Lib) StrtokR(str, delims string, savePtr *string) string {
+	if str != "" {
+		*savePtr = str
+	}
+	var tok string
+	tok, *savePtr = nextToken(*savePtr, delims)
+	l.s.Compute(vtime.Duration(len(tok)+1) * vtime.Microsecond)
+	return tok
+}
+
+// nextToken splits off the first delimiter-separated token.
+func nextToken(rest, delims string) (tok, newRest string) {
+	start := 0
+	for start < len(rest) && strings.ContainsRune(delims, rune(rest[start])) {
+		start++
+	}
+	if start == len(rest) {
+		return "", ""
+	}
+	end := start
+	for end < len(rest) && !strings.ContainsRune(delims, rune(rest[end])) {
+		end++
+	}
+	return rest[start:end], rest[end:]
+}
+
+// --- rand -------------------------------------------------------------------
+
+// randNext advances a seed by the classic minstd generator.
+func randNext(seed uint32) uint32 {
+	return uint32((uint64(seed) * 16807) % 2147483647)
+}
+
+// Srand seeds the global generator.
+func (l *Lib) Srand(seed uint32) {
+	if seed == 0 {
+		seed = 1
+	}
+	l.randSeed = seed
+}
+
+// Rand draws from the process-global generator: any thread's call
+// perturbs every other thread's sequence, so per-thread reproducibility
+// is impossible.
+func (l *Lib) Rand() uint32 {
+	l.s.Compute(vtime.Microsecond)
+	l.randSeed = randNext(l.randSeed)
+	return l.randSeed
+}
+
+// RandR draws from caller-owned state (rand_r).
+func (l *Lib) RandR(seed *uint32) uint32 {
+	if *seed == 0 {
+		*seed = 1
+	}
+	l.s.Compute(vtime.Microsecond)
+	*seed = randNext(*seed)
+	return *seed
+}
+
+// ThreadRand draws from a per-thread generator kept in thread-specific
+// data — the library-internal fix that keeps the old interface but makes
+// it thread-safe, as the paper's discussion of Jones' approach suggests.
+func (l *Lib) ThreadRand() (uint32, error) {
+	if !l.haveKey {
+		l.randKey, l.randKeyErr = l.s.KeyCreate(nil)
+		l.haveKey = true
+	}
+	if l.randKeyErr != nil {
+		return 0, l.randKeyErr
+	}
+	seed, _ := l.s.GetSpecific(l.randKey).(uint32)
+	if seed == 0 {
+		seed = uint32(l.s.Self().ID()) * 2654435761
+		if seed == 0 {
+			seed = 1
+		}
+	}
+	l.s.Compute(vtime.Microsecond)
+	seed = randNext(seed)
+	if err := l.s.SetSpecific(l.randKey, seed); err != nil {
+		return 0, err
+	}
+	return seed, nil
+}
+
+// --- static-buffer interfaces --------------------------------------------------
+
+// TimeString renders a timestamp into the library's static buffer and
+// returns a view of it — the asctime/gmtime pattern. A second call from
+// any thread overwrites the first caller's result.
+func (l *Lib) TimeString(t vtime.Time) []byte {
+	l.timeBuf = l.timeBuf[:0]
+	s := fmt.Sprintf("T+%012dns", int64(t))
+	// Byte-at-a-time formatting opens the preemption window.
+	for i := 0; i < len(s); i++ {
+		l.timeBuf = append(l.timeBuf, s[i])
+		l.s.Compute(200 * vtime.Nanosecond)
+	}
+	return l.timeBuf
+}
+
+// TimeStringR renders into a caller-provided buffer (asctime_r).
+func (l *Lib) TimeStringR(t vtime.Time, buf []byte) []byte {
+	buf = buf[:0]
+	s := fmt.Sprintf("T+%012dns", int64(t))
+	for i := 0; i < len(s); i++ {
+		buf = append(buf, s[i])
+		l.s.Compute(200 * vtime.Nanosecond)
+	}
+	return buf
+}
+
+// --- stdio ------------------------------------------------------------------
+
+// File is a buffered output stream. Writes land byte by byte in the
+// shared buffer; without flockfile-style locking, concurrent writers
+// interleave mid-record.
+type File struct {
+	l    *Lib
+	name string
+	buf  []byte
+	m    *core.Mutex
+}
+
+// Fopen creates a stream.
+func (l *Lib) Fopen(name string) (*File, error) {
+	m, err := l.s.NewMutex(core.MutexAttr{Name: "stdio:" + name, Protocol: core.ProtocolInherit})
+	if err != nil {
+		return nil, err
+	}
+	return &File{l: l, name: name, m: m}, nil
+}
+
+// Puts appends a record with NO locking — the historical, non-reentrant
+// stdio. Each byte costs time, so perverted scheduling interleaves
+// concurrent records.
+func (f *File) Puts(s string) {
+	for i := 0; i < len(s); i++ {
+		f.buf = append(f.buf, s[i])
+		f.l.s.Compute(100 * vtime.Nanosecond)
+	}
+	f.buf = append(f.buf, '\n')
+}
+
+// Lock and Unlock are flockfile/funlockfile.
+func (f *File) Lock() error   { return f.m.Lock() }
+func (f *File) Unlock() error { return f.m.Unlock() }
+
+// PutsLocked appends a record under the stream lock — the thread-safe
+// stdio discipline.
+func (f *File) PutsLocked(s string) {
+	f.Lock()
+	f.Puts(s)
+	f.Unlock()
+}
+
+// Records returns the stream contents split into records.
+func (f *File) Records() []string {
+	out := strings.Split(string(f.buf), "\n")
+	if len(out) > 0 && out[len(out)-1] == "" {
+		out = out[:len(out)-1]
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package libc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzNextToken checks the tokenizer against strings.FieldsFunc for
+// arbitrary inputs and delimiter sets.
+func FuzzNextToken(f *testing.F) {
+	f.Add("a b c", " ")
+	f.Add(",,x,,y", ",")
+	f.Add("", " \t")
+	f.Add("solo", "")
+	f.Fuzz(func(t *testing.T, input, delims string) {
+		if len(input) > 1000 || len(delims) > 16 {
+			return
+		}
+		// The classic strtok is byte-oriented; restrict the comparison
+		// with the rune-oriented FieldsFunc to ASCII.
+		for _, s := range []string{input, delims} {
+			for i := 0; i < len(s); i++ {
+				if s[i] >= 128 {
+					return
+				}
+			}
+		}
+		var got []string
+		rest := input
+		for i := 0; i < len(input)+1; i++ {
+			var tok string
+			tok, rest = nextToken(rest, delims)
+			if tok == "" {
+				break
+			}
+			got = append(got, tok)
+		}
+		want := strings.FieldsFunc(input, func(r rune) bool {
+			return r < 128 && strings.ContainsRune(delims, r)
+		})
+		if delims == "" {
+			// No delimiters: the whole input is one token (when any).
+			want = nil
+			if input != "" {
+				want = []string{input}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("tokens %q vs fields %q", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("token %d: %q vs %q", i, got[i], want[i])
+			}
+		}
+	})
+}

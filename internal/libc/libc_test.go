@@ -1,0 +1,292 @@
+package libc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pthreads/internal/core"
+	"pthreads/internal/vtime"
+)
+
+// runRR runs body as main with aggressive SCHED_RR time slicing, the
+// environment in which non-reentrant library state breaks.
+func runRR(t *testing.T, quantum vtime.Duration, body func(s *core.System, l *Lib)) {
+	t.Helper()
+	s := core.New(core.Config{Quantum: quantum, MainPolicy: core.SchedRR})
+	if err := s.Run(func() { body(s, New(s)) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// rrAttr returns attributes for an RR worker.
+func rrAttr(name string) core.Attr {
+	a := core.DefaultAttr()
+	a.Name = name
+	a.Policy = core.SchedRR
+	return a
+}
+
+func TestNextToken(t *testing.T) {
+	cases := []struct {
+		in, delims, tok, rest string
+	}{
+		{"a b c", " ", "a", " b c"},
+		{"  x", " ", "x", ""},
+		{"", " ", "", ""},
+		{",,a,b", ",", "a", ",b"},
+	}
+	for _, c := range cases {
+		tok, rest := nextToken(c.in, c.delims)
+		if tok != c.tok || rest != c.rest {
+			t.Fatalf("nextToken(%q) = %q,%q", c.in, tok, rest)
+		}
+	}
+}
+
+func TestStrtokSingleThread(t *testing.T) {
+	runRR(t, vtime.Millisecond, func(s *core.System, l *Lib) {
+		var got []string
+		for tok := l.Strtok("one two three", " "); tok != ""; tok = l.Strtok("", " ") {
+			got = append(got, tok)
+		}
+		if strings.Join(got, ",") != "one,two,three" {
+			t.Errorf("tokens = %v", got)
+		}
+	})
+}
+
+func TestStrtokCorruptsAcrossThreads(t *testing.T) {
+	// Two threads tokenize different strings through the shared hidden
+	// state; time slicing interleaves their scans and at least one
+	// thread sees the other's tokens.
+	var resultA, resultB []string
+	runRR(t, 2*vtime.Microsecond, func(s *core.System, l *Lib) {
+		mk := func(name, input string, out *[]string) *core.Thread {
+			th, _ := s.Create(rrAttr(name), func(any) any {
+				for tok := l.Strtok(input, " "); tok != ""; tok = l.Strtok("", " ") {
+					*out = append(*out, tok)
+				}
+				return nil
+			}, nil)
+			return th
+		}
+		a := mk("A", "a1 a2 a3 a4 a5", &resultA)
+		b := mk("B", "b1 b2 b3 b4 b5", &resultB)
+		s.Join(a)
+		s.Join(b)
+	})
+	clean := func(toks []string, prefix string) bool {
+		for _, tok := range toks {
+			if !strings.HasPrefix(tok, prefix) {
+				return false
+			}
+		}
+		return len(toks) == 5
+	}
+	if clean(resultA, "a") && clean(resultB, "b") {
+		t.Fatalf("expected cross-thread corruption, got A=%v B=%v", resultA, resultB)
+	}
+}
+
+func TestStrtokRIsReentrant(t *testing.T) {
+	var resultA, resultB []string
+	runRR(t, 2*vtime.Microsecond, func(s *core.System, l *Lib) {
+		mk := func(name, input string, out *[]string) *core.Thread {
+			th, _ := s.Create(rrAttr(name), func(any) any {
+				var save string
+				for tok := l.StrtokR(input, " ", &save); tok != ""; tok = l.StrtokR("", " ", &save) {
+					*out = append(*out, tok)
+				}
+				return nil
+			}, nil)
+			return th
+		}
+		a := mk("A", "a1 a2 a3 a4 a5", &resultA)
+		b := mk("B", "b1 b2 b3 b4 b5", &resultB)
+		s.Join(a)
+		s.Join(b)
+	})
+	if strings.Join(resultA, ",") != "a1,a2,a3,a4,a5" {
+		t.Fatalf("A = %v", resultA)
+	}
+	if strings.Join(resultB, ",") != "b1,b2,b3,b4,b5" {
+		t.Fatalf("B = %v", resultB)
+	}
+}
+
+func TestRandGlobalPerturbedByOtherThreads(t *testing.T) {
+	// A thread drawing from the global generator alone vs with a
+	// concurrent drawer: the sequences differ.
+	draw := func(concurrent bool) []uint32 {
+		var seq []uint32
+		s := core.New(core.Config{Quantum: 2 * vtime.Microsecond, MainPolicy: core.SchedRR})
+		s.Run(func() {
+			l := New(s)
+			l.Srand(42)
+			var other *core.Thread
+			if concurrent {
+				other, _ = s.Create(rrAttr("other"), func(any) any {
+					for i := 0; i < 10; i++ {
+						l.Rand()
+					}
+					return nil
+				}, nil)
+			}
+			for i := 0; i < 10; i++ {
+				seq = append(seq, l.Rand())
+			}
+			if other != nil {
+				s.Join(other)
+			}
+		})
+		return seq
+	}
+	alone := draw(false)
+	shared := draw(true)
+	same := true
+	for i := range alone {
+		if alone[i] != shared[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("global rand sequence unperturbed by a concurrent thread")
+	}
+}
+
+func TestRandRAndThreadRandReproducible(t *testing.T) {
+	runRR(t, 2*vtime.Microsecond, func(s *core.System, l *Lib) {
+		// rand_r: caller state, deterministic regardless of the noise
+		// thread.
+		noise, _ := s.Create(rrAttr("noise"), func(any) any {
+			for i := 0; i < 20; i++ {
+				l.Rand()
+			}
+			return nil
+		}, nil)
+		var seed uint32 = 42
+		first := []uint32{}
+		for i := 0; i < 5; i++ {
+			first = append(first, l.RandR(&seed))
+		}
+		seed = 42
+		for i := 0; i < 5; i++ {
+			if got := l.RandR(&seed); got != first[i] {
+				t.Errorf("rand_r diverged at %d", i)
+			}
+		}
+		// ThreadRand: distinct per-thread streams.
+		v1, err := l.ThreadRand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v2 uint32
+		th, _ := s.Create(rrAttr("w"), func(any) any {
+			v, _ := l.ThreadRand()
+			v2 = v
+			return nil
+		}, nil)
+		s.Join(th)
+		s.Join(noise)
+		if v1 == v2 {
+			t.Error("per-thread streams collided")
+		}
+	})
+}
+
+func TestTimeStringStaticBufferClobbered(t *testing.T) {
+	runRR(t, vtime.Microsecond, func(s *core.System, l *Lib) {
+		// Main formats one timestamp; a concurrent thread formats
+		// another into the same static buffer.
+		var mine []byte
+		th, _ := s.Create(rrAttr("other"), func(any) any {
+			l.TimeString(vtime.Time(999999999999))
+			return nil
+		}, nil)
+		mine = l.TimeString(vtime.Time(111111))
+		s.Join(th)
+		// The view aliases the static buffer: by now it holds the other
+		// thread's (or a mixed) timestamp.
+		if string(mine) == "T+000000111111ns" {
+			t.Fatalf("static buffer survived concurrent use: %q", mine)
+		}
+	})
+}
+
+func TestTimeStringRKeepsCallerBuffer(t *testing.T) {
+	runRR(t, vtime.Microsecond, func(s *core.System, l *Lib) {
+		th, _ := s.Create(rrAttr("other"), func(any) any {
+			buf := make([]byte, 0, 64)
+			l.TimeStringR(vtime.Time(999999999999), buf)
+			return nil
+		}, nil)
+		buf := make([]byte, 0, 64)
+		got := l.TimeStringR(vtime.Time(111111), buf)
+		s.Join(th)
+		if string(got) != "T+000000111111ns" {
+			t.Fatalf("reentrant buffer corrupted: %q", got)
+		}
+	})
+}
+
+func TestStdioUnlockedInterleaves(t *testing.T) {
+	runRR(t, vtime.Microsecond, func(s *core.System, l *Lib) {
+		f, err := l.Fopen("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ths []*core.Thread
+		for i := 0; i < 2; i++ {
+			i := i
+			th, _ := s.Create(rrAttr(fmt.Sprintf("w%d", i)), func(any) any {
+				for j := 0; j < 5; j++ {
+					f.Puts(fmt.Sprintf("writer%d-record%d", i, j))
+				}
+				return nil
+			}, nil)
+			ths = append(ths, th)
+		}
+		for _, th := range ths {
+			s.Join(th)
+		}
+		broken := false
+		for _, rec := range f.Records() {
+			if !strings.HasPrefix(rec, "writer") || !strings.Contains(rec, "-record") || len(rec) != len("writerX-recordY") {
+				broken = true
+			}
+		}
+		if !broken {
+			t.Fatalf("unlocked stdio produced intact records: %v", f.Records())
+		}
+	})
+}
+
+func TestStdioFlockfileKeepsRecordsIntact(t *testing.T) {
+	runRR(t, vtime.Microsecond, func(s *core.System, l *Lib) {
+		f, _ := l.Fopen("out")
+		var ths []*core.Thread
+		for i := 0; i < 2; i++ {
+			i := i
+			th, _ := s.Create(rrAttr(fmt.Sprintf("w%d", i)), func(any) any {
+				for j := 0; j < 5; j++ {
+					f.PutsLocked(fmt.Sprintf("writer%d-record%d", i, j))
+				}
+				return nil
+			}, nil)
+			ths = append(ths, th)
+		}
+		for _, th := range ths {
+			s.Join(th)
+		}
+		recs := f.Records()
+		if len(recs) != 10 {
+			t.Fatalf("records = %v", recs)
+		}
+		for _, rec := range recs {
+			if !strings.HasPrefix(rec, "writer") || len(rec) != len("writerX-recordY") {
+				t.Fatalf("locked stdio corrupted record %q in %v", rec, recs)
+			}
+		}
+	})
+}

@@ -1,0 +1,206 @@
+// Package sched provides the priority-indexed FIFO queues used for the
+// ready queue and for mutex/condition-variable wait queues.
+//
+// The structure matches the paper's scheduler: one FIFO per priority level
+// plus a bitmap of non-empty levels, so that selecting the next thread is
+// a find-highest-set-bit followed by a dequeue. Higher numeric priority is
+// more urgent.
+package sched
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Priority bounds. The POSIX.4a draft requires at least 32 distinct
+// priority values for SCHED_FIFO/SCHED_RR; the library exposes exactly
+// that range.
+const (
+	MinPrio     = 0
+	MaxPrio     = 31
+	NumPrio     = MaxPrio - MinPrio + 1
+	DefaultPrio = 16
+)
+
+// ValidPrio reports whether p is a legal priority.
+func ValidPrio(p int) bool { return p >= MinPrio && p <= MaxPrio }
+
+// Queue is a priority queue of distinct items with FIFO order within each
+// priority level. Items must be comparable; an item may be queued at most
+// once (enforced only as far as Remove semantics require — callers keep
+// that invariant).
+type Queue[T comparable] struct {
+	levels [NumPrio][]T
+	bitmap uint32
+	size   int
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return q.size }
+
+// Empty reports whether the queue holds no items.
+func (q *Queue[T]) Empty() bool { return q.size == 0 }
+
+// LenAt reports the number of items queued at priority p.
+func (q *Queue[T]) LenAt(p int) int { return len(q.levels[p-MinPrio]) }
+
+func (q *Queue[T]) checkPrio(p int) {
+	if !ValidPrio(p) {
+		panic(fmt.Sprintf("sched: priority %d out of range [%d,%d]", p, MinPrio, MaxPrio))
+	}
+}
+
+// Enqueue appends the item at the tail of its priority level — the normal
+// position for a thread that yields, exhausts its time slice, or becomes
+// ready.
+func (q *Queue[T]) Enqueue(x T, p int) {
+	q.checkPrio(p)
+	i := p - MinPrio
+	q.levels[i] = append(q.levels[i], x)
+	q.bitmap |= 1 << uint(i)
+	q.size++
+}
+
+// EnqueueHead inserts the item at the head of its priority level — the
+// position for a thread that was preempted, or whose boosted priority is
+// being reset ("neither should any other thread at the same priority level
+// be scheduled instead of the current thread when the priority is reset").
+func (q *Queue[T]) EnqueueHead(x T, p int) {
+	q.checkPrio(p)
+	i := p - MinPrio
+	q.levels[i] = append([]T{x}, q.levels[i]...)
+	q.bitmap |= 1 << uint(i)
+	q.size++
+}
+
+// MaxLevel returns the highest non-empty priority, or ok=false when the
+// queue is empty.
+func (q *Queue[T]) MaxLevel() (p int, ok bool) {
+	if q.bitmap == 0 {
+		return 0, false
+	}
+	return MinPrio + 31 - bits.LeadingZeros32(q.bitmap), true
+}
+
+// PeekMax returns the item at the head of the highest non-empty level
+// without removing it.
+func (q *Queue[T]) PeekMax() (x T, p int, ok bool) {
+	p, ok = q.MaxLevel()
+	if !ok {
+		var zero T
+		return zero, 0, false
+	}
+	return q.levels[p-MinPrio][0], p, true
+}
+
+// DequeueMax removes and returns the head of the highest non-empty level.
+func (q *Queue[T]) DequeueMax() (x T, p int, ok bool) {
+	p, ok = q.MaxLevel()
+	if !ok {
+		var zero T
+		return zero, 0, false
+	}
+	i := p - MinPrio
+	x = q.levels[i][0]
+	q.levels[i] = q.levels[i][1:]
+	if len(q.levels[i]) == 0 {
+		q.bitmap &^= 1 << uint(i)
+	}
+	q.size--
+	return x, p, true
+}
+
+// DequeueAt removes and returns the head of level p.
+func (q *Queue[T]) DequeueAt(p int) (x T, ok bool) {
+	q.checkPrio(p)
+	i := p - MinPrio
+	if len(q.levels[i]) == 0 {
+		var zero T
+		return zero, false
+	}
+	x = q.levels[i][0]
+	q.levels[i] = q.levels[i][1:]
+	if len(q.levels[i]) == 0 {
+		q.bitmap &^= 1 << uint(i)
+	}
+	q.size--
+	return x, true
+}
+
+// Remove deletes the item from level p, reporting whether it was present.
+// Used when a timed wait expires or a waiter is cancelled.
+func (q *Queue[T]) Remove(x T, p int) bool {
+	q.checkPrio(p)
+	i := p - MinPrio
+	for j, y := range q.levels[i] {
+		if y == x {
+			q.levels[i] = append(q.levels[i][:j], q.levels[i][j+1:]...)
+			if len(q.levels[i]) == 0 {
+				q.bitmap &^= 1 << uint(i)
+			}
+			q.size--
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveAny deletes the item from whatever level it is queued at,
+// reporting whether it was found. Used when the caller does not know the
+// priority the item was queued with (after a boost, for example).
+func (q *Queue[T]) RemoveAny(x T) (p int, ok bool) {
+	for i := range q.levels {
+		for j, y := range q.levels[i] {
+			if y == x {
+				q.levels[i] = append(q.levels[i][:j], q.levels[i][j+1:]...)
+				if len(q.levels[i]) == 0 {
+					q.bitmap &^= 1 << uint(i)
+				}
+				q.size--
+				return i + MinPrio, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether the item is queued at any level.
+func (q *Queue[T]) Contains(x T) bool {
+	for i := range q.levels {
+		for _, y := range q.levels[i] {
+			if y == x {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Nth returns the n-th item in scheduling order (highest priority first,
+// FIFO within a level). Used by the random-switch perverted policy to pick
+// a uniformly random ready thread deterministically from a seeded PRNG.
+func (q *Queue[T]) Nth(n int) (x T, p int, ok bool) {
+	if n < 0 || n >= q.size {
+		var zero T
+		return zero, 0, false
+	}
+	for i := NumPrio - 1; i >= 0; i-- {
+		l := q.levels[i]
+		if n < len(l) {
+			return l[n], i + MinPrio, true
+		}
+		n -= len(l)
+	}
+	var zero T
+	return zero, 0, false
+}
+
+// Items returns all queued items in scheduling order. Used by diagnostics
+// (deadlock reports) and tests.
+func (q *Queue[T]) Items() []T {
+	out := make([]T, 0, q.size)
+	for i := NumPrio - 1; i >= 0; i-- {
+		out = append(out, q.levels[i]...)
+	}
+	return out
+}

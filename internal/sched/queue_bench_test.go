@@ -1,0 +1,45 @@
+package sched
+
+import "testing"
+
+func BenchmarkEnqueueDequeueSamePrio(b *testing.B) {
+	var q Queue[int]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(i, DefaultPrio)
+		q.DequeueMax()
+	}
+}
+
+func BenchmarkEnqueueDequeueSpread(b *testing.B) {
+	var q Queue[int]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(i, i%NumPrio)
+		if i%4 == 3 {
+			for j := 0; j < 4; j++ {
+				q.DequeueMax()
+			}
+		}
+	}
+}
+
+func BenchmarkPeekMaxLoaded(b *testing.B) {
+	var q Queue[int]
+	for i := 0; i < 64; i++ {
+		q.Enqueue(i, i%NumPrio)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.PeekMax()
+	}
+}
+
+func BenchmarkRemove(b *testing.B) {
+	var q Queue[int]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(i, 7)
+		q.Remove(i, 7)
+	}
+}

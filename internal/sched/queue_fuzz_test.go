@@ -1,0 +1,67 @@
+package sched
+
+import "testing"
+
+// FuzzQueueOps drives the priority queue with an opcode string and checks
+// the core invariants after every operation: size consistency, bitmap
+// consistency, and max-level correctness against a naive model.
+func FuzzQueueOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 0, 1})
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 2})
+	f.Add([]byte{2, 1, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var q Queue[int]
+		model := map[int]int{} // id -> prio
+		next := 0
+		for i, op := range ops {
+			switch op % 3 {
+			case 0: // enqueue
+				p := (int(op) / 3) % NumPrio
+				q.Enqueue(next, p)
+				model[next] = p
+				next++
+			case 1: // dequeue max
+				x, p, ok := q.DequeueMax()
+				if ok {
+					mp, present := model[x]
+					if !present || mp != p {
+						t.Fatalf("op %d: dequeued %d@%d not in model", i, x, p)
+					}
+					// Verify no higher-priority item remained.
+					for _, op2 := range model {
+						if op2 > p {
+							t.Fatalf("op %d: dequeued prio %d while %d exists", i, p, op2)
+						}
+					}
+					delete(model, x)
+				} else if len(model) != 0 {
+					t.Fatalf("op %d: empty dequeue with %d items", i, len(model))
+				}
+			case 2: // remove one arbitrary item
+				for id, p := range model {
+					if !q.Remove(id, p) {
+						t.Fatalf("op %d: Remove(%d,%d) failed", i, id, p)
+					}
+					delete(model, id)
+					break
+				}
+			}
+			if q.Len() != len(model) {
+				t.Fatalf("op %d: Len %d vs model %d", i, q.Len(), len(model))
+			}
+			if p, ok := q.MaxLevel(); ok {
+				max := -1
+				for _, mp := range model {
+					if mp > max {
+						max = mp
+					}
+				}
+				if p != max {
+					t.Fatalf("op %d: MaxLevel %d vs model %d", i, p, max)
+				}
+			} else if len(model) != 0 {
+				t.Fatalf("op %d: MaxLevel empty with items", i)
+			}
+		}
+	})
+}

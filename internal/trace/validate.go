@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"fmt"
+
+	"pthreads/internal/core"
+)
+
+// SchedValidator is a Tracer that checks the priority-scheduling
+// invariant on every dispatch: when a thread starts running, no ready
+// thread may hold a strictly higher priority. (The perverted scheduling
+// policies intentionally violate this — the paper notes they "may not
+// always conform with priority scheduling" — so the validator is for
+// plain configurations.)
+//
+// Attach via Config.Tracer, or chain behind a Recorder with Tee.
+type SchedValidator struct {
+	ready      map[*core.Thread]bool
+	Violations []string
+}
+
+// NewSchedValidator returns an empty validator.
+func NewSchedValidator() *SchedValidator {
+	return &SchedValidator{ready: make(map[*core.Thread]bool)}
+}
+
+// Event implements core.Tracer.
+func (v *SchedValidator) Event(ev core.TraceEvent) {
+	if ev.Kind != core.EvState || ev.Thread == nil {
+		return
+	}
+	switch ev.Arg {
+	case "ready":
+		v.ready[ev.Thread] = true
+	case "running":
+		delete(v.ready, ev.Thread)
+		runPrio := ev.Thread.Priority()
+		for t := range v.ready {
+			if t.Priority() > runPrio {
+				v.Violations = append(v.Violations, fmt.Sprintf(
+					"at %v: %v dispatched at prio %d while %v ready at %d",
+					ev.At, ev.Thread, runPrio, t, t.Priority()))
+			}
+		}
+	case "blocked", "terminated", "created":
+		delete(v.ready, ev.Thread)
+	}
+}
+
+// Err returns an error describing the first violations, or nil.
+func (v *SchedValidator) Err() error {
+	if len(v.Violations) == 0 {
+		return nil
+	}
+	n := len(v.Violations)
+	show := v.Violations
+	if len(show) > 3 {
+		show = show[:3]
+	}
+	return fmt.Errorf("%d priority-scheduling violations, first: %v", n, show)
+}
+
+// Tee fans trace events out to several tracers (e.g., a Recorder plus a
+// SchedValidator).
+type Tee []core.Tracer
+
+// Event implements core.Tracer.
+func (tee Tee) Event(ev core.TraceEvent) {
+	for _, t := range tee {
+		t.Event(ev)
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"testing"
+
+	"pthreads/internal/core"
+	"pthreads/internal/vtime"
+)
+
+// validateWorkload runs a synchronization-heavy priority workload with
+// the validator attached and returns its findings.
+func validateWorkload(t *testing.T, cfg core.Config) *SchedValidator {
+	t.Helper()
+	v := NewSchedValidator()
+	rec := New()
+	cfg.Tracer = Tee{rec, v}
+	s := core.New(cfg)
+	err := s.Run(func() {
+		m := s.MustMutex(core.MutexAttr{Name: "m", Protocol: core.ProtocolInherit})
+		c := s.NewCond("c")
+		tokens := 2
+		var ths []*core.Thread
+		for i := 0; i < 5; i++ {
+			attr := core.DefaultAttr()
+			attr.Priority = 8 + 3*i
+			th, _ := s.Create(attr, func(any) any {
+				for j := 0; j < 6; j++ {
+					m.Lock()
+					for tokens == 0 {
+						c.Wait(m)
+					}
+					tokens--
+					s.Compute(100 * vtime.Microsecond)
+					tokens++
+					c.Signal()
+					m.Unlock()
+					s.Sleep(vtime.Duration(200+j*37) * vtime.Microsecond)
+				}
+				return nil
+			}, nil)
+			ths = append(ths, th)
+		}
+		for _, th := range ths {
+			s.Join(th)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) == 0 {
+		t.Fatal("tee starved the recorder")
+	}
+	return v
+}
+
+func TestSchedValidatorCleanOnFIFO(t *testing.T) {
+	v := validateWorkload(t, core.Config{})
+	if err := v.Err(); err != nil {
+		t.Fatalf("priority scheduling violated: %v", err)
+	}
+}
+
+func TestSchedValidatorCleanOnRR(t *testing.T) {
+	v := validateWorkload(t, core.Config{Quantum: vtime.Millisecond})
+	if err := v.Err(); err != nil {
+		t.Fatalf("priority scheduling violated under RR: %v", err)
+	}
+}
+
+func TestSchedValidatorFlagsPervertedPolicies(t *testing.T) {
+	// The RR-ordered policy deliberately runs lower-priority threads
+	// while higher ones are ready; the validator must notice.
+	v := validateWorkload(t, core.Config{Pervert: core.PervertRROrdered})
+	if v.Err() == nil {
+		t.Fatal("validator blind to perverted scheduling")
+	}
+}

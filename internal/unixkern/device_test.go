@@ -1,0 +1,82 @@
+package unixkern
+
+import (
+	"testing"
+
+	"pthreads/internal/hw"
+	"pthreads/internal/vtime"
+)
+
+func TestDeviceValidationKernel(t *testing.T) {
+	k := New(hw.SPARCstationIPX())
+	if _, err := k.NewDevice("d", -1, 0); err == nil {
+		t.Fatal("negative setup accepted")
+	}
+	if _, err := k.NewDevice("d", 0, -1); err == nil {
+		t.Fatal("negative per-byte accepted")
+	}
+	d, err := k.NewDevice("", 1, 1)
+	if err != nil || d.Name != "dev" {
+		t.Fatalf("default name: %v %v", d, err)
+	}
+}
+
+func TestDeviceFIFOCompletionTimes(t *testing.T) {
+	k := New(hw.SPARCstationIPX())
+	p := k.NewProcess("p")
+	d, _ := k.NewDevice("disk", 100000, 10)
+
+	syscall := vtime.Duration(k.CPU.Model.SyscallNS)
+	start := k.Clock.Now()
+	_, done1 := k.AioDevice(d, p, 100, "r1") // syscall + 100000 + 100*10
+	_, done2 := k.AioDevice(d, p, 50, "r2")  // queued: +100000+500
+
+	if done1.Sub(start) != syscall+101000 {
+		t.Fatalf("first completion at +%v", done1.Sub(start))
+	}
+	if done2.Sub(done1) != 100500 {
+		t.Fatalf("second completion %v after first", done2.Sub(done1))
+	}
+	if d.BusyUntil() != done2 {
+		t.Fatalf("BusyUntil = %v, want %v", d.BusyUntil(), done2)
+	}
+	if d.Requests != 2 {
+		t.Fatalf("Requests = %d", d.Requests)
+	}
+}
+
+func TestDeviceIdleGapResetsQueue(t *testing.T) {
+	k := New(hw.SPARCstationIPX())
+	p := k.NewProcess("p")
+	d, _ := k.NewDevice("disk", 1000, 0)
+
+	syscall := vtime.Duration(k.CPU.Model.SyscallNS)
+	_, done1 := k.AioDevice(d, p, 1, nil)
+	k.Clock.AdvanceTo(done1.Add(5000)) // device idles
+	t2 := k.Clock.Now()
+	_, done2 := k.AioDevice(d, p, 1, nil)
+	if done2.Sub(t2) != syscall+1000 {
+		t.Fatalf("post-idle completion at +%v, want syscall+setup only", done2.Sub(t2))
+	}
+}
+
+func TestDeviceCompletionPostsSIGIO(t *testing.T) {
+	k := New(hw.SPARCstationIPX())
+	p := k.NewProcess("p")
+	var got []any
+	p.Sigvec(SIGIO, func(_ Signal, info *SigInfo) { got = append(got, info.Datum) }, 0)
+	d, _ := k.NewDevice("disk", 100, 0)
+	id1, _ := k.AioDevice(d, p, 7, "first")
+	id2, _ := k.AioDevice(d, p, 9, "second")
+	k.Clock.Advance(1000)
+	k.Poll()
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("completions %v", got)
+	}
+	if n, ok := k.AioResult(id1); !ok || n != 7 {
+		t.Fatalf("result1 %d %v", n, ok)
+	}
+	if n, ok := k.AioResult(id2); !ok || n != 9 {
+		t.Fatalf("result2 %d %v", n, ok)
+	}
+}

@@ -1,0 +1,454 @@
+package unixkern
+
+import (
+	"fmt"
+
+	"pthreads/internal/hw"
+	"pthreads/internal/vtime"
+)
+
+// Pid is a simulated process id.
+type Pid int
+
+// Handler is a process-level signal handler, installed with Sigvec. It
+// runs synchronously at the (virtual) moment of delivery, over whatever
+// the process was executing — exactly like a UNIX signal handler.
+type Handler func(sig Signal, info *SigInfo)
+
+// Disposition selects what a process does with a signal.
+type Disposition int
+
+const (
+	// DispDefault performs the signal's default action (terminate the
+	// process for most signals, discard for the rest).
+	DispDefault Disposition = iota
+	// DispIgnore discards the signal.
+	DispIgnore
+	// DispHandler invokes the installed handler.
+	DispHandler
+)
+
+type sigaction struct {
+	disp    Disposition
+	handler Handler
+	mask    Sigset // additional signals blocked while the handler runs
+}
+
+// Process is a simulated UNIX process: signal state plus an identity. The
+// Pthreads library lives entirely inside one process; additional processes
+// exist as signal endpoints for the cross-process benchmarks (UNIX signal
+// handler latency, process context switch).
+type Process struct {
+	Pid  Pid
+	Name string
+	k    *Kernel
+
+	mask    Sigset
+	pending [NSIGAll]*SigInfo // UNIX semantics: one pending slot per signal
+	actions [NSIGAll]sigaction
+
+	// OnTerminate is called when a signal's default action terminates
+	// the process. The library hooks it to shut the thread system down.
+	OnTerminate func(sig Signal)
+
+	// Terminated is set once a default action killed the process.
+	Terminated    bool
+	TerminateSig  Signal
+	handlerDepth  int
+	deliveredSeen int64
+}
+
+// Kernel is the simulated UNIX kernel for one uniprocessor machine.
+type Kernel struct {
+	Clock *vtime.Clock
+	CPU   *hw.CPU
+
+	procs   map[Pid]*Process
+	nextPid Pid
+
+	// Running is the process currently on the CPU. Delivering a signal
+	// to a different process charges a full process context switch.
+	Running *Process
+
+	// Stats the evaluation harness reads.
+	SyscallCounts map[string]int64
+	LostSignals   int64 // generated while the same signal was already pending
+	Delivered     int64
+	ProcSwitches  int64
+
+	aioNext     int64
+	aioInflight map[AioID]*aioRequest
+}
+
+// New creates a kernel over the given machine model with a fresh clock.
+func New(model *hw.CostModel) *Kernel {
+	clock := vtime.NewClock()
+	k := &Kernel{
+		Clock:         clock,
+		CPU:           hw.NewCPU(model, clock),
+		procs:         make(map[Pid]*Process),
+		SyscallCounts: make(map[string]int64),
+		aioInflight:   make(map[AioID]*aioRequest),
+	}
+	return k
+}
+
+// NewProcess creates a process. The first process created becomes the
+// running one.
+func (k *Kernel) NewProcess(name string) *Process {
+	k.nextPid++
+	p := &Process{Pid: k.nextPid, Name: name, k: k}
+	for i := range p.actions {
+		p.actions[i] = sigaction{disp: DispDefault}
+	}
+	k.procs[p.Pid] = p
+	if k.Running == nil {
+		k.Running = p
+	}
+	return p
+}
+
+// countSyscall charges one kernel round trip and records it under name.
+// Every simulated system call funnels through here, so the harness can
+// report exactly how many kernel calls each library operation makes — the
+// paper's "few operating system calls" objective made measurable.
+func (k *Kernel) countSyscall(name string) {
+	k.SyscallCounts[name]++
+	k.CPU.ChargeSyscall()
+}
+
+// Getpid is the trivial system call the paper times to measure the cost of
+// entering and exiting the UNIX kernel.
+func (p *Process) Getpid() Pid {
+	p.k.countSyscall("getpid")
+	return p.Pid
+}
+
+// Sigsetmask replaces the process signal mask, returning the previous
+// mask. Unblocked pending signals are delivered before it returns, in
+// ascending signal-number order, matching BSD.
+func (p *Process) Sigsetmask(m Sigset) Sigset {
+	p.k.countSyscall("sigsetmask")
+	old := p.mask
+	p.setMaskInternal(m)
+	return old
+}
+
+// Sigblock adds signals to the mask, returning the previous mask.
+func (p *Process) Sigblock(m Sigset) Sigset {
+	p.k.countSyscall("sigblock")
+	old := p.mask
+	p.setMaskInternal(old.Union(m))
+	return old
+}
+
+// setMaskInternal changes the mask without a syscall charge (used by the
+// delivery path itself, which manipulates the mask as part of building and
+// tearing down interrupt frames).
+func (p *Process) setMaskInternal(m Sigset) {
+	p.mask = m & FullSigset() // SIGKILL/SIGSTOP can never be blocked
+	p.flushPending()
+}
+
+// Mask returns the current process signal mask.
+func (p *Process) Mask() Sigset { return p.mask }
+
+// RestoreMask resets the mask without a system call, modelling the mask
+// restoration performed by sigreturn when a handler frame is unwound.
+func (p *Process) RestoreMask(m Sigset) { p.setMaskInternal(m) }
+
+// Sigvec installs a handler for the signal, with the given additional mask
+// blocked during handler execution. Installing a handler for every
+// maskable signal is the library's first act ("a universal signal handler
+// is installed for all maskable UNIX signals").
+func (p *Process) Sigvec(sig Signal, h Handler, mask Sigset) error {
+	if !sig.Maskable() {
+		return fmt.Errorf("sigvec: cannot catch %v", sig)
+	}
+	p.k.countSyscall("sigvec")
+	p.actions[sig] = sigaction{disp: DispHandler, handler: h, mask: mask}
+	return nil
+}
+
+// SigvecIgnore sets the signal to be discarded.
+func (p *Process) SigvecIgnore(sig Signal) error {
+	if !sig.Maskable() {
+		return fmt.Errorf("sigvec: cannot ignore %v", sig)
+	}
+	p.k.countSyscall("sigvec")
+	p.actions[sig] = sigaction{disp: DispIgnore}
+	return nil
+}
+
+// SigvecDefault restores the default disposition.
+func (p *Process) SigvecDefault(sig Signal) {
+	p.k.countSyscall("sigvec")
+	p.actions[sig] = sigaction{disp: DispDefault}
+}
+
+// Kill sends a signal to a process, as the kill system call. The caller
+// is the running process.
+func (k *Kernel) Kill(target Pid, sig Signal) error {
+	if !sig.Valid() {
+		return fmt.Errorf("kill: invalid signal %v", sig)
+	}
+	p, ok := k.procs[target]
+	if !ok {
+		return fmt.Errorf("kill: no process %d", target)
+	}
+	k.countSyscall("kill")
+	var sender Pid
+	if k.Running != nil {
+		sender = k.Running.Pid
+	}
+	k.Post(p, &SigInfo{Sig: sig, Cause: CauseKill, Sender: sender})
+	return nil
+}
+
+// RaiseSync generates a synchronous signal (fault) in the running process,
+// e.g. a SIGSEGV from a stack overflow. No syscall cost: faults trap
+// directly.
+func (k *Kernel) RaiseSync(sig Signal, code int) {
+	k.Post(k.Running, &SigInfo{Sig: sig, Code: code, Cause: CauseSync, Sender: k.Running.Pid})
+}
+
+// Post generates a signal for a process: the kernel half of delivery.
+// If the signal is blocked it is left pending (one slot per signal — a
+// second instance is lost, the very hazard the paper's two-sigsetmask
+// budget guards against). Otherwise the disposition is applied
+// immediately, on the caller's (virtual) CPU.
+func (k *Kernel) Post(p *Process, info *SigInfo) {
+	if p.Terminated {
+		return
+	}
+	sig := info.Sig
+	act := p.actions[sig]
+	if act.disp == DispIgnore {
+		return
+	}
+	if p.mask.Has(sig) && sig.Maskable() {
+		if p.pending[sig] != nil {
+			k.LostSignals++
+		}
+		p.pending[sig] = info
+		return
+	}
+	k.deliver(p, info)
+}
+
+// deliver applies the disposition of an unblocked signal.
+func (k *Kernel) deliver(p *Process, info *SigInfo) {
+	act := p.actions[info.Sig]
+	switch act.disp {
+	case DispIgnore:
+		return
+	case DispDefault:
+		k.defaultAction(p, info.Sig)
+		return
+	}
+
+	// Handler delivery: the kernel builds an interrupt frame, masks the
+	// signal plus the sigvec mask, switches to the target process if it
+	// is not running, and invokes the handler.
+	k.Delivered++
+	p.deliveredSeen++
+	k.CPU.ChargeSignalDeliver()
+
+	prevRunning := k.Running
+	if prevRunning != p {
+		k.ProcSwitches++
+		k.CPU.ChargeProcessSwitch()
+		k.Running = p
+	}
+
+	oldMask := p.mask
+	p.mask = p.mask.Union(act.mask).Add(info.Sig) & FullSigset()
+	p.handlerDepth++
+
+	defer func() {
+		// sigreturn: restore the interrupted context and mask, then
+		// deliver anything the restored mask now admits.
+		p.handlerDepth--
+		k.CPU.ChargeSigreturn()
+		if prevRunning != p && !prevRunning.Terminated {
+			k.ProcSwitches++
+			k.CPU.ChargeProcessSwitch()
+			k.Running = prevRunning
+		}
+		p.setMaskInternal(oldMask)
+	}()
+
+	act.handler(info.Sig, info)
+}
+
+// flushPending delivers pending signals the current mask admits, lowest
+// signal number first.
+func (p *Process) flushPending() {
+	for {
+		var next *SigInfo
+		for sig := Signal(1); sig < NSIGAll; sig++ {
+			if in := p.pending[sig]; in != nil && !p.mask.Has(sig) {
+				next = in
+				p.pending[sig] = nil
+				break
+			}
+		}
+		if next == nil {
+			return
+		}
+		p.k.deliver(p, next)
+	}
+}
+
+// PendingSet returns the set of signals pending on the process.
+func (p *Process) PendingSet() Sigset {
+	var s Sigset
+	for sig := Signal(1); sig < NSIGAll; sig++ {
+		if p.pending[sig] != nil {
+			s = s.Add(sig)
+		}
+	}
+	return s
+}
+
+// HandlerDepth reports how many handler frames are live (tests use it to
+// check the bounded-stack-growth property).
+func (p *Process) HandlerDepth() int { return p.handlerDepth }
+
+// defaultAction performs the signal's default UNIX action.
+func (k *Kernel) defaultAction(p *Process, sig Signal) {
+	switch sig {
+	case SIGCHLD, SIGURG, SIGWINCH, SIGIO, SIGCONT, SIGINFO, SIGTSTP, SIGTTIN, SIGTTOU, SIGSTOP:
+		// Discarded (job control is not simulated).
+		return
+	}
+	p.Terminated = true
+	p.TerminateSig = sig
+	if p.OnTerminate != nil {
+		p.OnTerminate(sig)
+	}
+}
+
+// --- Timers ---------------------------------------------------------------
+
+type timerPayload struct {
+	p         *Process
+	sig       Signal
+	datum     any
+	timeSlice bool
+	interval  vtime.Duration // repeating if > 0
+	id        vtime.TimerID
+}
+
+// SetTimer arms a one-shot timer that posts sig to the process after d,
+// carrying datum (the library passes the arming thread). It models
+// setitimer/alarm; the syscall is charged here.
+func (k *Kernel) SetTimer(p *Process, sig Signal, d vtime.Duration, datum any, timeSlice bool) vtime.TimerID {
+	k.countSyscall("setitimer")
+	pl := &timerPayload{p: p, sig: sig, datum: datum, timeSlice: timeSlice}
+	pl.id = k.Clock.ScheduleAfter(d, pl)
+	return pl.id
+}
+
+// CancelTimer disarms a timer.
+func (k *Kernel) CancelTimer(id vtime.TimerID) bool {
+	k.countSyscall("setitimer")
+	return k.Clock.Cancel(id)
+}
+
+// ArmQuantum arms a time-slice expiration d from now, posting SIGALRM with
+// the TimeSlice flag. It models re-programming the standing ITIMER_REAL
+// the library set up at initialization, so no per-arm system call is
+// charged.
+func (k *Kernel) ArmQuantum(p *Process, d vtime.Duration, datum any) vtime.TimerID {
+	pl := &timerPayload{p: p, sig: SIGALRM, datum: datum, timeSlice: true}
+	pl.id = k.Clock.ScheduleAfter(d, pl)
+	return pl.id
+}
+
+// DisarmQuantum cancels a quantum armed with ArmQuantum, without a syscall
+// charge.
+func (k *Kernel) DisarmQuantum(id vtime.TimerID) bool {
+	return k.Clock.Cancel(id)
+}
+
+// SetTimerInternal arms a timer riding the library's standing interval
+// timer (like ArmQuantum, but for arbitrary library-internal timeouts
+// such as condition-variable timed waits): no system call is charged.
+func (k *Kernel) SetTimerInternal(p *Process, sig Signal, d vtime.Duration, datum any) vtime.TimerID {
+	pl := &timerPayload{p: p, sig: sig, datum: datum}
+	pl.id = k.Clock.ScheduleAfter(d, pl)
+	return pl.id
+}
+
+// DisarmInternal cancels a library-internal timer without a syscall
+// charge.
+func (k *Kernel) DisarmInternal(id vtime.TimerID) bool {
+	return k.Clock.Cancel(id)
+}
+
+// Poll processes every due clock event, generating the corresponding
+// signals. The library calls it whenever virtual time has advanced: after
+// compute steps, on kernel idle, at blocking points.
+func (k *Kernel) Poll() int {
+	n := 0
+	for {
+		ev, ok := k.Clock.PopDue()
+		if !ok {
+			return n
+		}
+		n++
+		switch pl := ev.Payload.(type) {
+		case *timerPayload:
+			k.Post(pl.p, &SigInfo{Sig: pl.sig, Cause: CauseTimer, Datum: pl.datum, TimeSlice: pl.timeSlice})
+		case *aioRequest:
+			pl.done = true
+			k.Post(pl.p, &SigInfo{Sig: SIGIO, Cause: CauseIO, Datum: pl.datum})
+		default:
+			panic(fmt.Sprintf("unixkern: unknown clock event payload %T", ev.Payload))
+		}
+	}
+}
+
+// NextEventAt returns the expiry of the earliest armed event.
+func (k *Kernel) NextEventAt() (vtime.Time, bool) { return k.Clock.NextExpiry() }
+
+// --- Asynchronous I/O ------------------------------------------------------
+
+// aioRequest is an in-flight asynchronous I/O request.
+type aioRequest struct {
+	id    int64
+	p     *Process
+	datum any
+	bytes int
+	done  bool
+}
+
+// AioID identifies an asynchronous I/O request.
+type AioID int64
+
+// Aio issues an asynchronous I/O request that completes after latency,
+// posting SIGIO with the given datum ("the kernel associates the request
+// with a user-provided datum (the calling thread) such that the user-level
+// thread scheduler can be notified of the I/O completion in conjunction
+// with this datum"). The bytes count is reported back by AioResult.
+func (k *Kernel) Aio(p *Process, latency vtime.Duration, bytes int, datum any) AioID {
+	k.countSyscall("aioread")
+	k.aioNext++
+	req := &aioRequest{id: k.aioNext, p: p, datum: datum, bytes: bytes}
+	k.Clock.ScheduleAfter(latency, req)
+	k.aioInflight[AioID(req.id)] = req
+	return AioID(req.id)
+}
+
+// AioResult returns the transferred byte count of a completed request and
+// forgets it. It reports ok=false if the request is unknown or still in
+// flight.
+func (k *Kernel) AioResult(id AioID) (int, bool) {
+	req, ok := k.aioInflight[id]
+	if !ok || !req.done {
+		return 0, false
+	}
+	delete(k.aioInflight, id)
+	return req.bytes, true
+}

@@ -1,0 +1,237 @@
+// Package vtime provides the deterministic virtual clock that drives the
+// simulated uniprocessor on which the Pthreads library runs.
+//
+// All latencies reported by the library and its benchmark harness are
+// expressed in virtual nanoseconds. Time advances only when the machine
+// model charges cost for executed work or when the system idles forward to
+// the next pending timer event. This makes every run of a program — and in
+// particular every benchmark and every perverted-scheduling debug run —
+// exactly reproducible, which is one of the paper's stated goals for its
+// debugging policies.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute virtual timestamp in nanoseconds since system start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Infinity is a timestamp later than any event the simulator will produce.
+const Infinity Time = 1<<63 - 1
+
+// Add returns the timestamp d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier time u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Micros returns the time as a floating-point count of microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// String renders the timestamp in microseconds (the unit of the paper's
+// evaluation) below ten milliseconds, and in milliseconds above.
+func (t Time) String() string { return fmtNS(int64(t)) }
+
+// Micros returns the duration as a floating-point count of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// String renders the duration like Time.String.
+func (d Duration) String() string { return fmtNS(int64(d)) }
+
+// fmtNS renders nanoseconds adaptively: µs below 10ms, ms below 10s,
+// seconds above.
+func fmtNS(ns int64) string {
+	f := float64(ns)
+	switch {
+	case f < 0:
+		return "-" + fmtNS(-ns)
+	case f < 1e7:
+		return fmt.Sprintf("%.2fµs", f/1e3)
+	case f < 1e10:
+		return fmt.Sprintf("%.2fms", f/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", f/1e9)
+	}
+}
+
+// TimerID names a scheduled timer event. The zero value is never a valid
+// timer.
+type TimerID int64
+
+// Event is a timer event that has come due.
+type Event struct {
+	ID      TimerID
+	At      Time // the scheduled expiry (<= clock.Now() when popped)
+	Payload any
+}
+
+type timerEntry struct {
+	id      TimerID
+	at      Time
+	seq     int64 // tiebreaker: FIFO among events at the same instant
+	payload any
+	index   int // heap index, -1 once removed
+	dead    bool
+}
+
+type timerHeap []*timerEntry
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	e := x.(*timerEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is the virtual clock: a monotone timestamp plus a deterministic
+// timer queue. Clock is not safe for concurrent use; in this system it is
+// only ever touched by the single running thread, which is exactly the
+// uniprocessor discipline the paper's monolithic monitor assumes.
+type Clock struct {
+	now     Time
+	heap    timerHeap
+	entries map[TimerID]*timerEntry
+	nextID  TimerID
+	nextSeq int64
+}
+
+// NewClock returns a clock at time zero with no timers armed.
+func NewClock() *Clock {
+	return &Clock{entries: make(map[TimerID]*timerEntry)}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// ScheduleAt arms a timer that comes due at the absolute time at. Timers
+// scheduled for the past come due immediately (on the next poll). The
+// payload is handed back verbatim inside the popped Event.
+func (c *Clock) ScheduleAt(at Time, payload any) TimerID {
+	c.nextID++
+	c.nextSeq++
+	e := &timerEntry{id: c.nextID, at: at, seq: c.nextSeq, payload: payload}
+	c.entries[e.id] = e
+	heap.Push(&c.heap, e)
+	return e.id
+}
+
+// ScheduleAfter arms a timer d from now.
+func (c *Clock) ScheduleAfter(d Duration, payload any) TimerID {
+	return c.ScheduleAt(c.now.Add(d), payload)
+}
+
+// Cancel disarms the timer. It reports whether the timer was still armed.
+func (c *Clock) Cancel(id TimerID) bool {
+	e, ok := c.entries[id]
+	if !ok || e.dead {
+		return false
+	}
+	e.dead = true
+	delete(c.entries, id)
+	return true
+}
+
+// Pending reports the number of armed timers.
+func (c *Clock) Pending() int { return len(c.entries) }
+
+// NextExpiry returns the expiry of the earliest armed timer.
+func (c *Clock) NextExpiry() (Time, bool) {
+	c.scrub()
+	if len(c.heap) == 0 {
+		return 0, false
+	}
+	return c.heap[0].at, true
+}
+
+// scrub discards cancelled entries from the head of the heap.
+func (c *Clock) scrub() {
+	for len(c.heap) > 0 && c.heap[0].dead {
+		heap.Pop(&c.heap)
+	}
+}
+
+// PopDue removes and returns the earliest timer whose expiry is at or
+// before the current time. Events at the same instant pop in the order
+// they were scheduled.
+func (c *Clock) PopDue() (Event, bool) {
+	c.scrub()
+	if len(c.heap) == 0 || c.heap[0].at > c.now {
+		return Event{}, false
+	}
+	e := heap.Pop(&c.heap).(*timerEntry)
+	delete(c.entries, e.id)
+	return Event{ID: e.id, At: e.at, Payload: e.payload}, true
+}
+
+// AdvanceTo moves the clock forward to t. Moving backwards panics: the
+// simulation is strictly monotone.
+func (c *Clock) AdvanceTo(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("vtime: clock moved backwards: %v -> %v", c.now, t))
+	}
+	c.now = t
+}
+
+// Advance moves the clock forward by d.
+func (c *Clock) Advance(d Duration) {
+	if d < 0 {
+		panic("vtime: negative advance")
+	}
+	c.now = c.now.Add(d)
+}
+
+// Step advances the clock by up to d, stopping early at the next timer
+// expiry. It returns how far it actually advanced and whether it stopped
+// because a timer came due. This is the primitive the thread library uses
+// to model user computation that can be interrupted by asynchronous
+// events.
+func (c *Clock) Step(d Duration) (advanced Duration, due bool) {
+	if d < 0 {
+		panic("vtime: negative step")
+	}
+	target := c.now.Add(d)
+	if at, ok := c.NextExpiry(); ok && at <= target {
+		if at < c.now {
+			// Timer already overdue: do not move, report due.
+			return 0, true
+		}
+		advanced = at.Sub(c.now)
+		c.now = at
+		return advanced, true
+	}
+	c.now = target
+	return d, false
+}

@@ -1,0 +1,39 @@
+package vtime
+
+import "testing"
+
+func BenchmarkScheduleCancel(b *testing.B) {
+	c := NewClock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := c.ScheduleAfter(100, nil)
+		c.Cancel(id)
+	}
+}
+
+func BenchmarkSchedulePopDue(b *testing.B) {
+	c := NewClock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ScheduleAfter(1, nil)
+		c.Advance(1)
+		c.PopDue()
+	}
+}
+
+func BenchmarkStepNoTimers(b *testing.B) {
+	c := NewClock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step(10)
+	}
+}
+
+func BenchmarkStepWithFarTimer(b *testing.B) {
+	c := NewClock()
+	c.ScheduleAt(Infinity-1, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step(10)
+	}
+}
