@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Host-benchmark mode: -host runs the repository's hot-path Go
+// benchmarks on the host machine (real nanoseconds, not virtual time)
+// and writes the parsed results as JSON. Checked-in snapshots of this
+// file (BENCH_host.json) form the performance trajectory of the
+// reproduction itself across PRs, alongside the virtual-time tables that
+// must never move.
+//
+// Regenerate with:
+//
+//	go run ./cmd/ptbench -host
+//
+// The default pattern covers the scheduler-queue and synchronization
+// fast paths plus the core composite latencies; -hostbench overrides it.
+const defaultHostPattern = "EnqueueDequeue|PeekMaxLoaded|Remove$|MutexNoContention|" +
+	"MutexProtocols|ContextSwitch$|SemaphoreSync$|ThreadCreate$|RingRecorderEvent"
+
+// hostBench is one parsed benchmark result line.
+type hostBench struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// hostReport is the BENCH_host.json document.
+type hostReport struct {
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	Pattern   string      `json:"pattern"`
+	Command   string      `json:"command"`
+	Benches   []hostBench `json:"benches"`
+}
+
+// benchLine matches "BenchmarkName-8   123456   97.5 ns/op   0 B/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// runHost executes the benchmarks and writes the JSON report to outPath.
+func runHost(pattern, outPath string) error {
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem", "-count", "1", "./..."}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "ptbench: running go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+
+	report := hostReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Pattern:   pattern,
+		Command:   "go " + strings.Join(args, " "),
+	}
+
+	pkg := ""
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := hostBench{Pkg: pkg, Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		report.Benches = append(report.Benches, b)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(report.Benches) == 0 {
+		return fmt.Errorf("no benchmark lines matched pattern %q", pattern)
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ptbench: wrote %d results to %s\n", len(report.Benches), outPath)
+	return nil
+}

@@ -9,6 +9,7 @@
 //	ptbench -table 1      # Table 1 cancellation matrix
 //	ptbench -ablation     # pooling / lock-primitive / rendezvous ablations
 //	ptbench -attrib       # where the context-switch time goes
+//	ptbench -host         # host-machine Go benchmarks -> BENCH_host.json
 package main
 
 import (
@@ -23,8 +24,15 @@ func main() {
 	table := flag.Int("table", 2, "paper table to regenerate (1 or 2)")
 	ablation := flag.Bool("ablation", false, "run the ablation studies")
 	attrib := flag.Bool("attrib", false, "print the context-switch cost attribution")
+	host := flag.Bool("host", false, "run host-machine Go benchmarks and write JSON")
+	hostOut := flag.String("hostout", "BENCH_host.json", "output path for -host results")
+	hostBench := flag.String("hostbench", defaultHostPattern, "benchmark pattern for -host")
 	flag.Parse()
 
+	if *host {
+		exitOn(runHost(*hostBench, *hostOut))
+		return
+	}
 	if *ablation {
 		out, err := eval.FormatAblations()
 		exitOn(err)

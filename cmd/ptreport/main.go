@@ -29,6 +29,7 @@ func main() {
 		eval.FormatAttribution,
 		eval.FormatSyscallProfiles,
 		eval.FormatUtilizationSweep,
+		eval.FormatQueueStats,
 	}
 	for i, f := range sections {
 		out, err := f()

@@ -11,10 +11,11 @@ import (
 // handler interrupting the wait terminates it, exactly as in the paper),
 // waiters must re-evaluate their predicate in a loop.
 type Cond struct {
-	s       *System
-	name    string
-	waiters sched.Queue[*Thread]
-	mutex   *Mutex // the associated mutex while waiters are present
+	s        *System
+	name     string
+	waitName string // "cond <name>", precomputed so waiting does not allocate
+	waiters  sched.Queue[*Thread]
+	mutex    *Mutex // the associated mutex while waiters are present
 
 	// Counters for the harness.
 	Signals    int64
@@ -33,7 +34,7 @@ func (s *System) NewCond(name string) *Cond {
 	if name == "" {
 		name = "cond"
 	}
-	return &Cond{s: s, name: name}
+	return &Cond{s: s, name: name, waitName: "cond " + name}
 }
 
 // Name returns the condition variable's label.
@@ -94,7 +95,7 @@ func (c *Cond) wait(m *Mutex, d vtime.Duration) error {
 	// the kernel, so no other thread can intervene between the unlock
 	// and the block.
 	s.unlockForWaitLocked(m)
-	s.blockCurrent(BlockCond, "cond "+c.name)
+	s.blockCurrent(BlockCond, c.waitName)
 
 	// Woken. Every path below ends with the mutex held.
 	s.cpu.ChargeInstr(instrCondResume)
@@ -239,7 +240,7 @@ func (c *Cond) wakeOneLocked() {
 		s.boostOwnerChain(m, w.prio)
 	}
 	w.blockReason = BlockMutex
-	w.waitingFor = "mutex " + m.name
+	w.waitingFor = m.waitName
 	m.waiters.Enqueue(w, w.prio)
 	s.traceObj(EvMutex, w, m.name, "block", "reacquire after signal")
 }

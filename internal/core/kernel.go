@@ -338,7 +338,11 @@ func (s *System) setPriority(t *Thread, newPrio int, atHead bool) {
 	default:
 		t.prio = newPrio
 	}
-	s.trace(EvPrio, t, fmt.Sprintf("%d", newPrio), fmt.Sprintf("from %d", old))
+	if s.tracer != nil {
+		// Formatting stays behind the tracer check: the interned names
+		// make the common case allocation-free even when tracing.
+		s.trace(EvPrio, t, prioName(newPrio), "from "+prioName(old))
+	}
 }
 
 // --- Time slicing -----------------------------------------------------------

@@ -443,3 +443,24 @@ func TestManyThreadsHammerOneMutex(t *testing.T) {
 		t.Fatalf("total = %d, want 160 (mutex failed under RR slicing)", total)
 	}
 }
+
+// TestMutexUncontendedZeroAlloc pins the host fast path: an uncontended
+// Lock/Unlock pair on a no-protocol mutex allocates nothing. (The first
+// pair may warm the owned-mutex list; measurement starts after it.)
+func TestMutexUncontendedZeroAlloc(t *testing.T) {
+	s := New(Config{})
+	err := s.Run(func() {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		m.Lock()
+		m.Unlock()
+		if n := testing.AllocsPerRun(200, func() {
+			m.Lock()
+			m.Unlock()
+		}); n != 0 {
+			t.Errorf("uncontended Lock/Unlock allocates %v/op, want 0", n)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -256,7 +256,9 @@ func (s *System) deliverToLibrary(info *unixkern.SigInfo) {
 	}
 	// Rule 6: pend on the process until a thread becomes eligible.
 	s.processPending[sig] = info
-	s.trace(EvSignal, nil, sig.String(), "pending on process")
+	if s.tracer != nil {
+		s.trace(EvSignal, nil, sig.String(), "pending on process")
+	}
 }
 
 // findRecipient performs the rule-5 linear search.
@@ -277,7 +279,9 @@ func (s *System) findRecipient(sig unixkern.Signal) *Thread {
 // at a specific thread. Runs in the kernel.
 func (s *System) directAt(t *Thread, info *unixkern.SigInfo) {
 	sig := info.Sig
-	s.trace(EvSignal, t, sig.String(), info.Cause.String())
+	if s.tracer != nil {
+		s.trace(EvSignal, t, sig.String(), info.Cause.String())
+	}
 
 	// SIGCANCEL has its own action logic (Table 1); see cancel.go.
 	if sig == unixkern.SIGCANCEL {

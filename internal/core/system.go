@@ -88,6 +88,14 @@ type Stats struct {
 	LostThreadSigs   int64 // overwritten in a thread's per-signal pending slot
 	PoolHits         int64
 	PoolMisses       int64
+
+	// Ready-queue pressure (host-side ring counters, snapshotted from the
+	// scheduler on read): peak depth, ring wrap-arounds, and capacity
+	// growths over the run. Purely diagnostic — no virtual cost attaches
+	// to them.
+	ReadyMaxDepth int64
+	ReadyWraps    int64
+	ReadyGrows    int64
 }
 
 // sigactionRec is the process-wide action table entry for one signal
@@ -239,7 +247,12 @@ func (s *System) Process() *unixkern.Process { return s.proc }
 func (s *System) CPU() *hw.CPU { return s.cpu }
 
 // Stats returns a snapshot of the library counters.
-func (s *System) Stats() Stats { return s.stats }
+func (s *System) Stats() Stats {
+	st := s.stats
+	qs := s.ready.Stats()
+	st.ReadyMaxDepth, st.ReadyWraps, st.ReadyGrows = qs.MaxDepth, qs.Wraps, qs.Grows
+	return st
+}
 
 // Config returns the configuration the system was created with.
 func (s *System) Config() Config { return s.cfg }
@@ -402,7 +415,9 @@ func (s *System) exitCurrent(status any) {
 	t.fakeStack = nil
 	t.cancelPending = false
 	s.liveCnt--
-	s.trace(EvState, t, "terminated", fmt.Sprintf("status=%v", status))
+	if s.tracer != nil {
+		s.trace(EvState, t, "terminated", fmt.Sprintf("status=%v", status))
+	}
 	s.cancelSliceTimer()
 
 	// Wake joiners.

@@ -1,6 +1,11 @@
 package core
 
-import "pthreads/internal/vtime"
+import (
+	"strconv"
+
+	"pthreads/internal/sched"
+	"pthreads/internal/vtime"
+)
 
 // EventKind classifies a trace event.
 type EventKind int
@@ -57,6 +62,27 @@ type TraceEvent struct {
 // Implementations must not call back into the system.
 type Tracer interface {
 	Event(ev TraceEvent)
+}
+
+// prioNames interns the decimal rendering of every legal priority, so
+// that priority-change trace events cost no formatting or allocation.
+// Call sites that would otherwise build arguments eagerly (fmt.Sprintf
+// and friends) must also guard on s.tracer != nil: tracing is zero-cost
+// when disabled.
+var prioNames = func() [sched.NumPrio]string {
+	var a [sched.NumPrio]string
+	for i := range a {
+		a[i] = strconv.Itoa(i + sched.MinPrio)
+	}
+	return a
+}()
+
+// prioName returns the interned decimal string for a priority.
+func prioName(p int) string {
+	if p >= sched.MinPrio && p <= sched.MaxPrio {
+		return prioNames[p-sched.MinPrio]
+	}
+	return strconv.Itoa(p)
 }
 
 // trace emits an event to the configured tracer, if any.

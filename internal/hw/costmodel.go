@@ -187,6 +187,25 @@ func (c *CPU) ChargeTAS() {
 	c.Charge(c.Model.TASNS)
 }
 
+// ChargeInstrTAS charges n simple instructions plus one ldstub in a
+// single clock advance. The totals (virtual time and counters) are
+// arithmetically identical to ChargeInstr(n) followed by ChargeTAS; the
+// combined form exists so the uncontended mutex fast path pays one host
+// call instead of several.
+func (c *CPU) ChargeInstrTAS(n int64) {
+	c.Instrs += n
+	c.TASOps++
+	c.Charge(n*c.Model.InstrNS + c.Model.TASNS)
+}
+
+// ChargeInstrCAS is ChargeInstrTAS for the hypothetical compare-and-swap
+// (a ldstub plus the two extra comparison cycles the paper estimates).
+func (c *CPU) ChargeInstrCAS(n int64) {
+	c.Instrs += n
+	c.TASOps++
+	c.Charge(n*c.Model.InstrNS + c.Model.TASNS + c.Model.CASExtraNS)
+}
+
 // ChargeCAS charges one hypothetical compare-and-swap (a ldstub plus the
 // two extra comparison cycles the paper estimates).
 func (c *CPU) ChargeCAS() {

@@ -5,6 +5,22 @@
 // plus a bitmap of non-empty levels, so that selecting the next thread is
 // a find-highest-set-bit followed by a dequeue. Higher numeric priority is
 // more urgent.
+//
+// Each level is a ring-buffer deque (head index, item count, power-of-two
+// capacity), so Enqueue, EnqueueHead and DequeueMax are O(1) with zero
+// steady-state allocations — the host-side analogue of the paper's claim
+// that ready-queue operations cost a fixed handful of instructions. The
+// virtual cost of a queue operation is charged by the caller (the core
+// kernel); nothing here touches the cost model.
+//
+// Remove and RemoveAny are served by an adaptive membership index: a
+// map from item to level that is built on the first RemoveAny call,
+// maintained in O(1) per operation while live, and dropped as soon as the
+// queue drains. Workloads that never remove from the middle of a queue —
+// the enqueue/dequeue hot path of the dispatcher — therefore never pay
+// the hashing cost, while removal-heavy workloads (timed waits expiring,
+// cancellation, priority changes under perverted policies) locate an
+// item's level in O(1) instead of scanning all 32 levels.
 package sched
 
 import (
@@ -22,17 +38,54 @@ const (
 	DefaultPrio = 16
 )
 
+// minRingCap is the initial capacity of a level's ring buffer. Must be a
+// power of two.
+const minRingCap = 8
+
 // ValidPrio reports whether p is a legal priority.
 func ValidPrio(p int) bool { return p >= MinPrio && p <= MaxPrio }
+
+// ring is one priority level's FIFO: a circular buffer with a head index
+// and an item count. Capacity is always a power of two, so positions are
+// reduced with a mask instead of a division.
+type ring[T comparable] struct {
+	buf  []T
+	head int // physical index of the first (oldest) item
+	n    int
+}
+
+// at returns the item at logical offset i (0 = head).
+func (r *ring[T]) at(i int) T { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+// Stats are cumulative host-side counters of one queue's ring behaviour,
+// exposed so the harness can report per-run queue pressure.
+type Stats struct {
+	// MaxDepth is the peak number of items queued at once.
+	MaxDepth int64
+	// Wraps counts ring wrap-arounds: writes that crossed the edge of a
+	// level's circular buffer (either end).
+	Wraps int64
+	// Grows counts ring capacity doublings.
+	Grows int64
+}
 
 // Queue is a priority queue of distinct items with FIFO order within each
 // priority level. Items must be comparable; an item may be queued at most
 // once (enforced only as far as Remove semantics require — callers keep
 // that invariant).
 type Queue[T comparable] struct {
-	levels [NumPrio][]T
+	levels [NumPrio]ring[T]
 	bitmap uint32
 	size   int
+	stats  Stats
+
+	// index is the adaptive membership index: item -> level. nil while
+	// inactive (the steady state for enqueue/dequeue workloads); built by
+	// RemoveAny, maintained by every mutating operation while non-nil,
+	// and released when the queue drains. spare retains the map across
+	// activations so reactivation does not allocate.
+	index map[T]int8
+	spare map[T]int8
 }
 
 // Len reports the number of queued items.
@@ -42,11 +95,37 @@ func (q *Queue[T]) Len() int { return q.size }
 func (q *Queue[T]) Empty() bool { return q.size == 0 }
 
 // LenAt reports the number of items queued at priority p.
-func (q *Queue[T]) LenAt(p int) int { return len(q.levels[p-MinPrio]) }
+func (q *Queue[T]) LenAt(p int) int { return q.levels[p-MinPrio].n }
+
+// Stats returns the queue's cumulative host-side counters.
+func (q *Queue[T]) Stats() Stats { return q.stats }
 
 func (q *Queue[T]) checkPrio(p int) {
 	if !ValidPrio(p) {
 		panic(fmt.Sprintf("sched: priority %d out of range [%d,%d]", p, MinPrio, MaxPrio))
+	}
+}
+
+// grow doubles (or initially allocates) a ring's buffer, re-packing the
+// items at the front.
+func (q *Queue[T]) grow(r *ring[T]) {
+	nc := len(r.buf) * 2
+	if nc == 0 {
+		nc = minRingCap
+	}
+	nb := make([]T, nc)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.at(i)
+	}
+	r.buf = nb
+	r.head = 0
+	q.stats.Grows++
+}
+
+// noteDepth updates the peak-depth counter after an insertion.
+func (q *Queue[T]) noteDepth() {
+	if int64(q.size) > q.stats.MaxDepth {
+		q.stats.MaxDepth = int64(q.size)
 	}
 }
 
@@ -56,9 +135,22 @@ func (q *Queue[T]) checkPrio(p int) {
 func (q *Queue[T]) Enqueue(x T, p int) {
 	q.checkPrio(p)
 	i := p - MinPrio
-	q.levels[i] = append(q.levels[i], x)
+	r := &q.levels[i]
+	if r.n == len(r.buf) {
+		q.grow(r)
+	}
+	pos := (r.head + r.n) & (len(r.buf) - 1)
+	if pos == 0 && r.n > 0 {
+		q.stats.Wraps++
+	}
+	r.buf[pos] = x
+	r.n++
 	q.bitmap |= 1 << uint(i)
 	q.size++
+	q.noteDepth()
+	if q.index != nil {
+		q.index[x] = int8(i)
+	}
 }
 
 // EnqueueHead inserts the item at the head of its priority level — the
@@ -68,9 +160,23 @@ func (q *Queue[T]) Enqueue(x T, p int) {
 func (q *Queue[T]) EnqueueHead(x T, p int) {
 	q.checkPrio(p)
 	i := p - MinPrio
-	q.levels[i] = append([]T{x}, q.levels[i]...)
+	r := &q.levels[i]
+	if r.n == len(r.buf) {
+		q.grow(r)
+	}
+	mask := len(r.buf) - 1
+	r.head = (r.head - 1) & mask
+	if r.head == mask && r.n > 0 {
+		q.stats.Wraps++
+	}
+	r.buf[r.head] = x
+	r.n++
 	q.bitmap |= 1 << uint(i)
 	q.size++
+	q.noteDepth()
+	if q.index != nil {
+		q.index[x] = int8(i)
+	}
 }
 
 // MaxLevel returns the highest non-empty priority, or ok=false when the
@@ -85,60 +191,108 @@ func (q *Queue[T]) MaxLevel() (p int, ok bool) {
 // PeekMax returns the item at the head of the highest non-empty level
 // without removing it.
 func (q *Queue[T]) PeekMax() (x T, p int, ok bool) {
-	p, ok = q.MaxLevel()
-	if !ok {
+	if q.bitmap == 0 {
 		var zero T
 		return zero, 0, false
 	}
-	return q.levels[p-MinPrio][0], p, true
+	i := 31 - bits.LeadingZeros32(q.bitmap)
+	r := &q.levels[i]
+	return r.buf[r.head], i + MinPrio, true
+}
+
+// popHead removes and returns the head of level i, maintaining the bitmap,
+// size, and membership index.
+func (q *Queue[T]) popHead(i int) T {
+	r := &q.levels[i]
+	x := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // release the reference for the GC
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	if r.n == 0 {
+		q.bitmap &^= 1 << uint(i)
+	}
+	q.size--
+	if q.index != nil {
+		delete(q.index, x)
+		if q.size == 0 {
+			q.deactivateIndex()
+		}
+	}
+	return x
 }
 
 // DequeueMax removes and returns the head of the highest non-empty level.
 func (q *Queue[T]) DequeueMax() (x T, p int, ok bool) {
-	p, ok = q.MaxLevel()
-	if !ok {
+	if q.bitmap == 0 {
 		var zero T
 		return zero, 0, false
 	}
-	i := p - MinPrio
-	x = q.levels[i][0]
-	q.levels[i] = q.levels[i][1:]
-	if len(q.levels[i]) == 0 {
-		q.bitmap &^= 1 << uint(i)
-	}
-	q.size--
-	return x, p, true
+	i := 31 - bits.LeadingZeros32(q.bitmap)
+	return q.popHead(i), i + MinPrio, true
 }
 
 // DequeueAt removes and returns the head of level p.
 func (q *Queue[T]) DequeueAt(p int) (x T, ok bool) {
 	q.checkPrio(p)
 	i := p - MinPrio
-	if len(q.levels[i]) == 0 {
+	if q.levels[i].n == 0 {
 		var zero T
 		return zero, false
 	}
-	x = q.levels[i][0]
-	q.levels[i] = q.levels[i][1:]
-	if len(q.levels[i]) == 0 {
+	return q.popHead(i), true
+}
+
+// removeAtOffset deletes the item at logical offset j of level i by
+// shifting the shorter side of the ring toward the gap.
+func (q *Queue[T]) removeAtOffset(i, j int) {
+	r := &q.levels[i]
+	mask := len(r.buf) - 1
+	var zero T
+	if j < r.n-1-j {
+		// Shift the head side forward.
+		for k := j; k > 0; k-- {
+			r.buf[(r.head+k)&mask] = r.buf[(r.head+k-1)&mask]
+		}
+		r.buf[r.head] = zero
+		r.head = (r.head + 1) & mask
+	} else {
+		// Shift the tail side back.
+		for k := j; k < r.n-1; k++ {
+			r.buf[(r.head+k)&mask] = r.buf[(r.head+k+1)&mask]
+		}
+		r.buf[(r.head+r.n-1)&mask] = zero
+	}
+	r.n--
+	if r.n == 0 {
 		q.bitmap &^= 1 << uint(i)
 	}
 	q.size--
-	return x, true
 }
 
 // Remove deletes the item from level p, reporting whether it was present.
-// Used when a timed wait expires or a waiter is cancelled.
+// Used when a timed wait expires or a waiter is cancelled. The level is
+// known to the caller, so only that level's ring is searched.
 func (q *Queue[T]) Remove(x T, p int) bool {
 	q.checkPrio(p)
 	i := p - MinPrio
-	for j, y := range q.levels[i] {
-		if y == x {
-			q.levels[i] = append(q.levels[i][:j], q.levels[i][j+1:]...)
-			if len(q.levels[i]) == 0 {
-				q.bitmap &^= 1 << uint(i)
+	if q.index != nil {
+		// O(1) membership reject while the index is live.
+		l, ok := q.index[x]
+		if !ok || int(l) != i {
+			return false
+		}
+	}
+	r := &q.levels[i]
+	for j := 0; j < r.n; j++ {
+		if r.at(j) == x {
+			q.removeAtOffset(i, j)
+			if q.index != nil {
+				delete(q.index, x)
+				if q.size == 0 {
+					q.deactivateIndex()
+				}
 			}
-			q.size--
 			return true
 		}
 	}
@@ -147,28 +301,72 @@ func (q *Queue[T]) Remove(x T, p int) bool {
 
 // RemoveAny deletes the item from whatever level it is queued at,
 // reporting whether it was found. Used when the caller does not know the
-// priority the item was queued with (after a boost, for example).
+// priority the item was queued with (after a boost, for example). The
+// first call activates the membership index, making the level lookup O(1)
+// from then on.
 func (q *Queue[T]) RemoveAny(x T) (p int, ok bool) {
-	for i := range q.levels {
-		for j, y := range q.levels[i] {
-			if y == x {
-				q.levels[i] = append(q.levels[i][:j], q.levels[i][j+1:]...)
-				if len(q.levels[i]) == 0 {
-					q.bitmap &^= 1 << uint(i)
-				}
-				q.size--
-				return i + MinPrio, true
+	if q.index == nil {
+		q.activateIndex()
+	}
+	l, ok := q.index[x]
+	if !ok {
+		return 0, false
+	}
+	i := int(l)
+	r := &q.levels[i]
+	for j := 0; j < r.n; j++ {
+		if r.at(j) == x {
+			q.removeAtOffset(i, j)
+			delete(q.index, x)
+			if q.size == 0 {
+				q.deactivateIndex()
 			}
+			return i + MinPrio, true
 		}
 	}
-	return 0, false
+	panic("sched: membership index out of sync")
+}
+
+// activateIndex builds the membership index from the current contents,
+// reusing the map retained from an earlier activation when possible.
+func (q *Queue[T]) activateIndex() {
+	if q.spare != nil {
+		q.index = q.spare
+		q.spare = nil
+	} else {
+		q.index = make(map[T]int8, q.size)
+	}
+	bm := q.bitmap
+	for bm != 0 {
+		i := bits.TrailingZeros32(bm)
+		bm &^= 1 << uint(i)
+		r := &q.levels[i]
+		for j := 0; j < r.n; j++ {
+			q.index[r.at(j)] = int8(i)
+		}
+	}
+}
+
+// deactivateIndex releases the (now empty) index so the enqueue/dequeue
+// hot path stops maintaining it; the map is kept for the next activation.
+func (q *Queue[T]) deactivateIndex() {
+	q.spare = q.index
+	q.index = nil
 }
 
 // Contains reports whether the item is queued at any level.
 func (q *Queue[T]) Contains(x T) bool {
-	for i := range q.levels {
-		for _, y := range q.levels[i] {
-			if y == x {
+	if q.index != nil {
+		_, ok := q.index[x]
+		return ok
+	}
+	bm := q.bitmap
+	for bm != 0 {
+		i := bits.TrailingZeros32(bm)
+		bm &^= 1 << uint(i)
+		r := &q.levels[i]
+		for j := 0; j < r.n; j++ {
+			if r.at(j) == x {
 				return true
 			}
 		}
@@ -185,11 +383,11 @@ func (q *Queue[T]) Nth(n int) (x T, p int, ok bool) {
 		return zero, 0, false
 	}
 	for i := NumPrio - 1; i >= 0; i-- {
-		l := q.levels[i]
-		if n < len(l) {
-			return l[n], i + MinPrio, true
+		r := &q.levels[i]
+		if n < r.n {
+			return r.at(n), i + MinPrio, true
 		}
-		n -= len(l)
+		n -= r.n
 	}
 	var zero T
 	return zero, 0, false
@@ -200,7 +398,10 @@ func (q *Queue[T]) Nth(n int) (x T, p int, ok bool) {
 func (q *Queue[T]) Items() []T {
 	out := make([]T, 0, q.size)
 	for i := NumPrio - 1; i >= 0; i-- {
-		out = append(out, q.levels[i]...)
+		r := &q.levels[i]
+		for j := 0; j < r.n; j++ {
+			out = append(out, r.at(j))
+		}
 	}
 	return out
 }

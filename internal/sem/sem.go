@@ -19,6 +19,11 @@ type Semaphore struct {
 	c     *core.Cond
 	count int
 
+	// unlock is the cancellation cleanup handler, built once so the P
+	// fast path (count > 0: lock, decrement, unlock — no kernel entry
+	// beyond the mutex's own) does not allocate a closure per call.
+	unlock func(any)
+
 	// Ps and Vs count completed operations (harness use).
 	Ps, Vs int64
 }
@@ -35,13 +40,15 @@ func New(s *core.System, name string, initial int) (*Semaphore, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Semaphore{
+	sm := &Semaphore{
 		s:     s,
 		name:  name,
 		m:     m,
 		c:     s.NewCond(name + ".c"),
 		count: initial,
-	}, nil
+	}
+	sm.unlock = func(any) { sm.m.Unlock() }
+	return sm, nil
 }
 
 // Must is New that panics on error; a convenience for examples and tests.
@@ -67,7 +74,7 @@ func (sm *Semaphore) P() error {
 	if err := sm.m.Lock(); err != nil {
 		return err
 	}
-	sm.s.CleanupPush(func(any) { sm.m.Unlock() }, nil)
+	sm.s.CleanupPush(sm.unlock, nil)
 	for sm.count == 0 {
 		if err := sm.c.Wait(sm.m); err != nil {
 			sm.s.CleanupPop(false)
@@ -102,7 +109,7 @@ func (sm *Semaphore) TimedP(d vtime.Duration) error {
 	if err := sm.m.Lock(); err != nil {
 		return err
 	}
-	sm.s.CleanupPush(func(any) { sm.m.Unlock() }, nil)
+	sm.s.CleanupPush(sm.unlock, nil)
 	for sm.count == 0 {
 		rem := deadline.Sub(sm.s.Now())
 		if rem <= 0 {

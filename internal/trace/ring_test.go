@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"testing"
+
+	"pthreads/internal/core"
+	"pthreads/internal/vtime"
+)
+
+func ringEvent(i int) core.TraceEvent {
+	return core.TraceEvent{At: vtime.Time(i), Kind: core.EvUser, Arg: "ev"}
+}
+
+func TestRingRecorderBelowCapacity(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Event(ringEvent(i))
+	}
+	if r.Len() != 5 || r.Cap() != 8 || r.Dropped() != 0 {
+		t.Fatalf("len=%d cap=%d dropped=%d, want 5/8/0", r.Len(), r.Cap(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if ev.At != vtime.Time(i) {
+			t.Fatalf("event %d at %v, want %v", i, ev.At, vtime.Time(i))
+		}
+	}
+}
+
+func TestRingRecorderOverwritesOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Event(ringEvent(i))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len=%d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped=%d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	want := []int{6, 7, 8, 9}
+	for i, ev := range evs {
+		if ev.At != vtime.Time(want[i]) {
+			t.Fatalf("event %d at %v, want %v (oldest-first)", i, ev.At, want[i])
+		}
+	}
+}
+
+func TestRingRecorderReset(t *testing.T) {
+	r := NewRing(2)
+	for i := 0; i < 5; i++ {
+		r.Event(ringEvent(i))
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatalf("after Reset: len=%d dropped=%d, want 0/0", r.Len(), r.Dropped())
+	}
+	r.Event(ringEvent(42))
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].At != 42 {
+		t.Fatalf("after Reset+Event: %v", evs)
+	}
+}
+
+func TestRingRecorderMinCapacity(t *testing.T) {
+	r := NewRing(0)
+	if r.Cap() != 1 {
+		t.Fatalf("cap=%d, want clamped to 1", r.Cap())
+	}
+	r.Event(ringEvent(1))
+	r.Event(ringEvent(2))
+	if evs := r.Events(); len(evs) != 1 || evs[0].At != 2 {
+		t.Fatalf("want only the latest event, got %v", evs)
+	}
+}
+
+// TestRingRecorderZeroAlloc pins the flight-recorder property: recording
+// into a full ring performs no allocation per event.
+func TestRingRecorderZeroAlloc(t *testing.T) {
+	r := NewRing(16)
+	ev := ringEvent(0)
+	for i := 0; i < 32; i++ {
+		r.Event(ev) // fill and wrap once before measuring
+	}
+	allocs := testing.AllocsPerRun(100, func() { r.Event(ev) })
+	if allocs != 0 {
+		t.Fatalf("RingRecorder.Event allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestRingRecorderAttached drives a real System with a RingRecorder
+// attached and checks it retains the tail of the event stream.
+func TestRingRecorderAttached(t *testing.T) {
+	r := NewRing(32)
+	s := core.New(core.Config{Tracer: r})
+	err := s.Run(func() {
+		for i := 0; i < 50; i++ {
+			s.Tracepoint("tick")
+			s.Yield()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dropped() == 0 {
+		t.Fatalf("expected drops with 32-slot ring over 50 yields, got none")
+	}
+	evs := r.Events()
+	if len(evs) != 32 {
+		t.Fatalf("retained %d events, want 32", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events out of order at %d: %v < %v", i, evs[i].At, evs[i-1].At)
+		}
+	}
+}
+
+func BenchmarkRingRecorderEvent(b *testing.B) {
+	r := NewRing(1024)
+	ev := ringEvent(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Event(ev)
+	}
+}

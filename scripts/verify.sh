@@ -1,0 +1,11 @@
+#!/bin/sh
+# Tier-1 verification: build + full test suite, vet, and the race
+# detector over the packages with the hottest concurrency-adjacent code.
+# (The simulation itself is single-goroutine-at-a-time by construction;
+# -race still guards the baton-passing and pool machinery.)
+set -ex
+cd "$(dirname "$0")/.."
+go build ./...
+go test ./...
+go vet ./...
+go test -race ./internal/core/ ./internal/sched/
