@@ -1,0 +1,224 @@
+// Command ptexplore drives the schedule-exploration engine: it sweeps
+// seeds (PCT) or systematically enumerates bounded-preemption schedules
+// over a workload's switch points, shrinks the first failing schedule to
+// a minimal replay token, verifies the token reproduces the
+// byte-identical failing trace, and runs the happens-before + lockset
+// race checker over the trace.
+//
+// Usage:
+//
+//	ptexplore -list
+//	ptexplore -workload racy-counter -policy bounded -bound 1
+//	ptexplore -workload philosophers-broken -policy bounded -bound 2 -lock-only
+//	ptexplore -workload racy-counter -policy pct -seeds 20
+//	ptexplore -workload racy-counter -replay v1:3/0 -races
+//	ptexplore -workload racy-counter -check-replay
+//
+// The -expect flag makes the exit status a CI assertion: "found" fails
+// the process unless a bug was found (and its minimized schedule
+// replayed byte-identically); "clean" fails it unless the exploration
+// came back clean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pthreads/internal/core"
+	"pthreads/internal/explore"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list built-in workloads and exit")
+		workload = flag.String("workload", "racy-counter", "workload name (see -list)")
+		policy   = flag.String("policy", "bounded", "exploration policy: bounded or pct")
+		bound    = flag.Int("bound", 2, "preemption bound of the systematic search")
+		maxRuns  = flag.Int("max-runs", 2000, "cap on runs per exploration")
+		lockOnly = flag.Bool("lock-only", false, "branch only at mutex-acquisition points")
+		seeds    = flag.Int("seeds", 20, "PCT: number of seeds to sweep")
+		seedBase = flag.Int64("seed-base", 1, "PCT: first seed")
+		depth    = flag.Int("depth", 3, "PCT: bug depth d (d-1 priority-change points)")
+		horizon  = flag.Int("horizon", 1000, "PCT: switch-point horizon for change points")
+		replay   = flag.String("replay", "", "replay a schedule token instead of exploring")
+		check    = flag.Bool("check-replay", false, "record a run, replay it twice, verify byte-identical traces")
+		races    = flag.Bool("races", false, "always run the race checker (on by default for failing runs)")
+		expect   = flag.String("expect", "", "CI assertion: found or clean")
+		nPhil    = flag.Int("philosophers", 3, "philosophers workloads: table size")
+		meals    = flag.Int("meals", 1, "philosophers workloads: meals per philosopher")
+		threads  = flag.Int("threads", 3, "counter workloads: worker threads")
+		iters    = flag.Int("iters", 4, "counter workloads: increments per worker")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range explore.Workloads() {
+			fmt.Printf("  %-22s %s\n", w.Name, w.Desc)
+		}
+		return
+	}
+
+	w, ok := buildWorkload(*workload, *nPhil, *meals, *threads, *iters)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ptexplore: unknown workload %q (try -list)\n", *workload)
+		os.Exit(2)
+	}
+	opts := explore.Options{
+		MaxRuns: *maxRuns, Bound: *bound, LockOnly: *lockOnly,
+		Seeds: *seeds, SeedBase: *seedBase, Depth: *depth, Horizon: *horizon,
+	}
+
+	switch {
+	case *replay != "":
+		doReplay(w, *replay, *races)
+	case *check:
+		doCheckReplay(w, *seedBase, *depth, *horizon)
+	default:
+		doExplore(w, *policy, opts, *races, *expect)
+	}
+}
+
+func buildWorkload(name string, nPhil, meals, threads, iters int) (explore.Workload, bool) {
+	switch name {
+	case "philosophers-broken":
+		return explore.PhilosophersWorkload(true, nPhil, meals), true
+	case "philosophers-fixed":
+		return explore.PhilosophersWorkload(false, nPhil, meals), true
+	case "racy-counter":
+		return explore.RacyCounterWorkload(true, threads, iters), true
+	case "racy-counter-fixed":
+		return explore.RacyCounterWorkload(false, threads, iters), true
+	}
+	return explore.Workload{}, false
+}
+
+// doExplore runs the chosen policy, then shrinks, replays, and
+// race-checks any finding.
+func doExplore(w explore.Workload, policy string, opts explore.Options, alwaysRaces bool, expect string) {
+	fmt.Printf("workload %s: %s\n", w.Name, w.Desc)
+	var r explore.Result
+	switch policy {
+	case "bounded":
+		points := "lock+kernel-exit"
+		if opts.LockOnly {
+			points = "lock-only"
+		}
+		fmt.Printf("policy bounded: preemption bound %d, %s points, max %d runs\n", opts.Bound, points, opts.MaxRuns)
+		r = explore.ExploreBounded(w, opts)
+	case "pct":
+		fmt.Printf("policy pct: %d seeds from %d, depth %d, horizon %d\n", opts.Seeds, opts.SeedBase, opts.Depth, opts.Horizon)
+		r = explore.ExplorePCT(w, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "ptexplore: unknown policy %q\n", policy)
+		os.Exit(2)
+	}
+
+	if !r.Found {
+		fmt.Printf("clean: no failure in %d runs\n", r.Runs)
+		assertExpect(expect, false, true)
+		return
+	}
+
+	fmt.Printf("FAILURE after %d runs: %s\n", r.Runs, r.Failure)
+	if r.Policy == "pct" {
+		fmt.Printf("  found by seed %d\n", r.Seed)
+	}
+	fmt.Printf("  recorded schedule:  %s (%d preemptions)\n", r.Schedule.Token(), r.Schedule.Len())
+
+	min, shrinkRuns := explore.Shrink(w, r.Schedule)
+	fmt.Printf("  minimized schedule: %s (%d preemptions, %d shrink runs)\n", min.Token(), min.Len(), shrinkRuns)
+
+	a, b := explore.Replay(w, min), explore.Replay(w, min)
+	identical := a.TraceHash == b.TraceHash && a.Failure != ""
+	fmt.Printf("  replay: trace %s, failure %q\n", a.TraceHash, a.Failure)
+	if identical {
+		fmt.Println("  replay determinism: byte-identical trace across replays — one-line repro verified")
+	} else {
+		fmt.Printf("  replay determinism: VIOLATED (%s vs %s, failure %q)\n", a.TraceHash, b.TraceHash, a.Failure)
+	}
+	printRaces(a.Events, alwaysRaces || hasAccess(a.Events))
+	assertExpect(expect, identical, false)
+}
+
+// doReplay replays one token and reports the outcome.
+func doReplay(w explore.Workload, token string, alwaysRaces bool) {
+	sch, err := explore.ParseToken(token)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptexplore:", err)
+		os.Exit(2)
+	}
+	out := explore.Replay(w, sch)
+	fmt.Printf("workload %s, schedule %s\n", w.Name, sch.Token())
+	fmt.Printf("  trace %s, decisions taken %s\n", out.TraceHash, out.Schedule.Token())
+	if out.Failure != "" {
+		fmt.Printf("  FAILURE: %s\n", out.Failure)
+	} else {
+		fmt.Println("  clean run")
+	}
+	printRaces(out.Events, alwaysRaces || out.Failure != "")
+}
+
+// doCheckReplay is the CI determinism check: record (under PCT so the
+// schedule is non-trivial), replay twice, compare hashes.
+func doCheckReplay(w explore.Workload, seed int64, depth, horizon int) {
+	rec := explore.RunPCT(w, seed, depth, horizon)
+	a, b := explore.Replay(w, rec.Schedule), explore.Replay(w, rec.Schedule)
+	fmt.Printf("workload %s: recorded %s (%d decisions, trace %s)\n",
+		w.Name, rec.Schedule.Token(), rec.Schedule.Len(), rec.TraceHash)
+	if a.TraceHash == rec.TraceHash && b.TraceHash == rec.TraceHash {
+		fmt.Println("  replay determinism: byte-identical trace across record + 2 replays")
+		return
+	}
+	fmt.Printf("  replay determinism: VIOLATED (record %s, replays %s / %s)\n", rec.TraceHash, a.TraceHash, b.TraceHash)
+	os.Exit(1)
+}
+
+// printRaces runs the happens-before + lockset checker over a trace and
+// prints the verdict. Traces with no annotated accesses are skipped
+// unless forced (there is nothing for the checker to see).
+func printRaces(events []core.TraceEvent, run bool) {
+	if !run {
+		return
+	}
+	races := explore.CheckRaces(events)
+	if len(races) == 0 {
+		fmt.Println("  race checker: no data races on annotated accesses")
+		return
+	}
+	fmt.Printf("  race checker: %d racy access pair(s)\n", len(races))
+	for _, line := range strings.Split(strings.TrimRight(explore.FormatRaces(races), "\n"), "\n") {
+		fmt.Println("    " + line)
+	}
+}
+
+// hasAccess reports whether the trace carries any NoteRead/NoteWrite
+// annotations worth race-checking.
+func hasAccess(events []core.TraceEvent) bool {
+	for _, ev := range events {
+		if ev.Kind == core.EvAccess {
+			return true
+		}
+	}
+	return false
+}
+
+func assertExpect(expect string, found, clean bool) {
+	switch expect {
+	case "":
+	case "found":
+		if !found {
+			fmt.Println("expectation FAILED: wanted a verified finding")
+			os.Exit(1)
+		}
+	case "clean":
+		if !clean {
+			fmt.Println("expectation FAILED: wanted a clean exploration")
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ptexplore: unknown -expect %q\n", expect)
+		os.Exit(2)
+	}
+}

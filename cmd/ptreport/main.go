@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -13,6 +14,10 @@ import (
 )
 
 func main() {
+	// The exploration section is opt-in so the default report stays
+	// byte-stable across releases that only add new experiments.
+	withExplore := flag.Bool("explore", false, "append the schedule-exploration section")
+	flag.Parse()
 	sections := []func() (string, error){
 		func() (string, error) {
 			rows, err := eval.Table2()
@@ -30,6 +35,9 @@ func main() {
 		eval.FormatSyscallProfiles,
 		eval.FormatUtilizationSweep,
 		eval.FormatQueueStats,
+	}
+	if *withExplore {
+		sections = append(sections, eval.FormatExplore)
 	}
 	for i, f := range sections {
 		out, err := f()

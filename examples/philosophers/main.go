@@ -6,10 +6,14 @@
 //     FIFO scheduling never produces, and the library's deadlock
 //     detector reports it with every thread's wait target;
 //  2. a correct variant using priority-ceiling mutexes and asymmetric
-//     acquisition, which completes under every policy.
+//     acquisition, which completes under every policy;
+//  3. the schedule-exploration engine on a small broken table — bounded
+//     search finds the deadlock, shrinks it to a minimal schedule token,
+//     and replaying the token reproduces the byte-identical failing
+//     trace.
 //
 // This is the paper's "perverted scheduling: testing and debugging"
-// workflow as a runnable program.
+// workflow as a runnable program, extended with record/replay.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"strings"
 
 	"pthreads"
+	"pthreads/internal/explore"
 )
 
 const (
@@ -113,8 +118,34 @@ func main() {
 		fmt.Printf("  %-20s %s\n", policy, verdict)
 	}
 
+	fmt.Println("\n== schedule exploration (record/replay on a 3-seat table) ==")
+	exploreDemo()
+
 	fmt.Println("\nThe broken table survives plain FIFO scheduling — each philosopher")
 	fmt.Println("runs to completion between blocking points — but the perverted")
-	fmt.Println("policies force the fatal interleaving deterministically, and the")
-	fmt.Println("same seed reproduces it every run.")
+	fmt.Println("policies force the fatal interleaving deterministically, the same")
+	fmt.Println("seed reproduces it every run, and the exploration engine reduces")
+	fmt.Println("the finding to a replay token that IS the repro.")
+}
+
+// exploreDemo runs the bounded-preemption search over a small broken
+// table, shrinks the first failing schedule, and verifies that replaying
+// the minimized token reproduces the identical failing trace.
+func exploreDemo() {
+	w := explore.PhilosophersWorkload(true, 3, 1)
+	r := explore.ExploreBounded(w, explore.Options{Bound: 2, MaxRuns: 2000, LockOnly: true})
+	if !r.Found {
+		fmt.Printf("  UNEXPECTED: no deadlock in %d runs\n", r.Runs)
+		return
+	}
+	fmt.Printf("  bounded search (bound 2, lock points): deadlock after %d runs\n", r.Runs)
+	min, _ := explore.Shrink(w, r.Schedule)
+	fmt.Printf("  minimized schedule token: %s\n", min.Token())
+	a, b := explore.Replay(w, min), explore.Replay(w, min)
+	if a.Failure != "" && a.TraceHash == b.TraceHash {
+		fmt.Printf("  replay %s: trace %s, byte-identical both times — the token is the repro\n",
+			min.Token(), a.TraceHash)
+	} else {
+		fmt.Printf("  UNEXPECTED: replay diverged (%s vs %s, failure %q)\n", a.TraceHash, b.TraceHash, a.Failure)
+	}
 }

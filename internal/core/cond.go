@@ -41,6 +41,13 @@ func (s *System) NewCond(name string) *Cond {
 func (c *Cond) Name() string { return c.name }
 
 // Waiters reports how many threads are blocked on the condition variable.
+//
+// Kernel consistency: a bare read of state that other threads mutate only
+// inside kernel sections. Safe under baton-passing — whenever a thread
+// executes user code, no kernel section is in progress anywhere, so the
+// count is never observed mid-update. It is a snapshot, though: the value
+// can change at the caller's next blocking operation. Must be called from
+// thread context or after Run returns (introspect.go has the audit).
 func (c *Cond) Waiters() int { return c.waiters.Len() }
 
 // Wait atomically releases the mutex and suspends the calling thread
@@ -115,23 +122,42 @@ func (c *Cond) wait(m *Mutex, d vtime.Duration) error {
 		// reacquired the mutex before the handler ran. This surfaces as
 		// a spurious wakeup.
 	case wakeTimeout:
+		// The expiry handler removed us from c.waiters before the mutex
+		// was reacquired, so the association must be dropped *before*
+		// returning: returning early here used to leave a stale c.mutex
+		// when the timeout drained the last waiter, and a later Wait
+		// with a different mutex was wrongly rejected with EINVAL.
 		s.mutexLock(m)
+		c.dropMutexIfIdle()
 		s.TestCancel()
 		t.errno = ETIMEDOUT
 		return ETIMEDOUT.Or()
 	case wakeCancel:
 		// Cancelled while waiting: reacquire the mutex so cleanup
-		// handlers observe a deterministic mutex state, then act.
+		// handlers observe a deterministic mutex state, then act. The
+		// association is dropped first — TestCancel does not return, so
+		// this path would otherwise leak the stale c.mutex exactly like
+		// the timeout path did.
 		s.mutexLock(m)
+		c.dropMutexIfIdle()
 		s.TestCancel() // exits
 	default:
 		panic("core: condition wait woke with unexpected cause")
 	}
+	c.dropMutexIfIdle()
+	s.TestCancel()
+	return nil
+}
+
+// dropMutexIfIdle clears the condvar→mutex association once the last
+// waiter is gone. Every path out of wait must pass through it (or through
+// Signal/Broadcast, which perform the same cleanup): the association is
+// only valid while waiters are present, and a stale one makes the next
+// Wait with a different mutex fail with EINVAL.
+func (c *Cond) dropMutexIfIdle() {
 	if c.waiters.Empty() {
 		c.mutex = nil
 	}
-	s.TestCancel()
-	return nil
 }
 
 // unlockForWaitLocked releases the mutex as part of entering a condition

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"pthreads/internal/unixkern"
@@ -343,4 +344,131 @@ func TestCondWaitWithInheritMutex(t *testing.T) {
 		m.Unlock()
 		s.Join(w)
 	})
+}
+
+func TestTimedWaitTimeoutClearsMutexAssociation(t *testing.T) {
+	// Regression: the timeout path returned before the "last waiter gone
+	// → drop c.mutex" cleanup, so after a timeout drained the only
+	// waiter, a later wait with a *different* mutex was wrongly rejected
+	// with EINVAL.
+	runSystem(t, func(s *System) {
+		m1 := s.MustMutex(MutexAttr{Name: "m1"})
+		m2 := s.MustMutex(MutexAttr{Name: "m2"})
+		c := s.NewCond("c")
+
+		m1.Lock()
+		if err := c.TimedWait(m1, 2*vtime.Millisecond); err == nil {
+			t.Fatal("TimedWait did not time out")
+		}
+		m1.Unlock()
+
+		// The condvar is idle again; a wait with another mutex is legal.
+		m2.Lock()
+		err := c.TimedWait(m2, 2*vtime.Millisecond)
+		if e, _ := AsErrno(err); e != ETIMEDOUT {
+			t.Fatalf("TimedWait with new mutex after idle: %v, want ETIMEDOUT", err)
+		}
+		m2.Unlock()
+	})
+}
+
+func TestCancelledWaiterClearsMutexAssociation(t *testing.T) {
+	// The cancel path has the same obligation as the timeout path: a
+	// waiter cancelled out of the wait must not leave a stale condvar →
+	// mutex association behind.
+	runSystem(t, func(s *System) {
+		m1 := s.MustMutex(MutexAttr{Name: "m1"})
+		m2 := s.MustMutex(MutexAttr{Name: "m2"})
+		c := s.NewCond("c")
+
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		attr.Name = "waiter"
+		th, _ := s.Create(attr, func(any) any {
+			m1.Lock()
+			c.Wait(m1) // cancelled here; does not return
+			m1.Unlock()
+			return nil
+		}, nil)
+		// th waits with m1 associated.
+		if err := s.Cancel(th); err != nil {
+			t.Fatalf("Cancel: %v", err)
+		}
+		if _, err := s.Join(th); err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+
+		m2.Lock()
+		err := c.TimedWait(m2, 2*vtime.Millisecond)
+		if e, _ := AsErrno(err); e != ETIMEDOUT {
+			t.Fatalf("TimedWait with new mutex after cancelled waiter: %v, want EINVAL means stale association", err)
+		}
+		m2.Unlock()
+	})
+}
+
+// condRaceTracer records a compact rendering of every trace event so two
+// runs can be compared byte-for-byte.
+type condRaceTracer struct{ lines []string }
+
+func (tr *condRaceTracer) Event(ev TraceEvent) {
+	name := ""
+	if ev.Thread != nil {
+		name = ev.Thread.Name()
+	}
+	tr.lines = append(tr.lines, fmt.Sprintf("%v %v %s %s %s %s",
+		ev.At, ev.Kind, name, ev.Obj, ev.Arg, ev.Detail))
+}
+
+// timeoutVsSignalRun races a TimedWait expiry against a Signal arriving
+// at the same virtual instant and returns the wait's outcome plus the
+// full trace.
+func timeoutVsSignalRun(t *testing.T) (error, []string) {
+	t.Helper()
+	tr := &condRaceTracer{}
+	s := New(Config{Tracer: tr})
+	var waitErr error
+	err := s.Run(func() {
+		m := s.MustMutex(MutexAttr{Name: "m"})
+		c := s.NewCond("c")
+		var deadline vtime.Time
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		attr.Name = "waiter"
+		th, _ := s.Create(attr, func(any) any {
+			m.Lock()
+			deadline = s.Now().Add(2 * vtime.Millisecond)
+			waitErr = c.TimedWait(m, 2*vtime.Millisecond)
+			m.Unlock()
+			return nil
+		}, nil)
+		// The waiter (higher priority) has blocked; sleep until the
+		// exact instant its expiry timer fires, then signal.
+		s.Sleep(deadline.Sub(s.Now()))
+		c.Signal()
+		s.Join(th)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return waitErr, tr.lines
+}
+
+func TestTimeoutVsSignalSameInstantDeterministic(t *testing.T) {
+	// A timer expiry and a Signal landing at the same virtual instant
+	// must resolve the same way on every run: same wait outcome, same
+	// trace, byte for byte.
+	err1, trace1 := timeoutVsSignalRun(t)
+	err2, trace2 := timeoutVsSignalRun(t)
+	if (err1 == nil) != (err2 == nil) || fmt.Sprint(err1) != fmt.Sprint(err2) {
+		t.Fatalf("same-instant race resolved differently: %v vs %v", err1, err2)
+	}
+	if len(trace1) != len(trace2) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(trace1), len(trace2))
+	}
+	for i := range trace1 {
+		if trace1[i] != trace2[i] {
+			t.Fatalf("traces diverge at event %d:\n  %s\n  %s", i, trace1[i], trace2[i])
+		}
+	}
 }

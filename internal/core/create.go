@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strconv"
+
 	"pthreads/internal/hw"
 	"pthreads/internal/sched"
 )
@@ -36,6 +38,10 @@ func (s *System) Create(attr Attr, fn func(arg any) any, arg any) (*Thread, erro
 	s.liveCnt++
 	s.stats.ThreadsCreated++
 	s.trace(EvState, t, "created", attr.Name)
+	if s.tracer != nil {
+		// Fork edge for the race checker: creator → child.
+		s.traceObj(EvFork, s.current, t.name, strconv.Itoa(int(t.id)), "")
+	}
 	if attr.Lazy {
 		// Deferred activation: stays in StateNew, holding only a TCB.
 		// (allocTCB gave it a stack already; a production system would
@@ -121,6 +127,10 @@ func (s *System) Join(t *Thread) (any, error) {
 	}
 
 	ret := t.retval
+	if s.tracer != nil {
+		// Join edge for the race checker: target → joiner.
+		s.traceObj(EvJoin, cur, t.name, strconv.Itoa(int(t.id)), "")
+	}
 	s.enterKernel()
 	s.reclaim(t)
 	s.leaveKernel()

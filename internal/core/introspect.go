@@ -11,6 +11,24 @@ import (
 // "Information could be extracted from the thread control block and made
 // available to the user." ThreadInfo is that extraction; DumpThreads is
 // the debugger view of the whole system.
+//
+// Bare-accessor audit (kernel consistency). The introspection surface
+// reads shared state without entering the kernel and without charging
+// virtual cost: System.Sigmask, System.Stats, System.Errno, System.Now,
+// Cond.Waiters, Mutex.Owner/Name/Protocol/Ceiling, Thread.State/
+// Priority/BasePriority/Name/Detached, Inspect, DumpThreads. All are safe
+// under the monolithic-monitor discipline for the same two reasons:
+// (1) baton passing — exactly one thread goroutine executes at any
+// instant, and it only reaches user code with the kernel flag clear, so
+// no kernel section (the only writer of this state) is ever in progress
+// while an accessor runs from thread context; (2) per-thread fields
+// (sigMask, errno) are written exclusively by their own thread. The
+// contract, shared by every accessor: call from thread context, or after
+// Run has returned. Calling from a foreign host goroutine while the
+// system runs is outside the model (it would be a host-level data race,
+// as -race would report) — the same restriction the paper's in-process
+// debugger interface carries implicitly. The kernel-consistency tests in
+// introspect_test.go exercise the contract.
 
 // ThreadInfo is a point-in-time snapshot of one thread control block.
 type ThreadInfo struct {

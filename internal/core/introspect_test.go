@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+// Kernel-consistency tests for the bare-accessor contract documented in
+// introspect.go: the introspection surface reads shared state without
+// entering the kernel, which is safe (a) from thread context — baton
+// passing guarantees no kernel section is in progress while user code
+// runs — and (b) after Run has returned. These tests exercise both
+// halves; scripts/verify.sh runs the package under -race, which would
+// flag any accessor that violated the discipline at the host level.
+
+func TestBareAccessorsFromThreadContext(t *testing.T) {
+	runSystem(t, func(s *System) {
+		m := s.MustMutex(MutexAttr{Name: "m", Protocol: ProtocolCeiling, Ceiling: 20})
+		c := s.NewCond("c")
+
+		// A waiter parks on the condvar so Waiters/Inspect see a blocked
+		// thread mid-flight.
+		attr := DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		attr.Name = "parked"
+		th, _ := s.Create(attr, func(any) any {
+			m.Lock()
+			c.Wait(m)
+			m.Unlock()
+			return nil
+		}, nil)
+
+		// Every accessor reads from thread context, between kernel
+		// sections, and must see a mutually consistent snapshot.
+		if c.Waiters() != 1 {
+			t.Fatalf("Waiters = %d, want 1", c.Waiters())
+		}
+		if m.Owner() != nil {
+			t.Fatalf("Owner = %v for a mutex released by the waiter", m.Owner())
+		}
+		if m.Name() != "m" || m.Protocol() != ProtocolCeiling || m.Ceiling() != 20 {
+			t.Fatalf("mutex accessors inconsistent: %q %v %d", m.Name(), m.Protocol(), m.Ceiling())
+		}
+		if got := s.Sigmask(); got != 0 {
+			t.Fatalf("Sigmask = %v, want empty", got)
+		}
+		old := s.SetSigmask(unixkern.MakeSigset(unixkern.SIGUSR1))
+		if !s.Sigmask().Has(unixkern.SIGUSR1) {
+			t.Fatal("Sigmask does not reflect own-thread SetSigmask")
+		}
+		s.SetSigmask(old)
+		if s.Errno() != OK {
+			t.Fatalf("Errno = %v, want OK", s.Errno())
+		}
+		now := s.Now()
+		if again := s.Now(); again != now {
+			t.Fatalf("Now moved between reads without a charge: %v -> %v", now, again)
+		}
+
+		info, err := s.Inspect(th)
+		if err != nil {
+			t.Fatalf("Inspect: %v", err)
+		}
+		if info.State != StateBlocked || info.BlockReason != BlockCond {
+			t.Fatalf("waiter snapshot %v/%v, want blocked on cond", info.State, info.BlockReason)
+		}
+		if !strings.Contains(s.DumpThreads(), "parked") {
+			t.Fatal("DumpThreads missing the parked thread")
+		}
+
+		m.Lock()
+		c.Signal()
+		m.Unlock()
+		s.Join(th)
+	})
+}
+
+func TestBareAccessorsAfterRun(t *testing.T) {
+	s := New(Config{})
+	var th *Thread
+	if err := s.Run(func() {
+		attr := DefaultAttr()
+		attr.Name = "worker"
+		th, _ = s.Create(attr, func(any) any {
+			s.Compute(vtime.Millisecond)
+			return nil
+		}, nil)
+		s.Join(th)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// After Run returns no goroutine is live; accessors must be stable
+	// across repeated reads.
+	if s.Now() != s.Now() {
+		t.Fatal("Now unstable after Run")
+	}
+	st1, st2 := s.Stats(), s.Stats()
+	if st1 != st2 {
+		t.Fatalf("Stats unstable after Run: %+v vs %+v", st1, st2)
+	}
+	if st1.DispatcherRuns == 0 {
+		t.Fatal("Stats lost the run's dispatcher activity")
+	}
+	d1, d2 := s.DumpThreads(), s.DumpThreads()
+	if d1 != d2 {
+		t.Fatal("DumpThreads unstable after Run")
+	}
+}

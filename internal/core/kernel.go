@@ -53,9 +53,14 @@ func (s *System) leaveKernel() {
 	if !s.kernelFlag {
 		panic("core: leaveKernel outside kernel")
 	}
-	if s.pervertArm && s.current.state == StateRunning {
-		s.pervertKernelExit()
+	if s.current.state == StateRunning {
+		if s.pervertArm {
+			s.pervertKernelExit()
+		} else if s.explorer != nil && !s.exploreSquelch {
+			s.exploreAt(PointKernelExit)
+		}
 	}
+	s.exploreSquelch = false
 	if !s.dispatcherFlag {
 		s.cpu.ChargeInstr(instrKernelExit)
 		s.kernelFlag = false
@@ -143,6 +148,23 @@ func (s *System) dispatch() {
 func (s *System) selectNext() *Thread {
 	s.cpu.ChargeInstr(instrSelect)
 	cur := s.current
+
+	if s.explorePickArmed {
+		// Exploration: dispatch exactly the ready thread the explorer
+		// chose (same Nth ordering its decision indexed). Signals
+		// handled since the decision may have grown the ready set; the
+		// clamp keeps the pick valid either way.
+		s.explorePickArmed = false
+		if n := s.ready.Len(); n > 0 {
+			i := s.explorePick
+			if i >= n {
+				i = n - 1
+			}
+			t, p, _ := s.ready.Nth(i)
+			s.ready.Remove(t, p)
+			return t
+		}
+	}
 
 	if s.randomPick {
 		// Random-switch perverted policy: choose uniformly at random

@@ -259,7 +259,9 @@ func (s *System) afterAcquire(m *Mutex, t *Thread) {
 	if s.tracer != nil {
 		s.traceObj(EvMutex, t, m.name, "lock", "")
 	}
-	if s.cfg.Pervert == PervertMutexSwitch {
+	if s.explorer != nil {
+		s.exploreLockPoint()
+	} else if s.cfg.Pervert == PervertMutexSwitch {
 		s.pervertMutexSwitch()
 	}
 }
@@ -319,7 +321,9 @@ func (s *System) lockSlow(m *Mutex) {
 	if s.tracer != nil {
 		s.traceObj(EvMutex, t, m.name, "lock", "after contention")
 	}
-	if s.cfg.Pervert == PervertMutexSwitch {
+	if s.explorer != nil {
+		s.exploreLockPoint()
+	} else if s.cfg.Pervert == PervertMutexSwitch {
 		s.pervertMutexSwitch()
 	}
 }

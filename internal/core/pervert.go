@@ -60,10 +60,16 @@ func (s *System) pervertKernelExit() {
 		s.dispatcherFlag = true
 		s.trace(EvState, cur, "ready", "perverted rr-ordered switch")
 	case PervertRandom:
-		if s.prng.Intn(2) == 0 {
+		// Test for a switch candidate *before* consuming a PRNG bit
+		// (matching PervertRROrdered): drawing a bit when the ready
+		// queue is empty and no switch is possible would desynchronize
+		// the random stream from actual decision points, making seed
+		// sweeps incomparable across workloads with different idle
+		// patterns.
+		if s.ready.Empty() {
 			return
 		}
-		if s.ready.Empty() {
+		if s.prng.Intn(2) == 0 {
 			return
 		}
 		cur.state = StateReady

@@ -90,6 +90,15 @@ func (s *System) SetSigmask(m unixkern.Sigset) unixkern.Sigset {
 }
 
 // Sigmask returns the calling thread's current signal mask.
+//
+// Kernel consistency: this is a deliberate bare read (no kernel entry, no
+// charged cost). It is safe under the baton-passing discipline because
+// (a) only the current thread executes at any instant, and (b) sigMask is
+// only ever written by its own thread (SetSigmask, handler entry/exit
+// fake calls), never cross-thread — so the running thread reads its own,
+// stable field. Like every bare accessor (see the audit note in
+// introspect.go), it must be called from thread context or after Run
+// returns.
 func (s *System) Sigmask() unixkern.Sigset { return s.current.sigMask }
 
 // Kill directs a signal at a specific thread (pthread_kill). This is the

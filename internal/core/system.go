@@ -67,6 +67,11 @@ type Config struct {
 	// Tracer, when non-nil, receives every scheduling/synchronization
 	// event with its virtual timestamp.
 	Tracer Tracer
+	// Explorer, when non-nil, drives the schedule-exploration engine: it
+	// is consulted at every switch point and may force the context
+	// switch of its choice (see internal/explore). Mutually exclusive
+	// with Pervert — an active Explorer takes precedence.
+	Explorer Explorer
 }
 
 // Stats aggregates the library-level counters the evaluation harness
@@ -148,6 +153,13 @@ type System struct {
 	tracer        Tracer
 	pervertArm    bool // set when the active perverted policy wants a switch at kernel exit
 	randomPick    bool // random-switch: pick the next thread at random
+
+	// Exploration-engine state (all dormant while explorer is nil).
+	explorer         Explorer
+	exploreIDs       []ThreadID // scratch ready-set snapshot for ChooseAt
+	explorePick      int        // ready-queue index the explorer chose
+	explorePickArmed bool       // explorePick is valid for the next selectNext
+	exploreSquelch   bool       // suppress the next kernel-exit decision point
 	runCalled     bool
 	finished      bool
 	finishErr     error
@@ -202,7 +214,8 @@ func New(cfg Config) *System {
 		doneCh:  make(chan struct{}),
 	}
 	s.atoms = hw.NewAtomics(s.cpu)
-	s.pervertArm = cfg.Pervert == PervertRROrdered || cfg.Pervert == PervertRandom
+	s.explorer = cfg.Explorer
+	s.pervertArm = s.explorer == nil && (cfg.Pervert == PervertRROrdered || cfg.Pervert == PervertRandom)
 	s.proc = k.NewProcess("pthreads")
 	s.proc.OnTerminate = func(sig unixkern.Signal) {
 		s.finish(fmt.Errorf("process terminated by %v", sig), nil)

@@ -25,6 +25,15 @@ const (
 	EvCancel
 	// EvUser: an application-injected marker (Tracepoint).
 	EvUser
+	// EvAccess: an annotated shared-memory access (NoteRead/NoteWrite;
+	// Obj = location, Arg = "read"/"write"). Input to the race checker.
+	EvAccess
+	// EvFork: a thread created another (Thread = creator, Obj = child's
+	// name, Arg = child's decimal ID). A happens-before edge.
+	EvFork
+	// EvJoin: a thread joined a terminated one (Thread = joiner, Obj =
+	// target's name, Arg = target's decimal ID). A happens-before edge.
+	EvJoin
 )
 
 // String names the event kind.
@@ -44,6 +53,12 @@ func (k EventKind) String() string {
 		return "cancel"
 	case EvUser:
 		return "user"
+	case EvAccess:
+		return "access"
+	case EvFork:
+		return "fork"
+	case EvJoin:
+		return "join"
 	}
 	return "event"
 }

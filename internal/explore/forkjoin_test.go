@@ -1,0 +1,32 @@
+package explore
+
+import (
+	"testing"
+
+	"pthreads/internal/core"
+	"pthreads/internal/trace"
+)
+
+// forkJoinTrace runs a program where main writes a location, a child
+// rewrites it, and main reads it back after Join — every access ordered
+// purely by fork/join edges, with no mutex anywhere.
+func forkJoinTrace(t *testing.T) []core.TraceEvent {
+	t.Helper()
+	rec := trace.New()
+	sys := core.New(core.Config{Tracer: rec})
+	err := sys.Run(func() {
+		sys.NoteWrite("cell")
+		attr := core.DefaultAttr()
+		attr.Name = "child"
+		th, _ := sys.Create(attr, func(any) any {
+			sys.NoteWrite("cell")
+			return nil
+		}, nil)
+		sys.Join(th)
+		sys.NoteRead("cell")
+	})
+	if err != nil {
+		t.Fatalf("fork/join program failed: %v", err)
+	}
+	return rec.Events
+}

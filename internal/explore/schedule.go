@@ -1,0 +1,90 @@
+// Package explore is the schedule-exploration engine layered on the
+// deterministic baton-passing core: record/replay of forced-switch
+// decisions, PCT-style randomized-priority exploration, systematic
+// bounded-preemption search, schedule shrinking, and a happens-before +
+// lockset race checker over trace events.
+//
+// The engine treats one run of a workload as a sequence of scheduling
+// *decisions*: at every switch point (kernel exit, mutex acquisition) the
+// core asks whether to preempt the running thread and which ready thread
+// to dispatch instead. Because the simulation is deterministic, the list
+// of decisions taken — a compact schedule token — reproduces the
+// byte-identical trace, which turns any found bug into a one-line repro.
+package explore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Decision is one forced switch: at the Index'th switch point of the run,
+// preempt the running thread and dispatch the Pick'th ready thread (in
+// dispatch order: descending priority, FIFO within a level). Points where
+// no Decision applies default to "continue the current thread".
+type Decision struct {
+	Index int
+	Pick  int
+}
+
+// Schedule is an ordered set of decisions — the replayable token of one
+// explored interleaving. The zero value is the empty schedule (no forced
+// switches).
+type Schedule struct {
+	Decisions []Decision
+}
+
+// tokenPrefix versions the textual encoding.
+const tokenPrefix = "v1:"
+
+// Token renders the schedule as a compact one-line string, e.g.
+// "v1:12/1,40/0" — at point 12 run ready[1], at point 40 run ready[0].
+func (s Schedule) Token() string {
+	var b strings.Builder
+	b.WriteString(tokenPrefix)
+	for i, d := range s.Decisions {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(d.Index))
+		b.WriteByte('/')
+		b.WriteString(strconv.Itoa(d.Pick))
+	}
+	return b.String()
+}
+
+// Len returns the number of forced switches.
+func (s Schedule) Len() int { return len(s.Decisions) }
+
+// ParseToken decodes a schedule token produced by Token.
+func ParseToken(tok string) (Schedule, error) {
+	if !strings.HasPrefix(tok, tokenPrefix) {
+		return Schedule{}, fmt.Errorf("explore: schedule token must start with %q", tokenPrefix)
+	}
+	body := strings.TrimPrefix(tok, tokenPrefix)
+	if body == "" {
+		return Schedule{}, nil
+	}
+	var out Schedule
+	last := -1
+	for _, part := range strings.Split(body, ",") {
+		idx, pick, ok := strings.Cut(part, "/")
+		if !ok {
+			return Schedule{}, fmt.Errorf("explore: malformed decision %q (want index/pick)", part)
+		}
+		i, err := strconv.Atoi(idx)
+		if err != nil || i < 0 {
+			return Schedule{}, fmt.Errorf("explore: bad point index in %q", part)
+		}
+		p, err := strconv.Atoi(pick)
+		if err != nil || p < 0 {
+			return Schedule{}, fmt.Errorf("explore: bad pick in %q", part)
+		}
+		if i <= last {
+			return Schedule{}, fmt.Errorf("explore: decision indices must be strictly increasing (%d after %d)", i, last)
+		}
+		last = i
+		out.Decisions = append(out.Decisions, Decision{Index: i, Pick: p})
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package explore
+
+import (
+	"fmt"
+
+	"pthreads/internal/core"
+)
+
+// Options parameterizes the exploration strategies.
+type Options struct {
+	// MaxRuns caps the number of runs a search may execute (default 2000).
+	MaxRuns int
+	// Bound is the preemption bound of the systematic search: the
+	// maximum number of forced switches per schedule (default 2).
+	Bound int
+	// LockOnly restricts the systematic search's branch points to mutex
+	// acquisitions — the synchronization points the paper's mutex-switch
+	// policy targets — which shrinks the search space dramatically.
+	LockOnly bool
+	// Seeds is how many PCT seeds to sweep (default 20), starting at
+	// SeedBase.
+	Seeds    int
+	SeedBase int64
+	// Depth is the PCT bug depth d (default 3); Horizon the number of
+	// switch points the d-1 change points are sampled over (default 1000).
+	Depth   int
+	Horizon int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 2000
+	}
+	if o.Bound <= 0 {
+		o.Bound = 2
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 20
+	}
+	if o.SeedBase == 0 {
+		o.SeedBase = 1
+	}
+	if o.Depth <= 0 {
+		o.Depth = 3
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 1000
+	}
+	return o
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	Found    bool
+	Failure  string   // the failing check's description
+	Policy   string   // "pct" or "bounded"
+	Seed     int64    // the finding PCT seed (pct only)
+	Schedule Schedule // recorded failing schedule — a one-line repro
+	Runs     int      // runs executed
+}
+
+// String renders the result in one line.
+func (r Result) String() string {
+	if !r.Found {
+		return fmt.Sprintf("%s: clean after %d runs", r.Policy, r.Runs)
+	}
+	s := fmt.Sprintf("%s: FAILURE after %d runs: %s\n  schedule %s", r.Policy, r.Runs, r.Failure, r.Schedule.Token())
+	if r.Policy == "pct" {
+		s += fmt.Sprintf(" (seed %d)", r.Seed)
+	}
+	return s
+}
+
+// ExplorePCT sweeps PCT seeds until a run fails or the seed budget is
+// exhausted.
+func ExplorePCT(w Workload, o Options) Result {
+	o = o.withDefaults()
+	runs := 0
+	for i := 0; i < o.Seeds && runs < o.MaxRuns; i++ {
+		seed := o.SeedBase + int64(i)
+		out := RunPCT(w, seed, o.Depth, o.Horizon)
+		runs++
+		if out.Failure != "" {
+			return Result{Found: true, Failure: out.Failure, Policy: "pct", Seed: seed, Schedule: out.Schedule, Runs: runs}
+		}
+	}
+	return Result{Policy: "pct", Runs: runs}
+}
+
+// ExploreBounded performs the systematic bounded-preemption search: a
+// stateless depth-first enumeration of schedules with at most Bound
+// forced switches. Each run replays a prefix and records the switch
+// points past it; the frontier is extended with every (point, pick)
+// alternative after the prefix's last decision, so each schedule is
+// visited exactly once (the CHESS iteration strategy).
+func ExploreBounded(w Workload, o Options) Result {
+	o = o.withDefaults()
+	stack := [][]Decision{nil} // start from the unperturbed run
+	runs := 0
+	for len(stack) > 0 && runs < o.MaxRuns {
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out := runSchedule(w, prefix, nil)
+		runs++
+		if out.Failure != "" {
+			return Result{Found: true, Failure: out.Failure, Policy: "bounded", Schedule: out.Schedule, Runs: runs}
+		}
+		if len(prefix) >= o.Bound {
+			continue
+		}
+		// Push extensions in reverse so the earliest point is explored
+		// first (LIFO stack).
+		for k := len(out.Points) - 1; k >= 0; k-- {
+			pt := out.Points[k]
+			if pt.NReady == 0 {
+				continue
+			}
+			if o.LockOnly && pt.Kind != core.PointLock {
+				continue
+			}
+			for pick := pt.NReady - 1; pick >= 0; pick-- {
+				ext := make([]Decision, len(prefix), len(prefix)+1)
+				copy(ext, prefix)
+				ext = append(ext, Decision{Index: pt.Index, Pick: pick})
+				stack = append(stack, ext)
+			}
+		}
+	}
+	return Result{Policy: "bounded", Runs: runs}
+}
+
+// Shrink greedily minimizes a failing schedule: it repeatedly tries to
+// drop one decision and keeps any candidate that still fails, until no
+// single removal preserves the failure. The result is normalized to the
+// decisions the final failing run actually took.
+func Shrink(w Workload, sch Schedule) (Schedule, int) {
+	cur := sch.Decisions
+	runs := 0
+	for improved := true; improved; {
+		improved = false
+		for i := 0; i < len(cur); i++ {
+			cand := make([]Decision, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			out := runSchedule(w, cand, nil)
+			runs++
+			if out.Failure != "" {
+				cur = out.Schedule.Decisions
+				improved = true
+				break
+			}
+		}
+	}
+	return Schedule{Decisions: cur}, runs
+}

@@ -105,6 +105,11 @@ type (
 	Tracer = core.Tracer
 	// EventKind classifies trace events.
 	EventKind = core.EventKind
+	// Explorer receives forced-switch decision points during schedule
+	// exploration (record/replay, PCT, bounded search).
+	Explorer = core.Explorer
+	// SwitchPoint classifies where an Explorer decision is taken.
+	SwitchPoint = core.SwitchPoint
 
 	// Signal is a UNIX signal number.
 	Signal = unixkern.Signal
@@ -168,6 +173,12 @@ const (
 const (
 	MixStack        = core.MixStack
 	MixLinearSearch = core.MixLinearSearch
+)
+
+// Explorer switch points.
+const (
+	PointKernelExit = core.PointKernelExit
+	PointLock       = core.PointLock
 )
 
 // Priority range.

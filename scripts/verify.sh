@@ -9,3 +9,13 @@ go build ./...
 go test ./...
 go vet ./...
 go test -race ./internal/core/ ./internal/sched/
+
+# Schedule-exploration smoke: bounded search must find the seeded bugs
+# (deadlock, lost update), shrink them, and replay the minimized token to
+# a byte-identical failing trace; the fixed variants must come back
+# clean; record→replay must be deterministic.
+go run ./cmd/ptexplore -workload philosophers-broken -policy bounded -bound 2 -lock-only -expect found
+go run ./cmd/ptexplore -workload philosophers-fixed -policy bounded -bound 2 -lock-only -expect clean
+go run ./cmd/ptexplore -workload racy-counter -policy bounded -bound 1 -expect found
+go run ./cmd/ptexplore -workload racy-counter-fixed -policy bounded -bound 1 -expect clean
+go run ./cmd/ptexplore -workload racy-counter -check-replay
