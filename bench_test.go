@@ -542,3 +542,63 @@ func BenchmarkSyscallProfiles(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkNetEcho measures one echo round trip through the blocking-I/O
+// jacket layer: the client's Write crosses the simulated wire, wakes the
+// server from its per-fd wait queue, and the echoed response wakes the
+// client back — four jacket calls, two suspensions, two SIGIO
+// completions per op.
+func BenchmarkNetEcho(b *testing.B) {
+	s := pthreads.New(pthreads.Config{})
+	err := s.Run(func() {
+		x := pthreads.NewIO(s, pthreads.NetConfig{})
+		l, err := x.Listen("echo", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		attr := pthreads.DefaultAttr()
+		attr.Name = "server"
+		server, _ := s.Create(attr, func(any) any {
+			c, err := l.Accept()
+			if err != nil {
+				return nil
+			}
+			for {
+				n, err := c.Read(64)
+				if err != nil {
+					break // EOF: the client finished
+				}
+				c.Write(n)
+			}
+			c.Close()
+			return nil
+		}, nil)
+
+		c, err := x.Dial("echo")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		v0 := s.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Write(64); err != nil {
+				b.Fatal(err)
+			}
+			got := 0
+			for got < 64 {
+				n, err := c.Read(64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got += n
+			}
+		}
+		b.StopTimer()
+		reportVirtual(b, s, v0, b.N)
+		c.Close()
+		s.Join(server)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@ func main() {
 	table := flag.Int("table", 2, "paper table to regenerate (1 or 2)")
 	ablation := flag.Bool("ablation", false, "run the ablation studies")
 	attrib := flag.Bool("attrib", false, "print the context-switch cost attribution")
+	netio := flag.Bool("net", false, "run the blocking-I/O jacket pressure scenario")
 	host := flag.Bool("host", false, "run host-machine Go benchmarks and write JSON")
 	hostOut := flag.String("hostout", "BENCH_host.json", "output path for -host results")
 	hostBench := flag.String("hostbench", defaultHostPattern, "benchmark pattern for -host")
@@ -41,6 +42,12 @@ func main() {
 	}
 	if *attrib {
 		out, err := eval.FormatAttribution()
+		exitOn(err)
+		fmt.Print(out)
+		return
+	}
+	if *netio {
+		out, err := eval.FormatIOStats()
 		exitOn(err)
 		fmt.Print(out)
 		return

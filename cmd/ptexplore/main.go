@@ -90,6 +90,12 @@ func buildWorkload(name string, nPhil, meals, threads, iters int) (explore.Workl
 		return explore.RacyCounterWorkload(true, threads, iters), true
 	case "racy-counter-fixed":
 		return explore.RacyCounterWorkload(false, threads, iters), true
+	case "sock-echo":
+		return explore.SockEchoWorkload(2, 64), true
+	case "sock-lost-wakeup":
+		return explore.SockLostWakeupWorkload(true, 64), true
+	case "sock-lost-wakeup-fixed":
+		return explore.SockLostWakeupWorkload(false, 64), true
 	}
 	return explore.Workload{}, false
 }

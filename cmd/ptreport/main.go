@@ -35,6 +35,7 @@ func main() {
 		eval.FormatSyscallProfiles,
 		eval.FormatUtilizationSweep,
 		eval.FormatQueueStats,
+		eval.FormatIOStats,
 	}
 	if *withExplore {
 		sections = append(sections, eval.FormatExplore)

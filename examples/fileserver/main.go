@@ -1,10 +1,11 @@
 // A multi-threaded file server: worker threads pull requests from a
 // shared queue (mutex + condition variable), read from simulated disks
-// through the asynchronous I/O interface — the request's thread is
-// resumed by the SIGIO completion, recipient rule 4 — and compute a
-// response. The run compares one disk against two, showing that threads
-// overlap I/O with computation and that the contended device, not the
-// CPU, bounds throughput.
+// through the blocking-I/O jacket layer — each File.Read suspends its
+// thread on the disk's descriptor until the SIGIO completion is
+// demultiplexed back (recipient rule 4) — and compute a response. The
+// run compares one disk against two, showing that threads overlap I/O
+// with computation and that the contended device, not the CPU, bounds
+// throughput.
 package main
 
 import (
@@ -36,10 +37,12 @@ func serve(disks int) (pthreads.Time, stats) {
 	var st stats
 
 	err := sys.Run(func() {
-		// The disks: 2ms setup, 1µs/byte.
-		var devs []*pthreads.Device
+		// The disks, opened as device files behind the jacket layer:
+		// 2ms setup, 1µs/byte.
+		x := pthreads.NewIO(sys, pthreads.NetConfig{})
+		var devs []*pthreads.File
 		for i := 0; i < disks; i++ {
-			d, err := sys.OpenDevice(fmt.Sprintf("disk%d", i), 2*pthreads.Millisecond, pthreads.Microsecond)
+			d, err := x.OpenFile(fmt.Sprintf("disk%d", i), 2*pthreads.Millisecond, pthreads.Microsecond)
 			if err != nil {
 				panic(err)
 			}
@@ -74,7 +77,7 @@ func serve(disks int) (pthreads.Time, stats) {
 					// Read from the disk the content lives on, then
 					// render the response.
 					dev := devs[req.id%len(devs)]
-					n, err := dev.Transfer(req.bytes)
+					n, err := dev.Read(req.bytes)
 					if err != nil {
 						panic(err)
 					}

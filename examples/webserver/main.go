@@ -1,0 +1,189 @@
+// A many-client network workload on the blocking-I/O jacket layer: N
+// worker threads share one listening socket and serve M clients, each
+// request crossing the simulated wire into a bounded receive buffer,
+// waking exactly one worker from the listener's priority-ordered wait
+// queue. Workers overlap computation with other threads' I/O; clients
+// refused by the bounded accept backlog back off and retry.
+//
+// The run is deterministic: the same workload is executed twice and must
+// produce bit-identical schedules, verified by hashing the full trace.
+// The printed per-worker tallies show priority-ordered wakeup — the
+// highest-priority worker is always designated first when the listener
+// becomes readable, so it serves the most connections.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+
+	"pthreads"
+	"pthreads/internal/core"
+	"pthreads/internal/trace"
+)
+
+const (
+	workers  = 8
+	clients  = 64
+	backlog  = 8
+	reqBytes = 256
+	rspBytes = 1024
+)
+
+type result struct {
+	token    string
+	elapsed  pthreads.Time
+	served   [workers]int
+	retries  int
+	compute  pthreads.Duration
+	stats    pthreads.Stats
+	netStats pthreads.NetStats
+}
+
+// serve runs the workload once and returns its outcome, including a
+// token hashed over every trace event.
+func serve() result {
+	rec := trace.New()
+	sys := pthreads.New(pthreads.Config{Tracer: rec})
+	var res result
+
+	err := sys.Run(func() {
+		x := pthreads.NewIO(sys, pthreads.NetConfig{RecvBuf: 2048, SendBuf: 2048})
+		l, err := x.Listen("web", backlog)
+		if err != nil {
+			panic(err)
+		}
+
+		// Workers at distinct priorities above the clients: wakeup from
+		// the listener's wait queue is priority-ordered, so worker 7
+		// (the highest) is designated whenever it is waiting.
+		var ws []*pthreads.Thread
+		for w := 0; w < workers; w++ {
+			attr := pthreads.DefaultAttr()
+			attr.Name = fmt.Sprintf("worker%d", w)
+			attr.Priority = sys.Self().Priority() + 2 + w
+			idx := w
+			th, _ := sys.Create(attr, func(any) any {
+				for {
+					c, err := l.Accept()
+					if err != nil {
+						return nil // EBADF: the listener closed, shift over
+					}
+					got := 0
+					for got < reqBytes {
+						n, err := c.Read(reqBytes)
+						if err != nil {
+							break
+						}
+						got += n
+					}
+					// Render the response: compute proportional to the
+					// request, overlapping other threads' wire time.
+					work := pthreads.Duration(got) * pthreads.Microsecond / 2
+					sys.Compute(work)
+					res.compute += work
+					c.Write(rspBytes)
+					c.Close()
+					res.served[idx]++
+				}
+			}, nil)
+			ws = append(ws, th)
+		}
+
+		// Clients dial, send a request, read the full response. A dial
+		// refused by the full backlog backs off and retries.
+		var cs []*pthreads.Thread
+		for i := 0; i < clients; i++ {
+			attr := pthreads.DefaultAttr()
+			attr.Name = fmt.Sprintf("client%d", i)
+			th, _ := sys.Create(attr, func(any) any {
+				var c *pthreads.Conn
+				for {
+					var err error
+					c, err = x.Dial("web")
+					if err == nil {
+						break
+					}
+					if e, ok := core.AsErrno(err); !ok || e != core.ECONNREFUSED {
+						panic(err)
+					}
+					res.retries++
+					sys.Sleep(500 * pthreads.Microsecond)
+				}
+				if _, err := c.Write(reqBytes); err != nil {
+					panic(err)
+				}
+				got := 0
+				for got < rspBytes {
+					n, err := c.Read(rspBytes)
+					if err != nil {
+						panic(fmt.Sprintf("client read after %d: %v", got, err))
+					}
+					got += n
+				}
+				c.Close()
+				return nil
+			}, nil)
+			cs = append(cs, th)
+		}
+
+		for _, th := range cs {
+			sys.Join(th)
+		}
+		// All clients answered: close the listener, which wakes every
+		// worker blocked in Accept with EBADF.
+		l.Close()
+		for _, th := range ws {
+			sys.Join(th)
+		}
+		res.netStats = x.Stack().Stats()
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	h := sha256.New()
+	for _, ev := range rec.Events {
+		name := ""
+		if ev.Thread != nil {
+			name = ev.Thread.Name()
+		}
+		fmt.Fprintf(h, "%d %s %s %s %s %s\n", ev.At, ev.Kind, name, ev.Obj, ev.Arg, ev.Detail)
+	}
+	res.token = hex.EncodeToString(h.Sum(nil)[:8])
+	res.elapsed = sys.Now()
+	res.stats = sys.Stats()
+	return res
+}
+
+func main() {
+	a := serve()
+	b := serve()
+
+	fmt.Printf("webserver: %d workers, %d clients, backlog %d\n", workers, clients, backlog)
+	fmt.Printf("trace token: %s\n", a.token)
+	if a.token != b.token {
+		fmt.Printf("NONDETERMINISTIC: second run produced %s\n", b.token)
+		os.Exit(1)
+	}
+	fmt.Printf("deterministic: two runs, identical schedules\n\n")
+
+	total := 0
+	fmt.Println("priority-ordered wakeup (higher-priority workers serve more):")
+	for w := workers - 1; w >= 0; w-- {
+		fmt.Printf("  worker%d (prio +%d): %3d connections\n", w, 2+w, a.served[w])
+		total += a.served[w]
+	}
+	fmt.Printf("  total %d served, %d dials refused and retried\n\n", total, a.retries)
+
+	st := a.stats
+	fmt.Printf("elapsed (virtual):  %v\n", a.elapsed)
+	fmt.Printf("compute issued:     %v (overlap: compute continued while wires carried data)\n", a.compute)
+	fmt.Printf("fd waits:           %d blocks, %d wakeups, max queue depth %d\n",
+		st.FDWaits, st.FDWakeups, st.FDMaxWaitDepth)
+	fmt.Printf("bytes through jacket: %d\n", st.FDBytes)
+	ns := a.netStats
+	fmt.Printf("network:            %d dials (%d refused), %d accepted, %d segments, %d B sent\n",
+		ns.Dials, ns.Refused, ns.Accepted, ns.Segments, ns.BytesSent)
+}

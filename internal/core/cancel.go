@@ -72,6 +72,15 @@ func (s *System) actOnCancel(t *Thread, info *unixkern.SigInfo) {
 			}
 			t.wake = wakeCancel
 			s.makeReady(t, false)
+		case BlockFD:
+			// Blocking jacket calls are interruption points.
+			s.fdRemoveWaiter(t)
+			if t.waitTimer != 0 {
+				s.kern.DisarmInternal(t.waitTimer)
+				t.waitTimer = 0
+			}
+			t.wake = wakeCancel
+			s.makeReady(t, false)
 		case BlockSigwait:
 			t.inSigwait = false
 			t.wake = wakeCancel
@@ -118,6 +127,8 @@ func (s *System) actOnCancel(t *Thread, info *unixkern.SigInfo) {
 				}
 			case BlockSigwait:
 				t.inSigwait = false
+			case BlockFD:
+				s.fdRemoveWaiter(t)
 			}
 			if t.waitTimer != 0 {
 				s.kern.DisarmInternal(t.waitTimer)

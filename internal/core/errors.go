@@ -21,31 +21,39 @@ type Errno int
 
 // The error numbers the interface can return.
 const (
-	OK        Errno = 0
-	EPERM     Errno = 1
-	ESRCH     Errno = 3
-	EINTR     Errno = 4
-	EAGAIN    Errno = 11
-	ENOMEM    Errno = 12
-	EBUSY     Errno = 16
-	EINVAL    Errno = 22
-	EDEADLK   Errno = 35
-	ENOSYS    Errno = 38
-	ETIMEDOUT Errno = 60
+	OK           Errno = 0
+	EPERM        Errno = 1
+	ESRCH        Errno = 3
+	EINTR        Errno = 4
+	EBADF        Errno = 9
+	EAGAIN       Errno = 11
+	ENOMEM       Errno = 12
+	EBUSY        Errno = 16
+	EINVAL       Errno = 22
+	EDEADLK      Errno = 35
+	ENOSYS       Errno = 38
+	EADDRINUSE   Errno = 48
+	ECONNRESET   Errno = 54
+	ETIMEDOUT    Errno = 60
+	ECONNREFUSED Errno = 61
 )
 
 var errnoNames = map[Errno]string{
-	OK:        "OK",
-	EPERM:     "EPERM",
-	ESRCH:     "ESRCH",
-	EINTR:     "EINTR",
-	EAGAIN:    "EAGAIN",
-	ENOMEM:    "ENOMEM",
-	EBUSY:     "EBUSY",
-	EINVAL:    "EINVAL",
-	EDEADLK:   "EDEADLK",
-	ENOSYS:    "ENOSYS",
-	ETIMEDOUT: "ETIMEDOUT",
+	OK:           "OK",
+	EPERM:        "EPERM",
+	ESRCH:        "ESRCH",
+	EINTR:        "EINTR",
+	EBADF:        "EBADF",
+	EAGAIN:       "EAGAIN",
+	ENOMEM:       "ENOMEM",
+	EBUSY:        "EBUSY",
+	EINVAL:       "EINVAL",
+	EDEADLK:      "EDEADLK",
+	ENOSYS:       "ENOSYS",
+	EADDRINUSE:   "EADDRINUSE",
+	ECONNRESET:   "ECONNRESET",
+	ETIMEDOUT:    "ETIMEDOUT",
+	ECONNREFUSED: "ECONNREFUSED",
 }
 
 // Error implements error.

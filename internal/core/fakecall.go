@@ -92,6 +92,17 @@ func (s *System) pushFakeCall(t *Thread, f *fakeFrame) {
 			t.inSigwait = false
 			t.wake = wakeInterrupt
 			s.makeReady(t, false)
+		case BlockFD:
+			// A blocking jacket call: the handler interrupts it and the
+			// call returns EINTR, like a blocking syscall under SA_RESTART
+			// unset.
+			s.fdRemoveWaiter(t)
+			if t.waitTimer != 0 {
+				s.kern.DisarmInternal(t.waitTimer)
+				t.waitTimer = 0
+			}
+			t.wake = wakeInterrupt
+			s.makeReady(t, false)
 		default:
 			// Mutex, join and I/O waits are not interrupted: locking a
 			// mutex is explicitly not an interruption point, and the

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"strconv"
+
+	"pthreads/internal/sched"
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+// This file is the library half of the blocking-I/O jacket layer: the
+// per-descriptor wait queues and the FDBlockingCall primitive that turns
+// a non-blocking descriptor operation into a per-thread blocking call.
+//
+// The paper keeps one thread's blocking UNIX call from stopping the whole
+// process by issuing asynchronous requests and suspending the thread until
+// the SIGIO completion is demultiplexed back (recipient rule 4). The SR
+// and MPD runtime ports formalize the same idea as "jacket routines"
+// around each blocking syscall. Here the two meet: the socket layer
+// (internal/net) exposes non-blocking try-operations and announces
+// readiness through SIGIO completions carrying descriptor sets; this file
+// parks threads on priority-ordered per-(fd, direction) queues and wakes
+// them from those completions. A blocked jacket call is interrupted with
+// EINTR by a handled signal (via a fake call) and is an interruption
+// point for cancellation, per the paper's SIGCANCEL rules.
+
+// FDDir selects the direction of a descriptor wait.
+type FDDir int
+
+const (
+	// FDRead waits for the descriptor to become readable (data, EOF,
+	// a queued connection on a listener, a completed device request).
+	FDRead FDDir = iota
+	// FDWrite waits for the descriptor to become writable (buffer space,
+	// an established or refused connect).
+	FDWrite
+)
+
+// String names the direction.
+func (d FDDir) String() string {
+	if d == FDRead {
+		return "read"
+	}
+	return "write"
+}
+
+// fdKey identifies one wait queue.
+type fdKey struct {
+	fd  unixkern.FD
+	dir FDDir
+}
+
+// fdWaitTag is the timer datum of a timed descriptor wait; like
+// timedWaitTag it bypasses the recipient rules and terminates the wait
+// directly (see deliverToLibrary).
+type fdWaitTag struct {
+	t *Thread
+}
+
+// fdName renders a queue label for traces. Call sites guard on the
+// tracer, so the formatting costs nothing when tracing is off.
+func fdName(fd unixkern.FD, dir FDDir) string {
+	return "fd" + strconv.Itoa(int(fd)) + "/" + dir.String()
+}
+
+// FDBlockingCall is the jacket primitive: it runs attempt inside the
+// library kernel and, while the operation would block, suspends the
+// calling thread on the (fd, dir) wait queue until a SIGIO completion
+// designates it. attempt reports done=true when the operation completed
+// (the call returns nil) and more=true when residual readiness remains —
+// the next waiter is then designated immediately, so a single completion
+// carrying several units of readiness (a burst of data, several queued
+// connections) wakes the whole chain in priority order.
+//
+// Because attempt runs with the kernel flag set, checking readiness and
+// deciding to suspend are atomic with respect to event delivery: the
+// classic lost-wakeup window between "poll said not ready" and "thread
+// parked" cannot occur. A timeout > 0 bounds the whole call (ETIMEDOUT);
+// a handled signal delivered to the blocked thread interrupts it (EINTR,
+// after the handler ran); cancellation terminates it as an interruption
+// point.
+func (s *System) FDBlockingCall(fd unixkern.FD, dir FDDir, what string, timeout vtime.Duration, attempt func() (done, more bool)) error {
+	s.TestCancel()
+	t := s.current
+	var deadline vtime.Time
+	if timeout > 0 {
+		deadline = s.clock.Now().Add(timeout)
+	}
+	s.enterKernel()
+	for {
+		done, more := attempt()
+		if done {
+			if more {
+				s.fdWakeTop(fd, dir, "chain")
+			}
+			s.leaveKernel()
+			return nil
+		}
+		// A cancellation that arrived while this thread was designated
+		// (ready but not yet dispatched) must not be followed by an
+		// unwakeable re-block: act on it here, at the interruption point.
+		if t.cancelState == CancelControlled && t.cancelPending {
+			s.leaveKernel()
+			s.TestCancel() // exits
+		}
+		if timeout > 0 {
+			rem := deadline.Sub(s.clock.Now())
+			if rem <= 0 {
+				s.stats.FDTimeouts++
+				if s.tracer != nil {
+					s.traceObj(EvIO, t, fdName(fd, dir), "timeout", what)
+				}
+				s.leaveKernel()
+				return ETIMEDOUT.Or()
+			}
+			t.waitTimer = s.kern.SetTimerInternal(s.proc, sigalrm, rem, &fdWaitTag{t: t})
+		}
+		s.fdEnqueue(fd, dir, t)
+		t.wake = wakeNone
+		s.stats.FDWaits++
+		if s.tracer != nil {
+			s.traceObj(EvIO, t, fdName(fd, dir), "block", what)
+		}
+		blockedAt := s.clock.Now()
+		s.blockCurrent(BlockFD, what)
+		s.stats.FDBlockedNS += int64(s.clock.Now().Sub(blockedAt))
+		if t.waitTimer != 0 {
+			s.kern.DisarmInternal(t.waitTimer)
+			t.waitTimer = 0
+		}
+		switch t.wake {
+		case wakeIO:
+			// Designated by a completion: retry the operation. Another
+			// thread may have consumed the readiness first, in which case
+			// the loop simply re-blocks.
+			s.enterKernel()
+		case wakeTimeout:
+			s.stats.FDTimeouts++
+			return ETIMEDOUT.Or()
+		case wakeInterrupt:
+			// A user signal handler interrupted the wait; it already ran
+			// (fake call) and the jacket call reports EINTR.
+			s.stats.FDEINTRs++
+			if s.tracer != nil {
+				s.traceObj(EvIO, t, fdName(fd, dir), "eintr", what)
+			}
+			return EINTR.Or()
+		case wakeCancel:
+			s.TestCancel() // exits via the cancellation machinery
+			return EINTR.Or()
+		default:
+			panic("core: fd wait woke with unexpected cause")
+		}
+	}
+}
+
+// fdEnqueue parks a thread on the (fd, dir) wait queue, priority-ordered
+// like every other wait queue in the library. Runs in the kernel.
+func (s *System) fdEnqueue(fd unixkern.FD, dir FDDir, t *Thread) {
+	key := fdKey{fd: fd, dir: dir}
+	q := s.fdWait[key]
+	if q == nil {
+		if n := len(s.fdPool); n > 0 {
+			q = s.fdPool[n-1]
+			s.fdPool = s.fdPool[:n-1]
+		} else {
+			q = new(sched.Queue[*Thread])
+		}
+		if s.fdWait == nil {
+			s.fdWait = make(map[fdKey]*sched.Queue[*Thread])
+		}
+		s.fdWait[key] = q
+	}
+	s.cpu.ChargeInstr(instrReadyQueueOp)
+	q.Enqueue(t, t.prio)
+	t.waitFD, t.waitFDDir, t.fdWaiting = fd, dir, true
+	if d := int64(q.Len()); d > s.stats.FDMaxWaitDepth {
+		s.stats.FDMaxWaitDepth = d
+	}
+}
+
+// fdWakeTop designates the highest-priority waiter on (fd, dir): it is
+// dequeued and made ready with wake cause wakeIO. Wake-one is the policy;
+// residual readiness propagates by chaining (FDBlockingCall's more flag),
+// so no completion is ever fanned out to waiters that would find nothing.
+// Runs in the kernel.
+func (s *System) fdWakeTop(fd unixkern.FD, dir FDDir, why string) {
+	key := fdKey{fd: fd, dir: dir}
+	q := s.fdWait[key]
+	if q == nil {
+		return
+	}
+	t, _, ok := q.DequeueMax()
+	if !ok {
+		return
+	}
+	s.cpu.ChargeInstr(instrReadyQueueOp)
+	t.fdWaiting = false
+	t.wake = wakeIO
+	s.stats.FDWakeups++
+	if s.tracer != nil {
+		s.traceObj(EvIO, t, fdName(fd, dir), "wake", why)
+	}
+	s.makeReady(t, false)
+	s.fdRecycle(key, q)
+}
+
+// fdWakeAll designates every waiter on (fd, dir), highest priority first.
+// Used for wake-all completions (shared device descriptors) and close.
+func (s *System) fdWakeAll(fd unixkern.FD, dir FDDir, why string) {
+	key := fdKey{fd: fd, dir: dir}
+	q := s.fdWait[key]
+	if q == nil {
+		return
+	}
+	for {
+		t, _, ok := q.DequeueMax()
+		if !ok {
+			break
+		}
+		s.cpu.ChargeInstr(instrReadyQueueOp)
+		t.fdWaiting = false
+		t.wake = wakeIO
+		s.stats.FDWakeups++
+		if s.tracer != nil {
+			s.traceObj(EvIO, t, fdName(fd, dir), "wake", why)
+		}
+		s.makeReady(t, false)
+	}
+	s.fdRecycle(key, q)
+}
+
+// fdRemoveWaiter takes a still-queued thread off its wait queue (cancel,
+// EINTR, timeout). A queued thread was never designated, so no readiness
+// is lost and no chain wake is needed. Runs in the kernel.
+func (s *System) fdRemoveWaiter(t *Thread) {
+	if !t.fdWaiting {
+		return
+	}
+	key := fdKey{fd: t.waitFD, dir: t.waitFDDir}
+	if q := s.fdWait[key]; q != nil {
+		if !q.Remove(t, t.prio) {
+			q.RemoveAny(t)
+		}
+		s.fdRecycle(key, q)
+	}
+	t.fdWaiting = false
+}
+
+// fdRecycle returns an emptied queue to the pool.
+func (s *System) fdRecycle(key fdKey, q *sched.Queue[*Thread]) {
+	if q.Len() == 0 {
+		delete(s.fdWait, key)
+		s.fdPool = append(s.fdPool, q)
+	}
+}
+
+// fdCompletion is recipient rule 4 in per-descriptor form: a SIGIO whose
+// datum is an IOCompletion wakes the waiters of each descriptor the
+// completing event made ready. Runs in the kernel.
+func (s *System) fdCompletion(c *unixkern.IOCompletion) {
+	for i := range c.Ready {
+		r := &c.Ready[i]
+		if r.R {
+			if r.All {
+				s.fdWakeAll(r.FD, FDRead, "completion")
+			} else {
+				s.fdWakeTop(r.FD, FDRead, "completion")
+			}
+		}
+		if r.W {
+			if r.All {
+				s.fdWakeAll(r.FD, FDWrite, "completion")
+			} else {
+				s.fdWakeTop(r.FD, FDWrite, "completion")
+			}
+		}
+	}
+}
+
+// FDKickAll wakes every thread waiting on the descriptor, both
+// directions. The jacket layer calls it from close(): the kicked threads
+// re-attempt their operation and observe the closed state.
+func (s *System) FDKickAll(fd unixkern.FD) {
+	s.enterKernel()
+	s.fdWakeAll(fd, FDRead, "close")
+	s.fdWakeAll(fd, FDWrite, "close")
+	s.leaveKernel()
+}
+
+// FDWaitDepth reports how many threads wait on (fd, dir) right now.
+// Bare accessor (see introspect.go): thread context or post-Run only.
+func (s *System) FDWaitDepth(fd unixkern.FD, dir FDDir) int {
+	if q := s.fdWait[fdKey{fd: fd, dir: dir}]; q != nil {
+		return q.Len()
+	}
+	return 0
+}
+
+// CountFDBytes adds to the jacket byte counter; the jacket layer calls it
+// from inside attempt for every byte actually moved.
+func (s *System) CountFDBytes(n int) { s.stats.FDBytes += int64(n) }

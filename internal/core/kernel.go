@@ -357,6 +357,14 @@ func (s *System) setPriority(t *Thread, newPrio int, atHead bool) {
 			t.waitingCond.waiters.Remove(t, old)
 			t.waitingCond.waiters.Enqueue(t, newPrio)
 		}
+		if t.fdWaiting {
+			if q := s.fdWait[fdKey{fd: t.waitFD, dir: t.waitFDDir}]; q != nil {
+				if !q.Remove(t, old) {
+					q.RemoveAny(t)
+				}
+				q.Enqueue(t, newPrio)
+			}
+		}
 	default:
 		t.prio = newPrio
 	}

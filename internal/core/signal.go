@@ -237,6 +237,19 @@ func (s *System) deliverToLibrary(info *unixkern.SigInfo) {
 		return
 	}
 
+	// Library-internal timer: a timed descriptor wait (jacket call)
+	// expiry likewise terminates the wait directly.
+	if tag, ok := info.Datum.(*fdWaitTag); ok && info.Cause == unixkern.CauseTimer {
+		t := tag.t
+		if t.state == StateBlocked && t.blockReason == BlockFD {
+			s.fdRemoveWaiter(t)
+			t.waitTimer = 0
+			t.wake = wakeTimeout
+			s.makeReady(t, false)
+		}
+		return
+	}
+
 	// Rule 2: synchronously delivered → the thread which caused it.
 	if info.Cause == unixkern.CauseSync {
 		s.directAt(s.current, info)
@@ -249,8 +262,15 @@ func (s *System) deliverToLibrary(info *unixkern.SigInfo) {
 			return
 		}
 	}
-	// Rule 4: I/O completion → the thread which requested the I/O.
+	// Rule 4: I/O completion → the thread which requested the I/O. A
+	// completion carrying a descriptor-readiness set takes the
+	// per-descriptor form: the waiters of each ready descriptor are
+	// designated from their wait queues.
 	if info.Cause == unixkern.CauseIO {
+		if c, ok := info.Datum.(*unixkern.IOCompletion); ok {
+			s.fdCompletion(c)
+			return
+		}
 		if t, ok := info.Datum.(*Thread); ok && t != nil && t.state != StateTerminated && !t.dead {
 			s.directAt(t, info)
 			return

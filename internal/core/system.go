@@ -101,6 +101,15 @@ type Stats struct {
 	ReadyMaxDepth int64
 	ReadyWraps    int64
 	ReadyGrows    int64
+
+	// Blocking-I/O jacket counters (see fdwait.go).
+	FDWaits        int64 // suspensions on a per-descriptor wait queue
+	FDWakeups      int64 // waiters designated by a SIGIO completion
+	FDEINTRs       int64 // jacket calls interrupted by a handled signal
+	FDTimeouts     int64 // timed jacket calls that expired
+	FDBytes        int64 // bytes moved through jacket calls
+	FDBlockedNS    int64 // total virtual time threads spent blocked on fds
+	FDMaxWaitDepth int64 // peak depth of any single fd wait queue
 }
 
 // sigactionRec is the process-wide action table entry for one signal
@@ -141,6 +150,11 @@ type System struct {
 
 	sigactions     [unixkern.NSIGAll]sigactionRec
 	processPending [unixkern.NSIGAll]*unixkern.SigInfo
+
+	// Per-descriptor wait queues of the blocking-I/O jackets, keyed by
+	// (fd, direction); emptied queues are recycled through fdPool.
+	fdWait map[fdKey]*sched.Queue[*Thread]
+	fdPool []*sched.Queue[*Thread]
 
 	pool          []*poolEntry
 	prng          *rand.Rand

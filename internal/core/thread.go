@@ -60,6 +60,9 @@ const (
 	BlockSleep
 	BlockIO
 	BlockSuspend
+	// BlockFD: suspended on a per-descriptor wait queue inside a blocking
+	// jacket call (see fdwait.go).
+	BlockFD
 )
 
 // String names the block reason.
@@ -81,6 +84,8 @@ func (b BlockReason) String() string {
 		return "io"
 	case BlockSuspend:
 		return "suspend"
+	case BlockFD:
+		return "fd"
 	}
 	return "unknown-block"
 }
@@ -251,6 +256,11 @@ type Thread struct {
 	// Sleep / timed wait / I/O.
 	waitTimer vtime.TimerID
 	aioID     unixkern.AioID
+
+	// Descriptor wait (BlockFD): which per-fd queue the thread sits on.
+	waitFD    unixkern.FD
+	waitFDDir FDDir
+	fdWaiting bool
 
 	// Simulated stack.
 	stack *hw.Stack

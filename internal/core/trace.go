@@ -34,6 +34,12 @@ const (
 	// EvJoin: a thread joined a terminated one (Thread = joiner, Obj =
 	// target's name, Arg = target's decimal ID). A happens-before edge.
 	EvJoin
+	// EvIO: a per-descriptor wait event (Obj = "fdN/dir", Arg =
+	// "block"/"wake"/"eintr"/"timeout").
+	EvIO
+	// EvNet: a socket lifecycle event from the jacket layer (Obj = the
+	// connection name, Arg = "listen"/"connect"/"accept"/"close").
+	EvNet
 )
 
 // String names the event kind.
@@ -59,6 +65,10 @@ func (k EventKind) String() string {
 		return "fork"
 	case EvJoin:
 		return "join"
+	case EvIO:
+		return "io"
+	case EvNet:
+		return "net"
 	}
 	return "event"
 }
@@ -121,3 +131,14 @@ func (s *System) traceObj(kind EventKind, t *Thread, obj, arg, detail string) {
 func (s *System) Tracepoint(label string) {
 	s.trace(EvUser, s.current, label, "")
 }
+
+// TraceNet drops a socket lifecycle event (EvNet) into the trace on
+// behalf of the jacket layer, which lives outside this package. Callers
+// building obj/arg/detail eagerly should guard on Tracing.
+func (s *System) TraceNet(obj, arg, detail string) {
+	s.traceObj(EvNet, s.current, obj, arg, detail)
+}
+
+// Tracing reports whether a tracer is attached, so layered packages can
+// keep event formatting zero-cost when tracing is off.
+func (s *System) Tracing() bool { return s.tracer != nil }

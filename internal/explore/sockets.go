@@ -1,0 +1,205 @@
+package explore
+
+import (
+	"fmt"
+
+	"pthreads/internal/core"
+	ptio "pthreads/internal/io"
+	"pthreads/internal/net"
+	"pthreads/internal/vtime"
+)
+
+// Socket workloads: the exploration engine driving the blocking-I/O
+// jacket layer. Every jacket call suspends through the library kernel, so
+// its switch points are ordinary kernel-exit points — the explorer and
+// race checker work over socket programs unchanged.
+
+// SockEchoWorkload is a small echo service on the jacket layer: a server
+// accepts each client, reads its request and echoes it back. There is no
+// seeded bug; exploration must come back clean under any schedule — the
+// jacket's try-enqueue-suspend sequence is atomic with respect to
+// completion delivery, so no interleaving loses a wakeup.
+func SockEchoWorkload(clients, bytes int) Workload {
+	return Workload{
+		Name: "sock-echo",
+		Desc: fmt.Sprintf("%d clients echo %d bytes through the blocking-socket jacket", clients, bytes),
+		Make: func(sys *core.System) (func(), func(error) string) {
+			echoed := 0
+			body := func() {
+				x := ptio.New(sys, net.Config{})
+				l, err := x.Listen("echo", clients)
+				if err != nil {
+					panic(err)
+				}
+				attr := core.DefaultAttr()
+				attr.Name = "server"
+				server, _ := sys.Create(attr, func(any) any {
+					for done := 0; done < clients; done++ {
+						c, err := l.Accept()
+						if err != nil {
+							return nil
+						}
+						for {
+							n, err := c.Read(bytes)
+							if err != nil {
+								break // EOF: client finished
+							}
+							c.Write(n)
+						}
+						c.Close()
+					}
+					return nil
+				}, nil)
+
+				ths := make([]*core.Thread, 0, clients)
+				for i := 0; i < clients; i++ {
+					attr := core.DefaultAttr()
+					attr.Name = fmt.Sprintf("client%d", i)
+					th, _ := sys.Create(attr, func(any) any {
+						c, err := x.Dial("echo")
+						if err != nil {
+							panic(err)
+						}
+						if _, err := c.Write(bytes); err != nil {
+							panic(err)
+						}
+						got := 0
+						for got < bytes {
+							n, err := c.Read(bytes)
+							if err != nil {
+								panic(err)
+							}
+							got += n
+						}
+						c.Close()
+						echoed += got
+						return nil
+					}, nil)
+					ths = append(ths, th)
+				}
+				for _, th := range ths {
+					sys.Join(th)
+				}
+				sys.Join(server)
+			}
+			check := func(err error) string {
+				if err != nil {
+					return firstLine(err.Error())
+				}
+				if expected := clients * bytes; echoed != expected {
+					return fmt.Sprintf("short echo: %d bytes, expected %d", echoed, expected)
+				}
+				return ""
+			}
+			return body, check
+		},
+	}
+}
+
+// SockLostWakeupWorkload seeds the classic lost-wakeup bug next to a
+// socket: instead of trusting the jacket's blocking Read, the consumer
+// polls a hand-rolled `ready` flag and waits on a condition variable,
+// while the producer sets the flag and signals WITHOUT the mutex (a
+// naked notify). A preemption between the consumer's flag test and its
+// wait lets the producer set the flag and signal a condition nobody
+// waits on yet; the consumer then sleeps forever and the run deadlocks.
+// The flag accesses are annotated, so the race checker flags the
+// unprotected test/set pair. The fixed variant deletes the flag entirely
+// and blocks in the jacket Read, whose try-enqueue-suspend sequence is
+// atomic inside the library kernel — the point of the jacket layer.
+func SockLostWakeupWorkload(broken bool, bytes int) Workload {
+	name := "sock-lost-wakeup-fixed"
+	if broken {
+		name = "sock-lost-wakeup"
+	}
+	return Workload{
+		Name: name,
+		Desc: fmt.Sprintf("socket consumer signalled via an unprotected ready flag (%d bytes)", bytes),
+		Make: func(sys *core.System) (func(), func(error) string) {
+			received := 0
+			body := func() {
+				x := ptio.New(sys, net.Config{})
+				l, err := x.Listen("srv", 1)
+				if err != nil {
+					panic(err)
+				}
+				ready := false
+				m := sys.MustMutex(core.MutexAttr{Name: "ready"})
+				cond := sys.NewCond("ready")
+
+				attr := core.DefaultAttr()
+				attr.Name = "consumer"
+				consumer, _ := sys.Create(attr, func(any) any {
+					if broken {
+						// Reset the flag for this round — also without
+						// the mutex.
+						sys.NoteWrite("ready")
+						ready = false
+					}
+					c, err := l.Accept()
+					if err != nil {
+						panic(err)
+					}
+					if broken {
+						// The bug: the flag is tested before the mutex is
+						// taken. A preemption here lets the producer set
+						// it and signal into empty air.
+						sys.NoteRead("ready")
+						if !ready {
+							m.Lock()
+							cond.Wait(m)
+							m.Unlock()
+						}
+					}
+					// Fixed: no flag — the blocking Read suspends on the
+					// descriptor's wait queue; the SIGIO completion wakes
+					// it no matter how the schedule interleaves.
+					for received < bytes {
+						n, err := c.Read(bytes)
+						if err != nil {
+							panic(err)
+						}
+						received += n
+					}
+					c.Close()
+					return nil
+				}, nil)
+
+				attr.Name = "producer"
+				producer, _ := sys.Create(attr, func(any) any {
+					c, err := x.Dial("srv")
+					if err != nil {
+						panic(err)
+					}
+					if _, err := c.Write(bytes); err != nil {
+						panic(err)
+					}
+					if broken {
+						// The other half of the bug: set-and-signal with
+						// no mutex, so nothing orders it against the
+						// consumer's test-then-wait.
+						sys.NoteWrite("ready")
+						ready = true
+						cond.Signal()
+					}
+					sys.Compute(100 * vtime.Microsecond) // drain the wire
+					c.Close()
+					return nil
+				}, nil)
+
+				sys.Join(producer)
+				sys.Join(consumer)
+			}
+			check := func(err error) string {
+				if err != nil {
+					return firstLine(err.Error())
+				}
+				if received != bytes {
+					return fmt.Sprintf("short read: %d bytes, expected %d", received, bytes)
+				}
+				return ""
+			}
+			return body, check
+		},
+	}
+}

@@ -146,6 +146,9 @@ func Workloads() []Workload {
 		PhilosophersWorkload(false, 3, 1),
 		RacyCounterWorkload(true, 3, 4),
 		RacyCounterWorkload(false, 3, 4),
+		SockEchoWorkload(2, 64),
+		SockLostWakeupWorkload(true, 64),
+		SockLostWakeupWorkload(false, 64),
 	}
 }
 

@@ -1,0 +1,282 @@
+// Package io is the jacket layer: it turns the non-blocking socket and
+// device interfaces (internal/net, unixkern AIO) into the blocking
+// per-thread calls POSIX programs expect — the paper's prescription for
+// I/O in a library implementation. A jacket call tries the operation;
+// when it would block, the calling thread is enqueued on a per-descriptor
+// wait queue ordered by priority and suspended in the library kernel,
+// while the rest of the process keeps running. The SIGIO completion that
+// announces readiness is demultiplexed to the blocked thread by recipient
+// rule 4, which resumes it to retry.
+//
+// Every jacket call is a cancellation/interruption point: a handled
+// signal delivered to the blocked thread interrupts the call with EINTR
+// (after its handler runs), a masked signal stays pending and does not,
+// and cancellation of a blocked thread unwinds through the cleanup
+// handlers. Timed variants return ETIMEDOUT. All of this rides
+// core.FDBlockingCall, whose try-enqueue-suspend sequence is atomic with
+// respect to completion delivery — the lost-wakeup argument lives there.
+package io
+
+import (
+	"pthreads/internal/core"
+	"pthreads/internal/net"
+	"pthreads/internal/vtime"
+)
+
+// EOF is the clean end-of-stream condition (the peer closed after all
+// data was read). It is a sentinel, not an errno, mirroring read(2)
+// returning 0.
+var EOF = net.EOF
+
+// IO binds a socket stack to a thread system: the constructor for the
+// blocking network interface.
+type IO struct {
+	sys *core.System
+	st  *net.Stack
+}
+
+// New builds the jacket layer over a fresh socket stack for the system's
+// process. Call it inside sys.Run (or before starting threads).
+func New(sys *core.System, cfg net.Config) *IO {
+	return &IO{sys: sys, st: net.NewStack(sys.Kernel(), sys.Process(), cfg)}
+}
+
+// Stack exposes the underlying non-blocking stack (stats, diagnostics).
+func (x *IO) Stack() *net.Stack { return x.st }
+
+// System returns the thread system the jacket is bound to.
+func (x *IO) System() *core.System { return x.sys }
+
+// mapErr converts the net layer's sentinel conditions into the errnos a
+// blocking call reports. ErrWouldBlock never reaches callers: the jacket
+// converts it into suspension.
+func mapErr(err error) error {
+	switch err {
+	case nil:
+		return nil
+	case net.ErrReset:
+		return core.ECONNRESET.Or()
+	case net.ErrRefused:
+		return core.ECONNREFUSED.Or()
+	case net.ErrClosed:
+		return core.EBADF.Or()
+	case net.ErrInUse:
+		return core.EADDRINUSE.Or()
+	case net.EOF:
+		return EOF
+	}
+	return err
+}
+
+// Listener is the blocking face of a net.Listener.
+type Listener struct {
+	x  *IO
+	nl *net.Listener
+}
+
+// Listen binds a listener with a bounded accept backlog.
+func (x *IO) Listen(addr string, backlog int) (*Listener, error) {
+	nl, err := x.st.Listen(addr, backlog)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	if x.sys.Tracing() {
+		x.sys.TraceNet(addr, "listen", "")
+	}
+	return &Listener{x: x, nl: nl}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.nl.Addr() }
+
+// Accept blocks until an established connection can be popped from the
+// backlog and returns it. It is a cancellation point; a handled signal
+// interrupts it with EINTR; closing the listener fails it with EBADF.
+func (l *Listener) Accept() (*Conn, error) { return l.accept(0) }
+
+// AcceptTimeout is Accept bounded by d of virtual time (ETIMEDOUT).
+func (l *Listener) AcceptTimeout(d vtime.Duration) (*Conn, error) { return l.accept(d) }
+
+func (l *Listener) accept(d vtime.Duration) (*Conn, error) {
+	var nc *net.Conn
+	var opErr error
+	err := l.x.sys.FDBlockingCall(l.nl.FD(), core.FDRead, "accept "+l.nl.Addr(), d,
+		func() (bool, bool) {
+			c, e := l.nl.TryAccept()
+			if e == net.ErrWouldBlock {
+				return false, false
+			}
+			nc, opErr = c, e
+			// Chain-wake: more queued connections can serve more acceptors.
+			return true, l.nl.Pending() > 0
+		})
+	if err != nil {
+		return nil, err
+	}
+	if opErr != nil {
+		return nil, mapErr(opErr)
+	}
+	if l.x.sys.Tracing() {
+		l.x.sys.TraceNet(nc.Name(), "accept", "")
+	}
+	return &Conn{x: l.x, nc: nc}, nil
+}
+
+// Close unbinds the listener. Threads blocked in Accept are woken and
+// fail with EBADF; queued, never-accepted connections are reset.
+func (l *Listener) Close() error {
+	fd := l.nl.FD()
+	if l.x.sys.Tracing() {
+		l.x.sys.TraceNet(l.nl.Addr(), "close", "listener")
+	}
+	err := mapErr(l.nl.Close())
+	l.x.sys.FDKickAll(fd)
+	return err
+}
+
+// Conn is the blocking face of a net.Conn endpoint.
+type Conn struct {
+	x  *IO
+	nc *net.Conn
+}
+
+// Name labels the endpoint in traces.
+func (c *Conn) Name() string { return c.nc.Name() }
+
+// Dial connects to addr, blocking through the handshake. A missing
+// listener or full backlog fails with ECONNREFUSED. Dial is a
+// cancellation point and interruptible with EINTR; on any failure the
+// half-open endpoint is abandoned.
+func (x *IO) Dial(addr string) (*Conn, error) { return x.dial(addr, 0) }
+
+// DialTimeout is Dial bounded by d of virtual time (ETIMEDOUT).
+func (x *IO) DialTimeout(addr string, d vtime.Duration) (*Conn, error) { return x.dial(addr, d) }
+
+func (x *IO) dial(addr string, d vtime.Duration) (*Conn, error) {
+	nc, err := x.st.Dial(addr)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	if x.sys.Tracing() {
+		x.sys.TraceNet(nc.Name(), "connect", "")
+	}
+	var opErr error
+	err = x.sys.FDBlockingCall(nc.FD(), core.FDWrite, "connect "+addr, d,
+		func() (bool, bool) {
+			e := nc.ConnectStatus()
+			if e == net.ErrWouldBlock {
+				return false, false
+			}
+			opErr = e
+			return true, false
+		})
+	if err == nil && opErr != nil {
+		err = mapErr(opErr)
+	}
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return &Conn{x: x, nc: nc}, nil
+}
+
+// Read blocks until at least one byte (up to max) is available and
+// consumes it, returning the count. At end of stream it returns (0, EOF);
+// a reset connection reports ECONNRESET. Read is a cancellation point and
+// interruptible with EINTR.
+func (c *Conn) Read(max int) (int, error) { return c.read(max, 0) }
+
+// ReadTimeout is Read bounded by d of virtual time (ETIMEDOUT).
+func (c *Conn) ReadTimeout(max int, d vtime.Duration) (int, error) { return c.read(max, d) }
+
+func (c *Conn) read(max int, d vtime.Duration) (int, error) {
+	if max < 0 {
+		return 0, core.EINVAL.Or()
+	}
+	var n int
+	var opErr error
+	err := c.x.sys.FDBlockingCall(c.nc.FD(), core.FDRead, "read "+c.nc.Name(), d,
+		func() (bool, bool) {
+			k, e := c.nc.TryRead(max)
+			if e == net.ErrWouldBlock {
+				return false, false
+			}
+			if k > 0 {
+				c.x.sys.CountFDBytes(k)
+			}
+			n, opErr = k, e
+			// Chain-wake: leftover buffered data can serve another reader.
+			return true, c.nc.Readable()
+		})
+	if err != nil {
+		return 0, err
+	}
+	return n, mapErr(opErr)
+}
+
+// Write blocks until all n bytes have been admitted into flight,
+// stalling under backpressure when the peer's receive window closes. It
+// returns how many bytes were written, which is short only on error
+// (EINTR, ETIMEDOUT, ECONNRESET, cancellation). Write is a cancellation
+// point.
+func (c *Conn) Write(n int) (int, error) { return c.write(n, 0) }
+
+// WriteTimeout is Write bounded by d of virtual time overall (ETIMEDOUT;
+// the partial count written before the deadline is returned).
+func (c *Conn) WriteTimeout(n int, d vtime.Duration) (int, error) { return c.write(n, d) }
+
+func (c *Conn) write(n int, d vtime.Duration) (int, error) {
+	if n < 0 {
+		return 0, core.EINVAL.Or()
+	}
+	var deadline vtime.Time
+	if d > 0 {
+		deadline = c.x.sys.Clock().Now().Add(d)
+	}
+	total := 0
+	for total < n {
+		timeout := vtime.Duration(0)
+		if d > 0 {
+			timeout = deadline.Sub(c.x.sys.Clock().Now())
+			if timeout <= 0 {
+				return total, core.ETIMEDOUT.Or()
+			}
+		}
+		var opErr error
+		err := c.x.sys.FDBlockingCall(c.nc.FD(), core.FDWrite, "write "+c.nc.Name(), timeout,
+			func() (bool, bool) {
+				k, e := c.nc.TryWrite(n - total)
+				if e == net.ErrWouldBlock {
+					return false, false
+				}
+				if k > 0 {
+					total += k
+					c.x.sys.CountFDBytes(k)
+				}
+				opErr = e
+				// Chain-wake: space the window still has can serve another
+				// writer.
+				return true, c.nc.Writable()
+			})
+		if err != nil {
+			return total, err
+		}
+		if opErr != nil {
+			return total, mapErr(opErr)
+		}
+	}
+	return total, nil
+}
+
+// Close shuts the endpoint down. Threads blocked on it are woken: readers
+// and writers racing the close observe EBADF, and the peer sees EOF (clean
+// close) or ECONNRESET (unread data discarded).
+func (c *Conn) Close() error {
+	fd := c.nc.FD()
+	if c.x.sys.Tracing() {
+		c.x.sys.TraceNet(c.nc.Name(), "close", "")
+	}
+	err := mapErr(c.nc.Close())
+	c.x.sys.FDKickAll(fd)
+	return err
+}

@@ -1,0 +1,448 @@
+package io
+
+import (
+	"testing"
+
+	"pthreads/internal/core"
+	"pthreads/internal/net"
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+// runIO runs main inside a fresh system with a jacket layer bound to it.
+func runIO(t *testing.T, cfg net.Config, main func(s *core.System, x *IO)) *core.System {
+	t.Helper()
+	s := core.New(core.Config{})
+	if err := s.Run(func() { main(s, New(s, cfg)) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return s
+}
+
+func attr(name string, prio int) core.Attr {
+	a := core.DefaultAttr()
+	a.Name = name
+	if prio != 0 {
+		a.Priority = prio
+	}
+	return a
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	s := runIO(t, net.Config{}, func(s *core.System, x *IO) {
+		l, err := x.Listen("srv", 4)
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		srv, _ := s.Create(attr("server", 0), func(any) any {
+			c, err := l.Accept()
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return nil
+			}
+			total := 0
+			for {
+				n, err := c.Read(4096)
+				if err == EOF {
+					break
+				}
+				if err != nil {
+					t.Errorf("server read: %v", err)
+					break
+				}
+				if _, err := c.Write(n); err != nil {
+					t.Errorf("server write: %v", err)
+					break
+				}
+				total += n
+			}
+			c.Close()
+			return total
+		}, nil)
+
+		c, err := x.Dial("srv")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		if _, err := c.Write(1000); err != nil {
+			t.Fatalf("client write: %v", err)
+		}
+		got := 0
+		for got < 1000 {
+			n, err := c.Read(4096)
+			if err != nil {
+				t.Fatalf("client read after %d: %v", got, err)
+			}
+			got += n
+		}
+		c.Close()
+		status, err := s.Join(srv)
+		if err != nil || status != 1000 {
+			t.Fatalf("server echoed %v (err %v), want 1000", status, err)
+		}
+	})
+	st := s.Stats()
+	if st.FDWaits == 0 || st.FDWakeups == 0 {
+		t.Errorf("no per-fd waiting recorded: %+v", st)
+	}
+	if st.FDBytes < 2000 {
+		t.Errorf("FDBytes = %d, want >= 2000", st.FDBytes)
+	}
+}
+
+// A handled signal delivered to a thread blocked in a jacket Read
+// interrupts the call: the handler runs first, then Read fails with
+// EINTR (satellite requirement).
+func TestHandledSignalInterruptsBlockedRead(t *testing.T) {
+	runIO(t, net.Config{}, func(s *core.System, x *IO) {
+		handled := false
+		s.Sigaction(unixkern.SIGUSR1, func(unixkern.Signal, *unixkern.SigInfo, *core.SigContext) {
+			handled = true
+		}, 0)
+
+		l, _ := x.Listen("srv", 4)
+		var readErr error
+		reader, _ := s.Create(attr("reader", 0), func(any) any {
+			c, err := l.Accept()
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return nil
+			}
+			_, readErr = c.Read(100) // no data ever arrives
+			if !handled {
+				t.Error("Read returned before the handler ran")
+			}
+			c.Close()
+			return nil
+		}, nil)
+
+		c, err := x.Dial("srv")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		s.Sleep(10 * vtime.Millisecond) // let the reader block
+		if err := s.Kill(reader, unixkern.SIGUSR1); err != nil {
+			t.Fatalf("kill: %v", err)
+		}
+		s.Join(reader)
+		if e, _ := core.AsErrno(readErr); e != core.EINTR {
+			t.Fatalf("interrupted Read returned %v, want EINTR", readErr)
+		}
+		if !handled {
+			t.Fatal("handler did not run")
+		}
+		c.Close()
+	})
+}
+
+// A masked signal pends on the thread and does NOT interrupt the blocked
+// Read: the call completes normally when data arrives, and the handler
+// only runs once the signal is unblocked (satellite requirement).
+func TestMaskedSignalDoesNotInterrupt(t *testing.T) {
+	runIO(t, net.Config{}, func(s *core.System, x *IO) {
+		handledAt := vtime.Time(0)
+		s.Sigaction(unixkern.SIGUSR1, func(unixkern.Signal, *unixkern.SigInfo, *core.SigContext) {
+			handledAt = s.Now()
+		}, 0)
+
+		l, _ := x.Listen("srv", 4)
+		var n int
+		var readErr error
+		unmaskedAt := vtime.Time(0)
+		reader, _ := s.Create(attr("reader", 0), func(any) any {
+			s.SetSigmask(unixkern.MakeSigset(unixkern.SIGUSR1))
+			c, err := l.Accept()
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return nil
+			}
+			n, readErr = c.Read(100)
+			if handledAt != 0 {
+				t.Error("handler ran while the signal was masked")
+			}
+			unmaskedAt = s.Now()
+			s.SetSigmask(0) // pending signal delivers here
+			c.Close()
+			return nil
+		}, nil)
+
+		c, err := x.Dial("srv")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		s.Sleep(10 * vtime.Millisecond) // reader is blocked in Read
+		s.Kill(reader, unixkern.SIGUSR1)
+		if !s.ThreadPendingSet(reader).Has(unixkern.SIGUSR1) {
+			t.Fatal("masked signal did not pend on the thread")
+		}
+		s.Sleep(10 * vtime.Millisecond) // still blocked: no EINTR
+		if _, err := c.Write(42); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		s.Join(reader)
+		if n != 42 || readErr != nil {
+			t.Fatalf("Read = %d, %v; want 42, nil", n, readErr)
+		}
+		if handledAt == 0 || handledAt < unmaskedAt {
+			t.Fatalf("handler at %v, unmask at %v: want delivery at unmask", handledAt, unmaskedAt)
+		}
+		c.Close()
+	})
+}
+
+// Cancelling a thread blocked in Accept unblocks it and runs its cleanup
+// handlers on the way out (satellite requirement).
+func TestCancelBlockedAcceptRunsCleanup(t *testing.T) {
+	runIO(t, net.Config{}, func(s *core.System, x *IO) {
+		l, _ := x.Listen("srv", 4)
+		var cleaned []string
+		acceptor, _ := s.Create(attr("acceptor", 0), func(any) any {
+			s.CleanupPush(func(arg any) { cleaned = append(cleaned, arg.(string)) }, "outer")
+			s.CleanupPush(func(arg any) { cleaned = append(cleaned, arg.(string)) }, "inner")
+			if _, err := l.Accept(); err == nil {
+				t.Error("Accept returned without a connection")
+			}
+			t.Error("acceptor survived cancellation")
+			return nil
+		}, nil)
+
+		s.Sleep(10 * vtime.Millisecond) // acceptor is blocked in Accept
+		if err := s.Cancel(acceptor); err != nil {
+			t.Fatalf("cancel: %v", err)
+		}
+		status, err := s.Join(acceptor)
+		if err != nil || status != core.Canceled {
+			t.Fatalf("join: %v, %v; want Canceled", status, err)
+		}
+		if len(cleaned) != 2 || cleaned[0] != "inner" || cleaned[1] != "outer" {
+			t.Fatalf("cleanup handlers ran as %v, want [inner outer] (LIFO)", cleaned)
+		}
+	})
+}
+
+// Readers blocked on one descriptor are woken in priority order, highest
+// first — the wait queues are priority queues, not FIFOs.
+func TestPriorityOrderedWakeup(t *testing.T) {
+	runIO(t, net.Config{}, func(s *core.System, x *IO) {
+		l, _ := x.Listen("srv", 4)
+		server, _ := s.Create(attr("server", 0), func(any) any {
+			c, err := l.Accept()
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return nil
+			}
+			return c
+		}, nil)
+
+		c, err := x.Dial("srv")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		status, _ := s.Join(server)
+		sc := status.(*Conn)
+
+		var order []string
+		mine := s.Self().Priority()
+		for i, prio := range []int{mine + 1, mine + 3, mine + 2} { // low, high, mid
+			name := []string{"low", "high", "mid"}[i]
+			s.Create(attr(name, prio), func(any) any {
+				if _, err := sc.Read(50); err != nil {
+					t.Errorf("%s read: %v", name, err)
+				}
+				order = append(order, name)
+				return nil
+			}, nil)
+			s.Sleep(vtime.Millisecond) // let it block, one at a time
+		}
+		if d := s.FDWaitDepth(scFD(sc), core.FDRead); d != 3 {
+			t.Fatalf("wait-queue depth = %d, want 3", d)
+		}
+		// One 150-byte burst: readiness wakes the top-priority waiter
+		// first; each Read consumes 50 bytes and chain-wakes the next.
+		if _, err := c.Write(150); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		s.Sleep(50 * vtime.Millisecond)
+		if len(order) != 3 || order[0] != "high" || order[1] != "mid" || order[2] != "low" {
+			t.Fatalf("wakeup order %v, want [high mid low]", order)
+		}
+		c.Close()
+		sc.Close()
+	})
+}
+
+func scFD(c *Conn) unixkern.FD { return c.nc.FD() }
+
+func TestReadTimeout(t *testing.T) {
+	runIO(t, net.Config{}, func(s *core.System, x *IO) {
+		l, _ := x.Listen("srv", 4)
+		server, _ := s.Create(attr("server", 0), func(any) any {
+			c, _ := l.Accept()
+			return c
+		}, nil)
+		c, err := x.Dial("srv")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		s.Join(server)
+
+		before := s.Now()
+		_, err = c.ReadTimeout(10, 5*vtime.Millisecond)
+		if e, _ := core.AsErrno(err); e != core.ETIMEDOUT {
+			t.Fatalf("ReadTimeout: %v, want ETIMEDOUT", err)
+		}
+		if waited := s.Now().Sub(before); waited < 5*vtime.Millisecond {
+			t.Fatalf("returned after %v, want >= 5ms", waited)
+		}
+		if s.Stats().FDTimeouts == 0 {
+			t.Fatal("timeout not counted")
+		}
+		c.Close()
+	})
+}
+
+func TestDialRefusedAndTimeout(t *testing.T) {
+	runIO(t, net.Config{}, func(s *core.System, x *IO) {
+		if _, err := x.Dial("nobody"); func() core.Errno { e, _ := core.AsErrno(err); return e }() != core.ECONNREFUSED {
+			t.Fatalf("dial to unbound address: want ECONNREFUSED")
+		}
+		// A timeout shorter than the handshake delay abandons the dial.
+		_, err := x.DialTimeout("nobody", 10*vtime.Microsecond)
+		if e, _ := core.AsErrno(err); e != core.ETIMEDOUT {
+			t.Fatalf("short DialTimeout: %v, want ETIMEDOUT", err)
+		}
+	})
+}
+
+// Closing the peer cleanly wakes a blocked reader with EOF; closing the
+// listener wakes blocked acceptors with EBADF.
+func TestCloseWakesBlocked(t *testing.T) {
+	runIO(t, net.Config{}, func(s *core.System, x *IO) {
+		l, _ := x.Listen("srv", 4)
+		mine := s.Self().Priority()
+		var acceptErr error
+		acceptor, _ := s.Create(attr("acceptor", 0), func(any) any {
+			_, acceptErr = l.Accept()
+			return nil
+		}, nil)
+
+		// Higher priority than the plain acceptor: the single incoming
+		// connection goes to this thread, the acceptor stays blocked.
+		server, _ := s.Create(attr("server", mine+1), func(any) any {
+			c, _ := l.Accept()
+			return c
+		}, nil)
+		c, err := x.Dial("srv")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		status, _ := s.Join(server)
+		sc := status.(*Conn)
+
+		var readErr error
+		reader, _ := s.Create(attr("reader", 0), func(any) any {
+			_, readErr = sc.Read(10)
+			return nil
+		}, nil)
+		s.Sleep(10 * vtime.Millisecond) // both blocked
+		c.Close()                       // clean: nothing unread
+		s.Join(reader)
+		if readErr != EOF {
+			t.Fatalf("reader woke with %v, want EOF", readErr)
+		}
+		l.Close()
+		s.Join(acceptor)
+		if e, _ := core.AsErrno(acceptErr); e != core.EBADF {
+			t.Fatalf("acceptor woke with %v, want EBADF", acceptErr)
+		}
+		sc.Close()
+	})
+}
+
+// Write blocks under backpressure and finishes once the reader drains.
+func TestWriteBackpressure(t *testing.T) {
+	s := runIO(t, net.Config{RecvBuf: 100, SendBuf: 100}, func(s *core.System, x *IO) {
+		l, _ := x.Listen("srv", 4)
+		server, _ := s.Create(attr("server", 0), func(any) any {
+			c, _ := l.Accept()
+			return c
+		}, nil)
+		c, err := x.Dial("srv")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		status, _ := s.Join(server)
+		sc := status.(*Conn)
+
+		writer, _ := s.Create(attr("writer", 0), func(any) any {
+			n, err := c.Write(1000) // 10x the window: must stall repeatedly
+			if n != 1000 || err != nil {
+				t.Errorf("write: %d, %v", n, err)
+			}
+			return nil
+		}, nil)
+		got := 0
+		for got < 1000 {
+			n, err := sc.Read(100)
+			if err != nil {
+				t.Fatalf("read after %d: %v", got, err)
+			}
+			got += n
+		}
+		s.Join(writer)
+		c.Close()
+		sc.Close()
+	})
+	if s.Stats().FDWaits == 0 {
+		t.Error("writer never blocked under backpressure")
+	}
+}
+
+// File reads through the jacket: concurrent readers on one shared device
+// file each get their own completion (wake-all on the shared fd), and the
+// FIFO device serializes them in virtual time.
+func TestFileSharedConcurrentReads(t *testing.T) {
+	runIO(t, net.Config{}, func(s *core.System, x *IO) {
+		f, err := x.OpenFile("disk0", vtime.Millisecond, vtime.Microsecond)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		var ths []*core.Thread
+		for i := 0; i < 3; i++ {
+			th, _ := s.Create(attr("reader", 0), func(any) any {
+				n, err := f.Read(500)
+				if n != 500 || err != nil {
+					t.Errorf("file read: %d, %v", n, err)
+				}
+				return n
+			}, nil)
+			ths = append(ths, th)
+		}
+		for _, th := range ths {
+			s.Join(th)
+		}
+		if f.Requests() != 3 {
+			t.Fatalf("device requests = %d, want 3", f.Requests())
+		}
+	})
+}
+
+// A handled signal interrupts a blocked File read too (it is a jacket
+// call like any other).
+func TestFileReadEINTR(t *testing.T) {
+	runIO(t, net.Config{}, func(s *core.System, x *IO) {
+		s.Sigaction(unixkern.SIGUSR1, func(unixkern.Signal, *unixkern.SigInfo, *core.SigContext) {}, 0)
+		f, _ := x.OpenFile("slow", vtime.Second, 0)
+		var readErr error
+		reader, _ := s.Create(attr("reader", 0), func(any) any {
+			_, readErr = f.Read(10)
+			return nil
+		}, nil)
+		s.Sleep(vtime.Millisecond)
+		s.Kill(reader, unixkern.SIGUSR1)
+		s.Join(reader)
+		if e, _ := core.AsErrno(readErr); e != core.EINTR {
+			t.Fatalf("interrupted file read: %v, want EINTR", readErr)
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package unixkern
+
+// This file gives each simulated process a file descriptor table. The
+// kernel keeps the table deliberately dumb — a numbered slot holding an
+// opaque object — because everything interesting about a descriptor
+// (socket state machines, device queues, wait queues) lives in the layers
+// above. What the table contributes is UNIX descriptor semantics: small
+// integers, lowest-free allocation, reuse after close.
+
+// FD is an index into a process's descriptor table.
+type FD int32
+
+// AllocFD installs obj in the lowest free descriptor slot at or above 3
+// (0–2 are reserved, where stdin/stdout/stderr would sit) and returns it,
+// like open/socket picking the lowest available descriptor.
+func (p *Process) AllocFD(obj any) FD {
+	if p.fds == nil {
+		p.fds = make(map[FD]any)
+	}
+	fd := FD(3)
+	for {
+		if _, used := p.fds[fd]; !used {
+			break
+		}
+		fd++
+	}
+	p.fds[fd] = obj
+	return fd
+}
+
+// CloseFD releases a descriptor slot. It reports whether the descriptor
+// was open.
+func (p *Process) CloseFD(fd FD) bool {
+	if _, ok := p.fds[fd]; !ok {
+		return false
+	}
+	delete(p.fds, fd)
+	return true
+}
+
+// FDObject returns the object behind a descriptor.
+func (p *Process) FDObject(fd FD) (any, bool) {
+	obj, ok := p.fds[fd]
+	return obj, ok
+}
+
+// OpenFDCount reports how many descriptors the process has open.
+func (p *Process) OpenFDCount() int { return len(p.fds) }

@@ -47,6 +47,9 @@ type Process struct {
 	pending [NSIGAll]*SigInfo // UNIX semantics: one pending slot per signal
 	actions [NSIGAll]sigaction
 
+	// File descriptor table (see fd.go).
+	fds map[FD]any
+
 	// OnTerminate is called when a signal's default action terminates
 	// the process. The library hooks it to shut the thread system down.
 	OnTerminate func(sig Signal)
@@ -404,6 +407,12 @@ func (k *Kernel) Poll() int {
 		case *aioRequest:
 			pl.done = true
 			k.Post(pl.p, &SigInfo{Sig: SIGIO, Cause: CauseIO, Datum: pl.datum})
+		case *netEvent:
+			// Deferred network-state transition (see netdev.go): apply it,
+			// then announce any descriptors it made ready via SIGIO.
+			if comp := pl.apply(); comp != nil && len(comp.Ready) > 0 {
+				k.Post(pl.p, &SigInfo{Sig: SIGIO, Cause: CauseIO, Datum: comp})
+			}
 		default:
 			panic(fmt.Sprintf("unixkern: unknown clock event payload %T", ev.Payload))
 		}

@@ -1,0 +1,101 @@
+package unixkern
+
+import "pthreads/internal/vtime"
+
+// This file gives the simulated kernel a network side, in the same style
+// as the asynchronous disk interface in device.go: state transitions that
+// take (virtual) time are scheduled on the clock, and when one fires the
+// kernel announces the descriptors it made ready by posting SIGIO with an
+// IOCompletion datum. The thread library demultiplexes that completion to
+// its per-descriptor wait queues — the paper's recipient rule 4 ("I/O
+// completion → the thread which requested the I/O"), generalized from a
+// single requesting thread to the descriptors a network event is for.
+
+// IOReady records that one descriptor became readable and/or writable.
+// All selects wake-all delivery: layers that multiplex several
+// outstanding requests over one descriptor (the device-file jacket) need
+// every waiter to re-check, where sockets wake one waiter and chain.
+type IOReady struct {
+	FD  FD
+	R   bool
+	W   bool
+	All bool
+}
+
+// IOCompletion is the SIGIO datum for descriptor-based I/O: the set of
+// descriptors the completing event made ready.
+type IOCompletion struct {
+	Ready []IOReady
+}
+
+// netEvent is a deferred network-state transition. Poll runs apply at the
+// due time and posts SIGIO for any readiness it returns.
+type netEvent struct {
+	p     *Process
+	apply func() *IOCompletion
+}
+
+// NetAfter schedules apply to run after d of virtual time. It models
+// latency-only network events — connect handshakes, receive-window
+// updates — that do not occupy the interface.
+func (k *Kernel) NetAfter(p *Process, d vtime.Duration, apply func() *IOCompletion) vtime.TimerID {
+	return k.Clock.ScheduleAfter(d, &netEvent{p: p, apply: apply})
+}
+
+// NetDevice models a network interface: a fixed per-segment setup cost
+// plus a per-byte transfer rate, FIFO-serialized — concurrent segments
+// queue behind each other on the one wire, exactly like requests on a
+// Device queue on the one disk arm.
+type NetDevice struct {
+	Name    string
+	Setup   vtime.Duration // fixed cost per segment
+	PerByte vtime.Duration // transfer cost per byte
+
+	k         *Kernel
+	busyUntil vtime.Time
+
+	// Segments and Bytes count traffic carried (harness use).
+	Segments int64
+	Bytes    int64
+}
+
+// NewNetDevice registers a network interface with the kernel.
+func (k *Kernel) NewNetDevice(name string, setup, perByte vtime.Duration) *NetDevice {
+	if name == "" {
+		name = "net"
+	}
+	if setup < 0 {
+		setup = 0
+	}
+	if perByte < 0 {
+		perByte = 0
+	}
+	return &NetDevice{Name: name, Setup: setup, PerByte: perByte, k: k}
+}
+
+// Send carries a segment of the given size across the interface: the
+// wire is occupied for setup + bytes·perByte after any queued segments,
+// then apply runs (delivering the data into the receiver's buffer) and
+// the readiness it returns is posted as SIGIO. extra adds propagation
+// delay that does not occupy the interface. It returns the delivery time.
+func (nd *NetDevice) Send(p *Process, bytes int, extra vtime.Duration, apply func() *IOCompletion) vtime.Time {
+	nd.Segments++
+	nd.Bytes += int64(bytes)
+	start := nd.k.Clock.Now()
+	if nd.busyUntil > start {
+		start = nd.busyUntil
+	}
+	done := start.Add(nd.Setup + vtime.Duration(bytes)*nd.PerByte)
+	nd.busyUntil = done
+	at := done.Add(extra)
+	nd.k.Clock.ScheduleAt(at, &netEvent{p: p, apply: apply})
+	return at
+}
+
+// BusyUntil reports when the interface's transmit queue drains.
+func (nd *NetDevice) BusyUntil() vtime.Time { return nd.busyUntil }
+
+// CountSyscall lets kernel-adjacent subsystems (the socket layer) charge
+// and record a system call by name, exactly as the kernel's own entry
+// points do.
+func (k *Kernel) CountSyscall(name string) { k.countSyscall(name) }

@@ -43,6 +43,8 @@ package pthreads
 import (
 	"pthreads/internal/core"
 	"pthreads/internal/hw"
+	ptio "pthreads/internal/io"
+	"pthreads/internal/net"
 	"pthreads/internal/sched"
 	"pthreads/internal/sem"
 	"pthreads/internal/unixkern"
@@ -110,6 +112,23 @@ type (
 	Explorer = core.Explorer
 	// SwitchPoint classifies where an Explorer decision is taken.
 	SwitchPoint = core.SwitchPoint
+
+	// IO is the blocking-I/O jacket layer bound to a System: sockets
+	// and device files with per-thread blocking semantics built on
+	// per-fd wait queues.
+	IO = ptio.IO
+	// Listener is a listening socket with a bounded accept backlog.
+	Listener = ptio.Listener
+	// Conn is one endpoint of an established connection.
+	Conn = ptio.Conn
+	// File is a blocking jacket over a simulated device file.
+	File = ptio.File
+	// NetConfig parameterizes the simulated socket stack.
+	NetConfig = net.Config
+	// NetStats counts socket-layer traffic.
+	NetStats = net.Stats
+	// FD is a file descriptor in the simulated process.
+	FD = unixkern.FD
 
 	// Signal is a UNIX signal number.
 	Signal = unixkern.Signal
@@ -190,16 +209,21 @@ const (
 
 // Error numbers.
 const (
-	OK        = core.OK
-	EPERM     = core.EPERM
-	ESRCH     = core.ESRCH
-	EINTR     = core.EINTR
-	EAGAIN    = core.EAGAIN
-	ENOMEM    = core.ENOMEM
-	EBUSY     = core.EBUSY
-	EINVAL    = core.EINVAL
-	EDEADLK   = core.EDEADLK
-	ETIMEDOUT = core.ETIMEDOUT
+	OK           = core.OK
+	EPERM        = core.EPERM
+	ESRCH        = core.ESRCH
+	EINTR        = core.EINTR
+	EBADF        = core.EBADF
+	EAGAIN       = core.EAGAIN
+	ENOMEM       = core.ENOMEM
+	EBUSY        = core.EBUSY
+	EINVAL       = core.EINVAL
+	EDEADLK      = core.EDEADLK
+	ENOSYS       = core.ENOSYS
+	EADDRINUSE   = core.EADDRINUSE
+	ECONNRESET   = core.ECONNRESET
+	ETIMEDOUT    = core.ETIMEDOUT
+	ECONNREFUSED = core.ECONNREFUSED
 )
 
 // Virtual time units.
@@ -249,6 +273,15 @@ const (
 
 // Canceled is the exit status of a cancelled thread (PTHREAD_CANCELED).
 var Canceled = core.Canceled
+
+// EOF is the clean end-of-stream condition a Conn.Read reports after the
+// peer's orderly close (read(2) returning 0).
+var EOF = ptio.EOF
+
+// NewIO binds a blocking-I/O jacket layer (sockets and device files)
+// over a fresh simulated socket stack to a system. Call it inside
+// sys.Run, or before starting threads.
+func NewIO(sys *System, cfg NetConfig) *IO { return ptio.New(sys, cfg) }
 
 // MakeSigset builds a signal set from a list of signals.
 func MakeSigset(sigs ...Signal) Sigset { return unixkern.MakeSigset(sigs...) }

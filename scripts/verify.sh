@@ -19,3 +19,13 @@ go run ./cmd/ptexplore -workload philosophers-fixed -policy bounded -bound 2 -lo
 go run ./cmd/ptexplore -workload racy-counter -policy bounded -bound 1 -expect found
 go run ./cmd/ptexplore -workload racy-counter-fixed -policy bounded -bound 1 -expect clean
 go run ./cmd/ptexplore -workload racy-counter -check-replay
+
+# Blocking-I/O jacket smoke: the webserver example must complete (it
+# exits nonzero if its two runs produce different trace tokens); the
+# socket workloads must explore clean — except the seeded lost-wakeup
+# bug, which the bounded search must find (and whose flag race the
+# checker must flag).
+go run ./examples/webserver > /dev/null
+go run ./cmd/ptexplore -workload sock-echo -policy bounded -bound 1 -expect clean
+go run ./cmd/ptexplore -workload sock-lost-wakeup -policy bounded -bound 1 -races -expect found
+go run ./cmd/ptexplore -workload sock-lost-wakeup-fixed -policy bounded -bound 1 -expect clean
