@@ -18,6 +18,7 @@ import (
 
 	"pthreads"
 	"pthreads/internal/eval"
+	"pthreads/internal/metrics"
 )
 
 // reportVirtual attaches the virtual-time metric for n operations.
@@ -601,4 +602,78 @@ func BenchmarkNetEcho(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+}
+
+// benchMutexMetrics is Table 2 row 3 (uncontended lock/unlock) with an
+// optional metrics sink attached: the pair pins the cost of the
+// profiling hooks on the hottest path. Both modes must report
+// 0 allocs/op — the off mode because the hooks are nil checks, the on
+// mode because the collector records into pre-sized tables.
+func benchMutexMetrics(b *testing.B, sink pthreads.MetricsSink) {
+	s := pthreads.New(pthreads.Config{Metrics: sink})
+	err := s.Run(func() {
+		m := s.MustMutex(pthreads.MutexAttr{Name: "bench"})
+		m.Lock() // size the collector's mutex table before the timer
+		m.Unlock()
+		b.ReportAllocs()
+		b.ResetTimer()
+		v0 := s.Now()
+		for i := 0; i < b.N; i++ {
+			m.Lock()
+			m.Unlock()
+		}
+		b.StopTimer()
+		reportVirtual(b, s, v0, b.N)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMutexMetricsOff is the uncontended mutex path with the
+// metrics hooks compiled in but no sink attached.
+func BenchmarkMutexMetricsOff(b *testing.B) { benchMutexMetrics(b, nil) }
+
+// BenchmarkMutexMetricsOn is the same path with the collector attached.
+func BenchmarkMutexMetricsOn(b *testing.B) {
+	benchMutexMetrics(b, metrics.New(metrics.Options{}))
+}
+
+// benchDispatchMetrics is the context-switch benchmark (Table 2 row 8)
+// with an optional metrics sink: every yield drives the dispatcher's
+// ThreadState hooks, so this is the per-dispatch hook cost.
+func benchDispatchMetrics(b *testing.B, sink pthreads.MetricsSink) {
+	s := pthreads.New(pthreads.Config{Metrics: sink})
+	err := s.Run(func() {
+		stop := false
+		attr := pthreads.DefaultAttr()
+		partner, _ := s.Create(attr, func(any) any {
+			for !stop {
+				s.Yield()
+			}
+			return nil
+		}, nil)
+		s.Yield() // size the collector's thread table before the timer
+		b.ReportAllocs()
+		b.ResetTimer()
+		v0 := s.Now()
+		for i := 0; i < b.N; i++ {
+			s.Yield()
+		}
+		b.StopTimer()
+		reportVirtual(b, s, v0, 2*b.N)
+		stop = true
+		s.Join(partner)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkDispatchMetricsOff is two context switches per op, no sink.
+func BenchmarkDispatchMetricsOff(b *testing.B) { benchDispatchMetrics(b, nil) }
+
+// BenchmarkDispatchMetricsOn is the same with the collector attached.
+func BenchmarkDispatchMetricsOn(b *testing.B) {
+	benchDispatchMetrics(b, metrics.New(metrics.Options{}))
 }

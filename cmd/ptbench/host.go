@@ -27,7 +27,8 @@ import (
 // The default pattern covers the scheduler-queue and synchronization
 // fast paths plus the core composite latencies; -hostbench overrides it.
 const defaultHostPattern = "EnqueueDequeue|PeekMaxLoaded|Remove$|MutexNoContention|" +
-	"MutexProtocols|ContextSwitch$|SemaphoreSync$|ThreadCreate$|RingRecorderEvent|NetEcho"
+	"MutexProtocols|ContextSwitch$|SemaphoreSync$|ThreadCreate$|RingRecorderEvent|NetEcho|" +
+	"MutexMetricsOn$|MutexMetricsOff$|DispatchMetricsOn$|DispatchMetricsOff$"
 
 // hostBench is one parsed benchmark result line.
 type hostBench struct {

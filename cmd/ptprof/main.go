@@ -1,0 +1,157 @@
+// Command ptprof runs a named workload under the virtual-time profiler
+// and reports where every thread's virtual time went: the attribution
+// table, per-object latency histograms, watchdog findings, and — via
+// -chrome — a Chrome trace-event JSON file loadable in Perfetto or
+// chrome://tracing, whose timeline is the virtual clock.
+//
+//	ptprof -workload webserver -chrome web.json
+//	ptprof -workload inversion -expect inversion
+//	ptprof -workload webserver -check
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pthreads/internal/eval"
+	"pthreads/internal/metrics"
+	"pthreads/internal/vtime"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ptprof: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	workload := flag.String("workload", "webserver",
+		"scenario to profile: "+strings.Join(eval.ProfileWorkloads(), ", "))
+	top := flag.Int("top", 10, "rows per object section in the text profile (0 = all)")
+	chrome := flag.String("chrome", "", "write Chrome trace-event JSON to this file")
+	jsonOut := flag.String("json", "", "write the machine-readable profile JSON to this file")
+	check := flag.Bool("check", false, "run self-checks: determinism, attribution, JSON validity")
+	expect := flag.String("expect", "", "assert the watchdog outcome: inversion, deadlock, or clean")
+	longHold := flag.Duration("long-hold", 0, "flag mutex holds at least this long (host units map 1:1 to virtual)")
+	starvation := flag.Duration("starvation", 0, "flag dispatch latencies at least this long")
+	quiet := flag.Bool("q", false, "suppress the text profile (checks and exports only)")
+	flag.Parse()
+
+	opt := metrics.Options{
+		LongHold:   vtime.Duration(*longHold / time.Nanosecond),
+		Starvation: vtime.Duration(*starvation / time.Nanosecond),
+	}
+
+	run, err := eval.RunProfiled(*workload, opt)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if !*quiet {
+		fmt.Print(metrics.FormatText(run.Profile, *top))
+	}
+
+	if *chrome != "" {
+		data, err := metrics.ChromeTrace(run.Events, run.Collector.Findings(), int64(run.End))
+		if err != nil {
+			fail("chrome export: %v", err)
+		}
+		if err := os.WriteFile(*chrome, data, 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ptprof: wrote %s (%d events, %d bytes)\n", *chrome, len(run.Events), len(data))
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(run.Profile, "", "  ")
+		if err != nil {
+			fail("profile export: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ptprof: wrote %s\n", *jsonOut)
+	}
+
+	if *expect != "" {
+		assertExpect(run, *expect)
+	}
+	if *check {
+		selfCheck(*workload, opt, run)
+	}
+}
+
+// assertExpect enforces the watchdog outcome the caller demands; the
+// verify script uses it to pin the Figure 5 semantics.
+func assertExpect(run *eval.ProfiledRun, want string) {
+	inv := len(run.Collector.FindingsOfKind("priority-inversion"))
+	dead := len(run.Collector.FindingsOfKind("deadlock"))
+	switch want {
+	case "inversion":
+		if inv == 0 {
+			fail("expected a priority-inversion finding; watchdog stayed quiet")
+		}
+	case "deadlock":
+		if dead == 0 {
+			fail("expected a deadlock finding; watchdog stayed quiet")
+		}
+	case "clean":
+		if n := len(run.Collector.Findings()); n != 0 {
+			fail("expected no findings; got %d: %v", n, run.Collector.Findings()[0])
+		}
+	default:
+		fail("unknown -expect value %q (inversion, deadlock, clean)", want)
+	}
+	fmt.Fprintf(os.Stderr, "ptprof: expectation %q holds\n", want)
+}
+
+// selfCheck reruns the workload and verifies the profiler's contracts:
+// (1) the run is deterministic — the Chrome export and profile JSON are
+// byte-identical across runs; (2) the export is valid JSON; (3) the
+// attribution is complete — every thread's bucket sum equals its
+// lifetime, so 100% of virtual time is accounted for.
+func selfCheck(workload string, opt metrics.Options, first *eval.ProfiledRun) {
+	second, err := eval.RunProfiled(workload, opt)
+	if err != nil {
+		fail("check rerun: %v", err)
+	}
+
+	c1, err := metrics.ChromeTrace(first.Events, first.Collector.Findings(), int64(first.End))
+	if err != nil {
+		fail("check: chrome export: %v", err)
+	}
+	c2, err := metrics.ChromeTrace(second.Events, second.Collector.Findings(), int64(second.End))
+	if err != nil {
+		fail("check: chrome export (rerun): %v", err)
+	}
+	if string(c1) != string(c2) {
+		fail("check: chrome export differs between two runs — determinism broken")
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(c1, &parsed); err != nil {
+		fail("check: chrome export is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		fail("check: chrome export has no events")
+	}
+
+	j1, _ := json.Marshal(first.Profile)
+	j2, _ := json.Marshal(second.Profile)
+	if string(j1) != string(j2) {
+		fail("check: profile JSON differs between two runs — determinism broken")
+	}
+
+	for _, tp := range first.Collector.Threads() {
+		if tp.Total() != tp.Lifetime() {
+			fail("check: thread %s accounts %v of a %v lifetime — attribution incomplete",
+				tp.Name, tp.Total(), tp.Lifetime())
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"ptprof: check ok — deterministic across runs, %d chrome events parse, %d threads account 100%% of virtual time\n",
+		len(parsed.TraceEvents), len(first.Collector.Threads()))
+}

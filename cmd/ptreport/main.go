@@ -14,9 +14,11 @@ import (
 )
 
 func main() {
-	// The exploration section is opt-in so the default report stays
-	// byte-stable across releases that only add new experiments.
+	// The exploration and profile sections are opt-in so the default
+	// report stays byte-stable across releases that only add new
+	// experiments.
 	withExplore := flag.Bool("explore", false, "append the schedule-exploration section")
+	withProfile := flag.Bool("profile", false, "append the virtual-time profiler section")
 	flag.Parse()
 	sections := []func() (string, error){
 		func() (string, error) {
@@ -39,6 +41,9 @@ func main() {
 	}
 	if *withExplore {
 		sections = append(sections, eval.FormatExplore)
+	}
+	if *withProfile {
+		sections = append(sections, eval.FormatProfile)
 	}
 	for i, f := range sections {
 		out, err := f()

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	pttrace [-scenario inversion|rr|prodcons|signals] [-width N] [-dump]
+//	        [-max-events N]
 package main
 
 import (
@@ -22,9 +23,10 @@ func main() {
 	scenario := flag.String("scenario", "inversion", "inversion | rr | prodcons | signals")
 	width := flag.Int("width", 76, "timeline width in characters")
 	dump := flag.Bool("dump", false, "also print the raw event list")
+	maxEvents := flag.Int("max-events", 0, "cap the recorder at N events (0 = unbounded); dropped events are reported")
 	flag.Parse()
 
-	rec := trace.New()
+	rec := trace.NewCapped(*maxEvents)
 	var mutexName string
 
 	switch *scenario {
@@ -45,6 +47,10 @@ func main() {
 
 	fmt.Printf("scenario %q:\n", *scenario)
 	fmt.Print(rec.Timeline(mutexName, *width))
+	if n := rec.Dropped(); n > 0 {
+		fmt.Printf("(recorder cap %d reached: %d events dropped; the timeline covers the recorded prefix)\n",
+			rec.MaxEvents, n)
+	}
 	if *dump {
 		fmt.Println()
 		fmt.Print(rec.Dump())

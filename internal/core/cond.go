@@ -93,6 +93,9 @@ func (c *Cond) wait(m *Mutex, d vtime.Duration) error {
 	t.wake = wakeNone
 	c.waiters.Enqueue(t, t.prio)
 	s.traceObj(EvCond, t, c.name, "wait", "")
+	if s.metrics != nil {
+		s.metrics.CondWaitStart(s.clock.Now(), t, c)
+	}
 
 	if d >= 0 {
 		t.waitTimer = s.kern.SetTimerInternal(s.proc, sigalrm, d, &timedWaitTag{t: t, c: c})
@@ -200,6 +203,9 @@ func (s *System) unlockForWaitLocked(m *Mutex) {
 		m.lockWord.Store(0)
 	}
 	s.traceObj(EvMutex, t, m.name, "unlock", "for condition wait")
+	if s.metrics != nil {
+		s.metrics.MutexReleased(s.clock.Now(), t, m)
+	}
 }
 
 // Signal wakes the highest-priority waiter (pthread_cond_signal). The
@@ -247,6 +253,9 @@ func (c *Cond) wakeOneLocked() {
 		w.waitTimer = 0
 	}
 	s.traceObj(EvCond, w, c.name, "signal", "")
+	if s.metrics != nil {
+		s.metrics.CondWaitEnd(s.clock.Now(), w, c)
+	}
 	if m == nil || m.owner == nil {
 		// Mutex free (or association already cleared): grant directly.
 		if m != nil {
@@ -269,4 +278,10 @@ func (c *Cond) wakeOneLocked() {
 	w.waitingFor = m.waitName
 	m.waiters.Enqueue(w, w.prio)
 	s.traceObj(EvMutex, w, m.name, "block", "reacquire after signal")
+	if s.metrics != nil {
+		// The reason changed while the state stayed Blocked: report the
+		// bucket switch and the (contended) reacquisition attempt.
+		s.metrics.MutexContended(s.clock.Now(), w, m, m.owner)
+		s.mState(w)
+	}
 }

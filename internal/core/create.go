@@ -48,6 +48,7 @@ func (s *System) Create(attr Attr, fn func(arg any) any, arg any) (*Thread, erro
 		// defer that too — modelled by charging activation separately.)
 		t.state = StateNew
 		t.waitingFor = "activation"
+		s.mState(t)
 	} else {
 		s.activateLocked(t)
 	}

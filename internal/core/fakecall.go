@@ -80,6 +80,9 @@ func (s *System) pushFakeCall(t *Thread, f *fakeFrame) {
 				t.waitTimer = 0
 			}
 			t.wake = wakeInterrupt
+			if s.metrics != nil {
+				s.metrics.CondWaitEnd(s.clock.Now(), t, c)
+			}
 			s.makeReady(t, false)
 		case BlockSleep:
 			if t.waitTimer != 0 {
@@ -170,7 +173,13 @@ func (s *System) runFakeCall(t *Thread, f *fakeFrame) {
 	t.sigMask = t.sigMask.Union(f.mask).Add(f.sig)
 	sc := &SigContext{s: s, t: t, Sig: f.sig, Info: f.info}
 	t.SigsTaken++
+	if s.metrics != nil {
+		s.metrics.HandlerEnter(s.clock.Now(), t)
+	}
 	f.handler(f.sig, f.info, sc)
+	if s.metrics != nil {
+		s.metrics.HandlerExit(s.clock.Now(), t)
+	}
 
 	// 4. Restore the thread's error number.
 	t.errno = savedErrno

@@ -124,6 +124,9 @@ func (s *System) FDBlockingCall(fd unixkern.FD, dir FDDir, what string, timeout 
 		blockedAt := s.clock.Now()
 		s.blockCurrent(BlockFD, what)
 		s.stats.FDBlockedNS += int64(s.clock.Now().Sub(blockedAt))
+		if s.metrics != nil {
+			s.metrics.FDBlocked(blockedAt, t, int(fd), dir, s.clock.Now().Sub(blockedAt))
+		}
 		if t.waitTimer != 0 {
 			s.kern.DisarmInternal(t.waitTimer)
 			t.waitTimer = 0

@@ -135,6 +135,7 @@ func (s *System) dispatch() {
 			// reaches user code).
 			next.state = StateRunning
 			s.trace(EvState, next, "running", "reselected")
+			s.mState(next)
 			s.cancelSliceTimer()
 		}
 		return
@@ -190,6 +191,7 @@ func (s *System) selectNext() *Thread {
 		s.cpu.ChargeInstr(instrReadyQueueOp)
 		s.ready.EnqueueHead(cur, cur.prio)
 		s.trace(EvState, cur, "ready", "preempted")
+		s.mState(cur)
 	}
 	t, _, ok := s.ready.DequeueMax()
 	if !ok {
@@ -231,6 +233,7 @@ func (s *System) contextSwitch(next *Thread) {
 	next.state = StateRunning
 	next.Dispatches++
 	s.trace(EvState, next, "running", "")
+	s.mState(next)
 	// The outgoing quantum dies with the switch; the incoming thread's
 	// quantum is armed when it reaches user code.
 	s.cancelSliceTimer()
@@ -303,6 +306,7 @@ func (s *System) makeReady(t *Thread, atHead bool) {
 	}
 	s.dispatcherFlag = true
 	s.trace(EvState, t, "ready", "")
+	s.mState(t)
 }
 
 // blockCurrent marks the current thread blocked and runs the dispatcher to
@@ -316,6 +320,7 @@ func (s *System) blockCurrent(reason BlockReason, what string) {
 	t.waitingFor = what
 	s.cancelSliceTimer()
 	s.trace(EvState, t, "blocked", what)
+	s.mState(t)
 	s.dispatcherFlag = true
 	s.leaveKernel()
 }
@@ -419,6 +424,7 @@ func (s *System) Yield() {
 	s.cpu.ChargeInstr(instrReadyQueueOp)
 	s.ready.Enqueue(t, t.prio)
 	s.trace(EvState, t, "ready", "yield")
+	s.mState(t)
 	s.dispatcherFlag = true
 	s.leaveKernel()
 }

@@ -259,6 +259,9 @@ func (s *System) afterAcquire(m *Mutex, t *Thread) {
 	if s.tracer != nil {
 		s.traceObj(EvMutex, t, m.name, "lock", "")
 	}
+	if s.metrics != nil {
+		s.metrics.MutexAcquired(s.clock.Now(), t, m, false)
+	}
 	if s.explorer != nil {
 		s.exploreLockPoint()
 	} else if s.cfg.Pervert == PervertMutexSwitch {
@@ -302,6 +305,11 @@ func (s *System) lockSlow(m *Mutex) {
 		return
 	}
 
+	if s.metrics != nil {
+		// Reported before the inheritance boost charges its queue ops, so
+		// the contention timestamp matches the "block" trace event above.
+		s.metrics.MutexContended(s.clock.Now(), t, m, m.owner)
+	}
 	if m.protocol == ProtocolInherit {
 		s.boostOwnerChain(m, t.prio)
 	}
@@ -352,6 +360,9 @@ func (s *System) mutexUnlock(m *Mutex) {
 		if s.tracer != nil {
 			s.traceObj(EvMutex, t, m.name, "unlock", "")
 		}
+		if s.metrics != nil {
+			s.metrics.MutexReleased(s.clock.Now(), t, m)
+		}
 		return
 	}
 	s.cpu.ChargeInstr(8) // owned-list bookkeeping + attribute check
@@ -394,6 +405,9 @@ func (s *System) mutexUnlock(m *Mutex) {
 		m.lockWord.Store(0)
 	}
 	s.traceObj(EvMutex, t, m.name, "unlock", "")
+	if s.metrics != nil {
+		s.metrics.MutexReleased(s.clock.Now(), t, m)
+	}
 	s.leaveKernel()
 }
 
@@ -418,6 +432,9 @@ func (s *System) grantLocked(m *Mutex, w *Thread) {
 		w.wake = wakeGrant
 	}
 	s.traceObj(EvMutex, w, m.name, "grant", "")
+	if s.metrics != nil {
+		s.metrics.MutexAcquired(s.clock.Now(), w, m, true)
+	}
 	s.makeReady(w, false)
 }
 

@@ -59,6 +59,7 @@ func (s *System) pervertKernelExit() {
 		s.ready.Enqueue(cur, sched.MinPrio)
 		s.dispatcherFlag = true
 		s.trace(EvState, cur, "ready", "perverted rr-ordered switch")
+		s.mState(cur)
 	case PervertRandom:
 		// Test for a switch candidate *before* consuming a PRNG bit
 		// (matching PervertRROrdered): drawing a bit when the ready
@@ -77,6 +78,7 @@ func (s *System) pervertKernelExit() {
 		s.randomPick = true
 		s.dispatcherFlag = true
 		s.trace(EvState, cur, "ready", "perverted random switch")
+		s.mState(cur)
 	}
 }
 
@@ -92,6 +94,7 @@ func (s *System) pervertMutexSwitch() {
 		s.ready.Enqueue(cur, cur.prio)
 		s.dispatcherFlag = true
 		s.trace(EvState, cur, "ready", "perverted mutex switch")
+		s.mState(cur)
 	}
 	s.leaveKernel()
 }

@@ -232,6 +232,9 @@ func (s *System) deliverToLibrary(info *unixkern.SigInfo) {
 			t.waitingCond = nil
 			t.waitTimer = 0
 			t.wake = wakeTimeout
+			if s.metrics != nil {
+				s.metrics.CondWaitEnd(s.clock.Now(), t, tag.c)
+			}
 			s.makeReady(t, false)
 		}
 		return
@@ -345,6 +348,7 @@ func (s *System) directAt(t *Thread, info *unixkern.SigInfo) {
 				s.ready.Enqueue(t, t.prio)
 				s.dispatcherFlag = true
 				s.trace(EvState, t, "ready", "time slice expired")
+				s.mState(t)
 			}
 			return
 		}

@@ -72,6 +72,10 @@ type Config struct {
 	// switch of its choice (see internal/explore). Mutually exclusive
 	// with Pervert — an active Explorer takes precedence.
 	Explorer Explorer
+	// Metrics, when non-nil, receives the virtual-time profiling events
+	// (see internal/metrics). Like Tracer and Explorer, every call site
+	// is a nil check and the hooks charge no virtual cost.
+	Metrics MetricsSink
 }
 
 // Stats aggregates the library-level counters the evaluation harness
@@ -165,6 +169,7 @@ type System struct {
 	keys          []keySlot
 	stats         Stats
 	tracer        Tracer
+	metrics       MetricsSink
 	pervertArm    bool // set when the active perverted policy wants a switch at kernel exit
 	randomPick    bool // random-switch: pick the next thread at random
 
@@ -174,12 +179,12 @@ type System struct {
 	explorePick      int        // ready-queue index the explorer chose
 	explorePickArmed bool       // explorePick is valid for the next selectNext
 	exploreSquelch   bool       // suppress the next kernel-exit decision point
-	runCalled     bool
-	finished      bool
-	finishErr     error
-	exitStatus    any
-	doneCh        chan struct{}
-	inUniversal   int // nesting depth of the universal signal handler
+	runCalled        bool
+	finished         bool
+	finishErr        error
+	exitStatus       any
+	doneCh           chan struct{}
+	inUniversal      int // nesting depth of the universal signal handler
 
 	// Mask state across a context switch out of the universal handler.
 	maskedForSwitch bool
@@ -224,6 +229,7 @@ func New(cfg Config) *System {
 		cpu:     k.CPU,
 		quantum: cfg.Quantum,
 		tracer:  cfg.Tracer,
+		metrics: cfg.Metrics,
 		prng:    rand.New(rand.NewSource(cfg.Seed)),
 		doneCh:  make(chan struct{}),
 	}
@@ -323,6 +329,7 @@ func (s *System) Run(main func()) error {
 	t.state = StateRunning
 	s.current = t
 	s.trace(EvState, t, "running", "")
+	s.mState(t)
 
 	t.started = true
 	go s.trampoline(t)
@@ -445,6 +452,7 @@ func (s *System) exitCurrent(status any) {
 	if s.tracer != nil {
 		s.trace(EvState, t, "terminated", fmt.Sprintf("status=%v", status))
 	}
+	s.mState(t)
 	s.cancelSliceTimer()
 
 	// Wake joiners.

@@ -55,12 +55,23 @@ type Fig5Result struct {
 // RunFigure5 executes the scenario under the given mutex protocol on the
 // IPX model.
 func RunFigure5(protocol core.Protocol) (*Fig5Result, error) {
+	return runFigure5(protocol, nil)
+}
+
+// runFigure5 is RunFigure5 with an optional config modifier, the seam
+// the profiler uses to attach a metrics sink without disturbing the
+// published scenario (mod == nil is byte-identical to RunFigure5).
+func runFigure5(protocol core.Protocol, mod func(*core.Config)) (*Fig5Result, error) {
 	rec := trace.New()
-	s := core.New(core.Config{
+	cfg := core.Config{
 		Machine:      hw.SPARCstationIPX(),
 		MainPriority: 31,
 		Tracer:       rec,
-	})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	s := core.New(cfg)
 
 	res := &Fig5Result{Protocol: protocol, Recorder: rec}
 	var lockReq, lockGot vtime.Time

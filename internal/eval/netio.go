@@ -40,10 +40,21 @@ type NetScenarioResult struct {
 // blocked in Accept on one shared listener. Clients refused by the
 // bounded backlog back off and retry.
 func RunNetScenario(workers, clients int) (*NetScenarioResult, error) {
-	s := core.New(core.Config{
+	return runNetScenario(workers, clients, nil)
+}
+
+// runNetScenario is RunNetScenario with an optional config modifier, the
+// seam the profiler uses to attach a tracer and metrics sink (mod == nil
+// is byte-identical to RunNetScenario).
+func runNetScenario(workers, clients int, mod func(*core.Config)) (*NetScenarioResult, error) {
+	cfg := core.Config{
 		Machine:  hw.SPARCstationIPX(),
 		PoolSize: workers + clients + 1,
-	})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	s := core.New(cfg)
 	res := &NetScenarioResult{Workers: workers, Clients: clients}
 	err := s.Run(func() {
 		x := ptio.New(s, net.Config{RecvBuf: 2048, SendBuf: 2048})

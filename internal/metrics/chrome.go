@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pthreads/internal/core"
+)
+
+// Chrome trace-event export: the recorded trace stream rendered in the
+// JSON format Perfetto and chrome://tracing load directly. One track per
+// thread; thread state intervals become "B"/"E" duration slices,
+// everything else becomes an instant, watchdog findings become global
+// instants. Timestamps are virtual microseconds — the viewer's timeline
+// IS the virtual clock.
+//
+// The export is built from the trace stream, not from the collector: the
+// two observe the same hooks at the same virtual instants, which is what
+// the metrics-vs-trace cross-check test pins down.
+
+// chromeEvent is one trace-event object. encoding/json marshals struct
+// fields in declaration order and map keys sorted, so the byte output is
+// a pure function of the input events — ptprof -check relies on that.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`    // instant scope
+	Cat  string         `json:"cat,omitempty"`  // event category
+	Args map[string]any `json:"args,omitempty"` // sorted keys when marshaled
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+// chromeTID maps a thread to its track. Track 0 is the system track for
+// thread-less events and global findings.
+func chromeTID(t *core.Thread) int {
+	if t == nil {
+		return 0
+	}
+	return int(t.ID())
+}
+
+// sliceName renders the duration-slice name for a thread-state interval.
+func sliceName(ev core.TraceEvent) string {
+	if ev.Arg == "blocked" {
+		if ev.Detail != "" {
+			return "blocked: " + ev.Detail
+		}
+		return "blocked"
+	}
+	return ev.Arg
+}
+
+// instName renders the instant-event name for a non-state event.
+func instName(ev core.TraceEvent) string {
+	n := ev.Kind.String()
+	if ev.Obj != "" {
+		n += " " + ev.Obj
+	}
+	if ev.Arg != "" {
+		n += ": " + ev.Arg
+	}
+	return n
+}
+
+// ChromeTrace renders the event stream (plus watchdog findings, which
+// may be nil) as Chrome trace-event JSON. end (virtual ns) closes any
+// state interval still open when recording stopped.
+func ChromeTrace(events []core.TraceEvent, findings []Finding, end int64) ([]byte, error) {
+	us := func(ns int64) float64 { return float64(ns) / 1000 }
+
+	// First pass: name the tracks in first-seen order so the metadata
+	// block is deterministic.
+	names := map[int]string{0: "system"}
+	order := []int{0}
+	for _, ev := range events {
+		tid := chromeTID(ev.Thread)
+		if _, ok := names[tid]; ok {
+			continue
+		}
+		name := ev.Thread.Name()
+		if name == "" {
+			name = fmt.Sprintf("thread#%d", ev.Thread.ID())
+		}
+		names[tid] = name
+		order = append(order, tid)
+	}
+
+	var evs []chromeEvent
+	for _, tid := range order {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: tid,
+			Args: map[string]any{"name": names[tid]},
+		})
+	}
+
+	// Second pass: slices and instants. openName tracks the B slice
+	// currently open on each tid; every state change closes it.
+	openName := map[int]string{}
+	emitClose := func(tid int, atNS int64) {
+		if n, ok := openName[tid]; ok {
+			evs = append(evs, chromeEvent{Name: n, Ph: "E", TS: us(atNS), PID: chromePID, TID: tid})
+			delete(openName, tid)
+		}
+	}
+	for _, ev := range events {
+		tid := chromeTID(ev.Thread)
+		ns := int64(ev.At)
+		if ev.Kind != core.EvState {
+			e := chromeEvent{Name: instName(ev), Ph: "i", TS: us(ns), PID: chromePID, TID: tid, S: "t", Cat: ev.Kind.String()}
+			if ev.Detail != "" {
+				e.Args = map[string]any{"detail": ev.Detail}
+			}
+			evs = append(evs, e)
+			continue
+		}
+		emitClose(tid, ns)
+		switch ev.Arg {
+		case "running", "ready", "blocked":
+			name := sliceName(ev)
+			openName[tid] = name
+			evs = append(evs, chromeEvent{Name: name, Ph: "B", TS: us(ns), PID: chromePID, TID: tid, Cat: "state"})
+		default:
+			// Lifecycle marks ("created", "terminated"): instants only.
+			evs = append(evs, chromeEvent{Name: "thread " + ev.Arg, Ph: "i", TS: us(ns), PID: chromePID, TID: tid, S: "t", Cat: "state"})
+		}
+	}
+	// Close whatever is still open at end of run, track order for
+	// deterministic output.
+	for _, tid := range order {
+		emitClose(tid, end)
+	}
+
+	// Watchdog findings as global instants on the timeline.
+	for _, f := range findings {
+		evs = append(evs, chromeEvent{
+			Name: "finding: " + f.Kind, Ph: "i", TS: us(int64(f.At)), PID: chromePID, TID: 0, S: "g", Cat: "watchdog",
+			Args: map[string]any{"detail": f.Detail, "thread": f.Thread, "object": f.Object, "end_us": us(int64(f.End))},
+		})
+	}
+
+	return json.Marshal(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"testing"
+
+	"pthreads/internal/vtime"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, d := range []vtime.Duration{0, 1, 2, 3, 4, 1000, -5} {
+		h.Record(d)
+	}
+	if h.Count != 7 {
+		t.Fatalf("count=%d, want 7", h.Count)
+	}
+	if h.Sum != 1010 {
+		t.Fatalf("sum=%v, want 1010", int64(h.Sum))
+	}
+	if h.Max != 1000 {
+		t.Fatalf("max=%v, want 1000", int64(h.Max))
+	}
+	// 0 and -5 land in bucket 0; 1 in bucket 1 ([1,2)); 2,3 in bucket 2
+	// ([2,4)); 4 in bucket 3 ([4,8)); 1000 in bucket 10 ([512,1024)).
+	for bucket, want := range map[int]int64{0: 2, 1: 1, 2: 2, 3: 1, 10: 1} {
+		if h.B[bucket] != want {
+			t.Fatalf("bucket %d = %d, want %d", bucket, h.B[bucket], want)
+		}
+	}
+	if m := h.Mean(); m != 1010/7 {
+		t.Fatalf("mean=%d, want %d", int64(m), 1010/7)
+	}
+	if q := h.Quantile(0.5); q != 2 {
+		t.Fatalf("p50=%d, want 2 (lower bound of the median's bucket)", int64(q))
+	}
+	if q := h.Quantile(1.0); q != 512 {
+		t.Fatalf("p100=%d, want 512", int64(q))
+	}
+
+	j := h.JSON()
+	if j.Count != 7 || len(j.Buckets) != 5 {
+		t.Fatalf("JSON: count=%d buckets=%d, want 7/5", j.Count, len(j.Buckets))
+	}
+	var n int64
+	for _, b := range j.Buckets {
+		n += b.N
+	}
+	if n != 7 {
+		t.Fatalf("JSON buckets sum to %d, want 7", n)
+	}
+}
+
+func TestHistogramRecordDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	if a := testing.AllocsPerRun(1000, func() { h.Record(12345) }); a != 0 {
+		t.Fatalf("Record allocates %.1f per call, want 0", a)
+	}
+}

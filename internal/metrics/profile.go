@@ -1,0 +1,240 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pthreads/internal/vtime"
+)
+
+// This file is the export side of the profiler: a machine-readable
+// Profile snapshot (consumed by ptprof -json and ptreport's Profile
+// section) and the human table renderer.
+
+// BucketJSON is one non-zero attribution bucket in exported form.
+type BucketJSON struct {
+	Name string `json:"name"`
+	NS   int64  `json:"ns"`
+}
+
+// ThreadJSON is one thread's exported profile.
+type ThreadJSON struct {
+	ID         int32        `json:"id"`
+	Name       string       `json:"name"`
+	FirstNS    int64        `json:"first_ns"`
+	LastNS     int64        `json:"last_ns"`
+	LifetimeNS int64        `json:"lifetime_ns"`
+	TotalNS    int64        `json:"total_ns"` // bucket sum; == lifetime_ns by invariant
+	Dispatches int64        `json:"dispatches"`
+	Buckets    []BucketJSON `json:"buckets"`
+}
+
+// MutexJSON is one mutex's exported profile.
+type MutexJSON struct {
+	Name              string           `json:"name"`
+	Acquisitions      int64            `json:"acquisitions"`
+	Contentions       int64            `json:"contentions"`
+	Wait              HistJSON         `json:"wait"`
+	Hold              HistJSON         `json:"hold"`
+	OwnerAtContention map[string]int64 `json:"owner_at_contention,omitempty"`
+}
+
+// CondJSON is one condition variable's exported profile.
+type CondJSON struct {
+	Name  string   `json:"name"`
+	Waits int64    `json:"waits"`
+	Wait  HistJSON `json:"wait"`
+}
+
+// FDJSON is one (descriptor, direction) queue's exported profile.
+type FDJSON struct {
+	Label  string   `json:"label"`
+	Blocks int64    `json:"blocks"`
+	Block  HistJSON `json:"block"`
+}
+
+// Profile is the full machine-readable snapshot of one profiled run.
+type Profile struct {
+	Workload string       `json:"workload"`
+	EndNS    int64        `json:"end_ns"`
+	Threads  []ThreadJSON `json:"threads"`
+	Mutexes  []MutexJSON  `json:"mutexes"`
+	Conds    []CondJSON   `json:"conds,omitempty"`
+	FDs      []FDJSON     `json:"fds,omitempty"`
+	Dispatch HistJSON     `json:"dispatch"`
+	Findings []Finding    `json:"findings,omitempty"`
+}
+
+// Snapshot exports the collector. Call Finalize first; order is
+// first-seen, so two identical runs export identical profiles.
+func (c *Collector) Snapshot(workload string, end vtime.Time) *Profile {
+	p := &Profile{Workload: workload, EndNS: int64(end), Dispatch: c.Dispatch.JSON(), Findings: c.findings}
+	for _, tp := range c.threadOrder {
+		tj := ThreadJSON{
+			ID: tp.ID, Name: tp.Name,
+			FirstNS: int64(tp.FirstAt), LastNS: int64(tp.LastAt),
+			LifetimeNS: int64(tp.Lifetime()), TotalNS: int64(tp.Total()),
+			Dispatches: tp.Dispatches,
+		}
+		for b := Bucket(0); b < NumBuckets; b++ {
+			if d := tp.Buckets[b]; d > 0 {
+				tj.Buckets = append(tj.Buckets, BucketJSON{Name: b.String(), NS: int64(d)})
+			}
+		}
+		p.Threads = append(p.Threads, tj)
+	}
+	for _, mp := range c.mutexOrder {
+		mj := MutexJSON{
+			Name: mp.Name, Acquisitions: mp.Acquisitions, Contentions: mp.Contentions,
+			Wait: mp.Wait.JSON(), Hold: mp.Hold.JSON(),
+		}
+		if len(mp.OwnerAtContention) > 0 {
+			mj.OwnerAtContention = mp.OwnerAtContention
+		}
+		p.Mutexes = append(p.Mutexes, mj)
+	}
+	for _, cp := range c.condOrder {
+		p.Conds = append(p.Conds, CondJSON{Name: cp.Name, Waits: cp.Waits, Wait: cp.Wait.JSON()})
+	}
+	for _, fp := range c.fdOrder {
+		p.FDs = append(p.FDs, FDJSON{Label: fp.Label(), Blocks: fp.Blocks, Block: fp.Block.JSON()})
+	}
+	return p
+}
+
+// pct renders part/whole as a padded percentage column.
+func pct(part, whole int64) string {
+	if whole <= 0 {
+		return "    -"
+	}
+	return fmt.Sprintf("%4.1f%%", 100*float64(part)/float64(whole))
+}
+
+// FormatText renders the profile as the human report: the per-thread
+// attribution table (100% rows by construction), the hottest mutexes,
+// condvars and descriptors, dispatch latency, and the watchdog findings.
+// top bounds each object section (<=0 means everything).
+func FormatText(p *Profile, top int) string {
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "Virtual-time profile: %s (end %v)\n\n", p.Workload, vtime.Time(p.EndNS))
+
+	// Per-thread attribution. Columns are the buckets that are non-zero
+	// anywhere, so narrow workloads get narrow tables.
+	used := make([]bool, NumBuckets)
+	byName := make([]map[string]int64, len(p.Threads))
+	for i := range p.Threads {
+		m := make(map[string]int64, len(p.Threads[i].Buckets))
+		for _, bk := range p.Threads[i].Buckets {
+			m[bk.Name] = bk.NS
+		}
+		byName[i] = m
+		for bk := Bucket(0); bk < NumBuckets; bk++ {
+			if m[bk.String()] > 0 {
+				used[bk] = true
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-14s %10s %6s", "thread", "lifetime", "disp")
+	for bk := Bucket(0); bk < NumBuckets; bk++ {
+		if used[bk] {
+			fmt.Fprintf(&b, " %10s", bk.String())
+		}
+	}
+	b.WriteByte('\n')
+	for i := range p.Threads {
+		t := &p.Threads[i]
+		fmt.Fprintf(&b, "%-14s %10v %6d", t.Name, vtime.Duration(t.LifetimeNS), t.Dispatches)
+		for bk := Bucket(0); bk < NumBuckets; bk++ {
+			if used[bk] {
+				fmt.Fprintf(&b, " %10s", pct(byName[i][bk.String()], t.LifetimeNS))
+			}
+		}
+		b.WriteByte('\n')
+	}
+
+	// Hottest mutexes by total wait, then by hold.
+	if len(p.Mutexes) > 0 {
+		mx := make([]*MutexJSON, len(p.Mutexes))
+		for i := range p.Mutexes {
+			mx[i] = &p.Mutexes[i]
+		}
+		sort.SliceStable(mx, func(i, j int) bool {
+			if mx[i].Wait.SumNS != mx[j].Wait.SumNS {
+				return mx[i].Wait.SumNS > mx[j].Wait.SumNS
+			}
+			return mx[i].Hold.SumNS > mx[j].Hold.SumNS
+		})
+		if top > 0 && len(mx) > top {
+			mx = mx[:top]
+		}
+		fmt.Fprintf(&b, "\n%-14s %6s %6s %12s %12s %12s %12s\n",
+			"mutex", "acq", "cont", "wait-total", "wait-mean", "hold-mean", "hold-max")
+		for _, m := range mx {
+			fmt.Fprintf(&b, "%-14s %6d %6d %12v %12v %12v %12v\n",
+				m.Name, m.Acquisitions, m.Contentions,
+				vtime.Duration(m.Wait.SumNS), vtime.Duration(m.Wait.MeanNS),
+				vtime.Duration(m.Hold.MeanNS), vtime.Duration(m.Hold.MaxNS))
+			if len(m.OwnerAtContention) > 0 {
+				owners := make([]string, 0, len(m.OwnerAtContention))
+				for name := range m.OwnerAtContention {
+					owners = append(owners, name)
+				}
+				sort.Strings(owners)
+				parts := make([]string, 0, len(owners))
+				for _, name := range owners {
+					parts = append(parts, fmt.Sprintf("%s:%d", name, m.OwnerAtContention[name]))
+				}
+				fmt.Fprintf(&b, "%-14s   blocked by: %s\n", "", strings.Join(parts, " "))
+			}
+		}
+	}
+
+	if len(p.Conds) > 0 {
+		cs := make([]*CondJSON, len(p.Conds))
+		for i := range p.Conds {
+			cs[i] = &p.Conds[i]
+		}
+		sort.SliceStable(cs, func(i, j int) bool { return cs[i].Wait.SumNS > cs[j].Wait.SumNS })
+		if top > 0 && len(cs) > top {
+			cs = cs[:top]
+		}
+		fmt.Fprintf(&b, "\n%-14s %6s %12s %12s %12s\n", "condvar", "waits", "wait-total", "wait-mean", "wait-max")
+		for _, cv := range cs {
+			fmt.Fprintf(&b, "%-14s %6d %12v %12v %12v\n",
+				cv.Name, cv.Waits,
+				vtime.Duration(cv.Wait.SumNS), vtime.Duration(cv.Wait.MeanNS), vtime.Duration(cv.Wait.MaxNS))
+		}
+	}
+
+	if len(p.FDs) > 0 {
+		fs := make([]*FDJSON, len(p.FDs))
+		for i := range p.FDs {
+			fs[i] = &p.FDs[i]
+		}
+		sort.SliceStable(fs, func(i, j int) bool { return fs[i].Block.SumNS > fs[j].Block.SumNS })
+		if top > 0 && len(fs) > top {
+			fs = fs[:top]
+		}
+		fmt.Fprintf(&b, "\n%-14s %6s %12s %12s %12s\n", "descriptor", "blocks", "block-total", "block-mean", "block-max")
+		for _, f := range fs {
+			fmt.Fprintf(&b, "%-14s %6d %12v %12v %12v\n",
+				f.Label, f.Blocks,
+				vtime.Duration(f.Block.SumNS), vtime.Duration(f.Block.MeanNS), vtime.Duration(f.Block.MaxNS))
+		}
+	}
+
+	fmt.Fprintf(&b, "\ndispatch latency (ready->running): n=%d mean=%v max=%v\n",
+		p.Dispatch.Count, vtime.Duration(p.Dispatch.MeanNS), vtime.Duration(p.Dispatch.MaxNS))
+
+	if len(p.Findings) > 0 {
+		fmt.Fprintf(&b, "\nwatchdog findings (%d):\n", len(p.Findings))
+		for _, f := range p.Findings {
+			fmt.Fprintf(&b, "  %s\n", f.String())
+		}
+	} else {
+		b.WriteString("\nwatchdog findings: none\n")
+	}
+	return b.String()
+}

@@ -125,3 +125,64 @@ func BenchmarkRingRecorderEvent(b *testing.B) {
 		r.Event(ev)
 	}
 }
+
+// TestRingRecorderMixedKindsWrapAround drives the ring with an
+// interleaved EvIO/EvNet/EvAccess stream long enough to wrap several
+// times, and checks the retained window preserves kinds, payloads and
+// order — the flight-recorder contract for the event kinds added after
+// the ring was (the regression this pins: unknown kinds must round-trip
+// unchanged, not be normalized or dropped).
+func TestRingRecorderMixedKindsWrapAround(t *testing.T) {
+	const cap, total = 7, 100
+	kinds := []core.EventKind{core.EvIO, core.EvNet, core.EvAccess}
+	args := []string{"block", "connect", "write"}
+	objs := []string{"fd3/read", "conn#1", "shared.counter"}
+	mk := func(i int) core.TraceEvent {
+		k := i % len(kinds)
+		return core.TraceEvent{
+			At: vtime.Time(i), Kind: kinds[k], Arg: args[k], Obj: objs[k],
+			Detail: "seq",
+		}
+	}
+	r := NewRing(cap)
+	for i := 0; i < total; i++ {
+		r.Event(mk(i))
+	}
+	if r.Len() != cap {
+		t.Fatalf("len=%d, want %d", r.Len(), cap)
+	}
+	if want := int64(total - cap); r.Dropped() != want {
+		t.Fatalf("dropped=%d, want %d", r.Dropped(), want)
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		want := mk(total - cap + i)
+		if ev != want {
+			t.Fatalf("retained[%d] = %+v, want %+v", i, ev, want)
+		}
+	}
+}
+
+// TestCappedRecorderDrops pins the bounded Recorder: the first MaxEvents
+// events are kept, the rest counted as dropped.
+func TestCappedRecorderDrops(t *testing.T) {
+	r := NewCapped(3)
+	for i := 0; i < 10; i++ {
+		r.Event(ringEvent(i))
+	}
+	if len(r.Events) != 3 || r.Dropped() != 7 {
+		t.Fatalf("events=%d dropped=%d, want 3/7", len(r.Events), r.Dropped())
+	}
+	for i, ev := range r.Events {
+		if ev.At != vtime.Time(i) {
+			t.Fatalf("kept event %d at %v, want the recorded prefix", i, ev.At)
+		}
+	}
+	u := New()
+	for i := 0; i < 10; i++ {
+		u.Event(ringEvent(i))
+	}
+	if len(u.Events) != 10 || u.Dropped() != 0 {
+		t.Fatalf("unbounded recorder: events=%d dropped=%d, want 10/0", len(u.Events), u.Dropped())
+	}
+}

@@ -25,16 +25,35 @@ func (iv Interval) Contains(t vtime.Time) bool { return t >= iv.From && t < iv.T
 // Overlaps reports whether two intervals intersect.
 func (iv Interval) Overlaps(o Interval) bool { return iv.From < o.To && o.From < iv.To }
 
-// Recorder implements core.Tracer, accumulating every event.
+// Recorder implements core.Tracer, accumulating every event. With
+// MaxEvents > 0 the recorder is capped: once full it drops further
+// events and counts them, bounding memory on long runs while keeping an
+// honest record of what was lost (compare RingRecorder, which prefers
+// the newest events instead).
 type Recorder struct {
 	Events []core.TraceEvent
+	// MaxEvents caps len(Events); <= 0 means unbounded.
+	MaxEvents int
+	dropped   int64
 }
 
-// New returns an empty recorder.
+// New returns an empty, unbounded recorder.
 func New() *Recorder { return &Recorder{} }
 
+// NewCapped returns a recorder that keeps at most max events.
+func NewCapped(max int) *Recorder { return &Recorder{MaxEvents: max} }
+
 // Event implements core.Tracer.
-func (r *Recorder) Event(ev core.TraceEvent) { r.Events = append(r.Events, ev) }
+func (r *Recorder) Event(ev core.TraceEvent) {
+	if r.MaxEvents > 0 && len(r.Events) >= r.MaxEvents {
+		r.dropped++
+		return
+	}
+	r.Events = append(r.Events, ev)
+}
+
+// Dropped reports how many events the cap discarded.
+func (r *Recorder) Dropped() int64 { return r.dropped }
 
 // threadName renders a stable label for an event's thread.
 func threadName(ev core.TraceEvent) string {
@@ -124,6 +143,38 @@ func (r *Recorder) HoldIntervals(name, mutex string) []Interval {
 	}
 	if open {
 		out = append(out, Interval{openAt, r.End()})
+	}
+	return out
+}
+
+// WaitIntervals returns the spans during which the named thread waited
+// for the named mutex: each EvMutex "block" (a suspension in lockSlow or
+// a reacquisition after a condition signal) paired with the matching
+// "grant". A "block" resolved by a plain "lock" instead — the in-kernel
+// re-test won the mutex without suspending — is discarded, mirroring the
+// metrics collector, which counts that path as uncontended. The
+// cross-check test in the metrics package relies on this equivalence:
+// the sum of these intervals equals the collector's wait-histogram sum.
+func (r *Recorder) WaitIntervals(name, mutex string) []Interval {
+	var out []Interval
+	var openAt vtime.Time
+	open := false
+	for _, ev := range r.Events {
+		if ev.Kind != core.EvMutex || ev.Obj != mutex || threadName(ev) != name {
+			continue
+		}
+		switch ev.Arg {
+		case "block":
+			openAt = ev.At
+			open = true
+		case "grant":
+			if open {
+				out = append(out, Interval{openAt, ev.At})
+				open = false
+			}
+		case "lock":
+			open = false
+		}
 	}
 	return out
 }
@@ -228,6 +279,7 @@ func (r *Recorder) Timeline(mutex string, width int) string {
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "%*s  0%s%v\n", labelW, "t", strings.Repeat(" ", width-len(end.String())), end)
+	annotated := false
 	for _, n := range names {
 		row := make([]byte, width)
 		for i := range row {
@@ -264,10 +316,39 @@ func (r *Recorder) Timeline(mutex string, width int) string {
 			}
 			paint(held, '#')
 		}
+		// I/O and socket events as single-column annotations over the
+		// execution line — where the jacket layer blocked or a connection
+		// changed state.
+		for _, ev := range r.Events {
+			var ch byte
+			switch ev.Kind {
+			case core.EvIO:
+				ch = 'i'
+			case core.EvNet:
+				ch = 'n'
+			default:
+				continue
+			}
+			if threadName(ev) != n {
+				continue
+			}
+			col := int(int64(ev.At) * int64(width) / int64(end))
+			if col >= width {
+				col = width - 1
+			}
+			row[col] = ch
+			annotated = true
+		}
 		fmt.Fprintf(&b, "%*s  %s\n", labelW, n, string(row))
 	}
 	b.WriteString(strings.Repeat(" ", labelW+2))
-	b.WriteString("'=' running   '#' running while holding " + mutex + "\n")
+	b.WriteString("'=' running   '#' running while holding " + mutex)
+	if annotated {
+		// The legend grows only when an annotation was painted, so traces
+		// without I/O (Figure 5) render byte-identically to before.
+		b.WriteString("   'i' io   'n' net")
+	}
+	b.WriteString("\n")
 	return b.String()
 }
 

@@ -110,6 +110,9 @@ type (
 	// Explorer receives forced-switch decision points during schedule
 	// exploration (record/replay, PCT, bounded search).
 	Explorer = core.Explorer
+	// MetricsSink receives profiling events (internal/metrics.Collector
+	// is the standard implementation; attach via Config.Metrics).
+	MetricsSink = core.MetricsSink
 	// SwitchPoint classifies where an Explorer decision is taken.
 	SwitchPoint = core.SwitchPoint
 

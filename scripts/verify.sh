@@ -29,3 +29,24 @@ go run ./examples/webserver > /dev/null
 go run ./cmd/ptexplore -workload sock-echo -policy bounded -bound 1 -expect clean
 go run ./cmd/ptexplore -workload sock-lost-wakeup -policy bounded -bound 1 -races -expect found
 go run ./cmd/ptexplore -workload sock-lost-wakeup-fixed -policy bounded -bound 1 -expect clean
+
+# Profiler smoke: ptprof must self-check (deterministic chrome + profile
+# JSON exports, 100% virtual-time attribution) on the webserver workload;
+# the inversion watchdog must fire on the no-protocol Figure 5 scenario
+# and stay quiet under priority inheritance and ceiling.
+go run ./cmd/ptprof -workload webserver -check -q
+go run ./cmd/ptprof -workload inversion -expect inversion -q
+go run ./cmd/ptprof -workload inversion-inherit -expect clean -q
+go run ./cmd/ptprof -workload inversion-ceiling -expect clean -q
+go run ./cmd/ptprof -workload deadlock -expect deadlock -q
+
+# Metrics-off observer check: the base report must be deterministic,
+# and `ptreport -profile` must reproduce it byte-for-byte as a prefix —
+# attaching the collector to the profile workloads changes nothing in
+# the metrics-off sections, because the hooks are nil checks and
+# nothing else.
+a="$(go run ./cmd/ptreport)"
+b="$(go run ./cmd/ptreport)"
+[ "$a" = "$b" ]
+p="$(go run ./cmd/ptreport -profile)"
+case "$p" in "$a"*) ;; *) echo "ptreport -profile diverges from the base report" >&2; exit 1 ;; esac
