@@ -604,6 +604,104 @@ func BenchmarkNetEcho(b *testing.B) {
 	}
 }
 
+// BenchmarkC10KEcho is BenchmarkNetEcho under population pressure:
+// 10,000 other threads sit parked in Read on their own connections
+// while the active pair echoes. The per-descriptor wait maps, pooled
+// completions, and ring-buffer ready queues must keep the round trip at
+// the same cost it has with an empty house (BENCH_host.json's c10k
+// section records the full ladder).
+func BenchmarkC10KEcho(b *testing.B) {
+	const parked = 10000
+	s := pthreads.New(pthreads.Config{PoolSize: parked + 4})
+	err := s.Run(func() {
+		x := pthreads.NewIO(s, pthreads.NetConfig{})
+		l, err := x.Listen("echo", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		attr := pthreads.DefaultAttr()
+		attr.Name = "server"
+		server, _ := s.Create(attr, func(any) any {
+			c, err := l.Accept()
+			if err != nil {
+				return nil
+			}
+			for {
+				n, err := c.Read(64)
+				if err != nil {
+					break // EOF: the client finished
+				}
+				c.Write(n)
+			}
+			c.Close()
+			return nil
+		}, nil)
+
+		lp, err := x.Listen("park", 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pattr := pthreads.DefaultAttr()
+		pattr.Priority = s.Self().Priority() + 1
+		held := make([]*pthreads.Conn, 0, parked)
+		parkers := make([]*pthreads.Thread, 0, parked)
+		for i := 0; i < parked; i++ {
+			th, err := s.Create(pattr, func(any) any {
+				c, err := x.Dial("park")
+				if err != nil {
+					return err
+				}
+				c.Read(1) // parks until the held end closes
+				c.Close()
+				return nil
+			}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			parkers = append(parkers, th)
+			sc, err := lp.Accept()
+			if err != nil {
+				b.Fatal(err)
+			}
+			held = append(held, sc)
+		}
+
+		c, err := x.Dial("echo")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		v0 := s.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Write(64); err != nil {
+				b.Fatal(err)
+			}
+			got := 0
+			for got < 64 {
+				n, err := c.Read(64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got += n
+			}
+		}
+		b.StopTimer()
+		reportVirtual(b, s, v0, b.N)
+		c.Close()
+		s.Join(server)
+		for _, sc := range held {
+			sc.Close()
+		}
+		for _, th := range parkers {
+			s.Join(th)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
 // benchMutexMetrics is Table 2 row 3 (uncontended lock/unlock) with an
 // optional metrics sink attached: the pair pins the cost of the
 // profiling hooks on the hottest path. Both modes must report

@@ -4,30 +4,38 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"os/exec"
 	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
+
+	"pthreads/internal/eval"
 )
 
 // Host-benchmark mode: -host runs the repository's hot-path Go
 // benchmarks on the host machine (real nanoseconds, not virtual time)
-// and writes the parsed results as JSON. Checked-in snapshots of this
-// file (BENCH_host.json) form the performance trajectory of the
-// reproduction itself across PRs, alongside the virtual-time tables that
-// must never move.
+// and writes the parsed results as JSON. The file keeps the latest run
+// at the top level and every previous run in a history array, so the
+// checked-in BENCH_host.json carries the performance trajectory of the
+// reproduction itself across PRs, alongside the virtual-time tables
+// that must never move. -c10k runs the thread-scaling suite and merges
+// its section into the same document.
 //
 // Regenerate with:
 //
 //	go run ./cmd/ptbench -host
+//	go run ./cmd/ptbench -c10k
 //
 // The default pattern covers the scheduler-queue and synchronization
 // fast paths plus the core composite latencies; -hostbench overrides it.
 const defaultHostPattern = "EnqueueDequeue|PeekMaxLoaded|Remove$|MutexNoContention|" +
-	"MutexProtocols|ContextSwitch$|SemaphoreSync$|ThreadCreate$|RingRecorderEvent|NetEcho|" +
+	"MutexProtocols|ContextSwitch$|SemaphoreSync$|ThreadCreate$|RingRecorderEvent|NetEcho$|" +
 	"MutexMetricsOn$|MutexMetricsOff$|DispatchMetricsOn$|DispatchMetricsOff$"
 
 // hostBench is one parsed benchmark result line.
@@ -38,20 +46,65 @@ type hostBench struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// hostRun is one -host sweep: the environment it ran in plus its parsed
+// results. The latest run is embedded at the top of the report; earlier
+// runs are kept verbatim in the history array.
+type hostRun struct {
+	GeneratedAt string      `json:"generated_at,omitempty"`
+	GoVersion   string      `json:"go_version"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	Pattern     string      `json:"pattern"`
+	Command     string      `json:"command"`
+	Benches     []hostBench `json:"benches"`
+}
+
+// c10kSection is the thread-scaling suite's slot in the report.
+type c10kSection struct {
+	GeneratedAt string           `json:"generated_at,omitempty"`
+	Command     string           `json:"command"`
+	Points      []eval.C10KPoint `json:"points"`
+}
+
 // hostReport is the BENCH_host.json document.
 type hostReport struct {
-	GoVersion string      `json:"go_version"`
-	GOOS      string      `json:"goos"`
-	GOARCH    string      `json:"goarch"`
-	Pattern   string      `json:"pattern"`
-	Command   string      `json:"command"`
-	Benches   []hostBench `json:"benches"`
+	hostRun
+	C10K    *c10kSection `json:"c10k,omitempty"`
+	History []hostRun    `json:"history,omitempty"`
+}
+
+// loadHostReport reads an existing report so a new run can extend it; a
+// missing file yields an empty report, a corrupt one an error (refuse
+// to silently discard recorded history).
+func loadHostReport(path string) (hostReport, error) {
+	var r hostReport
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return r, nil
+	}
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("parse existing %s: %w", path, err)
+	}
+	return r, nil
+}
+
+func writeHostReport(path string, r hostReport) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // benchLine matches "BenchmarkName-8   123456   97.5 ns/op   0 B/op ...".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
-// runHost executes the benchmarks and writes the JSON report to outPath.
+// runHost executes the benchmarks and merges the results into the JSON
+// report at outPath: the previous latest run (if any) is pushed onto
+// the history array, and any recorded C10k section is carried forward.
 func runHost(pattern, outPath string) error {
 	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem", "-count", "1", "./..."}
 	cmd := exec.Command("go", args...)
@@ -63,12 +116,13 @@ func runHost(pattern, outPath string) error {
 		return fmt.Errorf("go test -bench: %w", err)
 	}
 
-	report := hostReport{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Pattern:   pattern,
-		Command:   "go " + strings.Join(args, " "),
+	run := hostRun{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Pattern:     pattern,
+		Command:     "go " + strings.Join(args, " "),
 	}
 
 	pkg := ""
@@ -96,23 +150,62 @@ func runHost(pattern, outPath string) error {
 			}
 			b.Metrics[fields[i+1]] = v
 		}
-		report.Benches = append(report.Benches, b)
+		run.Benches = append(run.Benches, b)
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	if len(report.Benches) == 0 {
+	if len(run.Benches) == 0 {
 		return fmt.Errorf("no benchmark lines matched pattern %q", pattern)
 	}
 
-	out, err := json.MarshalIndent(report, "", "  ")
+	report, err := loadHostReport(outPath)
 	if err != nil {
 		return err
 	}
-	out = append(out, '\n')
-	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+	if len(report.Benches) > 0 {
+		report.History = append(report.History, report.hostRun)
+	}
+	report.hostRun = run
+	if err := writeHostReport(outPath, report); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "ptbench: wrote %d results to %s\n", len(report.Benches), outPath)
+	fmt.Fprintf(os.Stderr, "ptbench: wrote %d results to %s (%d prior runs in history)\n",
+		len(run.Benches), outPath, len(report.History))
+	return nil
+}
+
+// runC10K runs the thread-scaling suite up to maxThreads, prints the
+// table, and merges the points into the report's c10k section (the
+// benches and history are untouched).
+func runC10K(maxThreads, reps int, outPath string) error {
+	var sizes []int
+	for _, n := range eval.C10KSizes {
+		if n <= maxThreads {
+			sizes = append(sizes, n)
+		}
+	}
+	if len(sizes) == 0 {
+		return fmt.Errorf("-c10kmax %d admits no ladder sizes %v", maxThreads, eval.C10KSizes)
+	}
+	pts, err := eval.RunC10K(sizes, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.FormatC10K(pts))
+
+	report, err := loadHostReport(outPath)
+	if err != nil {
+		return err
+	}
+	report.C10K = &c10kSection{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Command:     fmt.Sprintf("go run ./cmd/ptbench -c10k -c10kmax %d -c10kreps %d", maxThreads, reps),
+		Points:      pts,
+	}
+	if err := writeHostReport(outPath, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ptbench: merged %d c10k points into %s\n", len(pts), outPath)
 	return nil
 }

@@ -26,12 +26,19 @@ func main() {
 	attrib := flag.Bool("attrib", false, "print the context-switch cost attribution")
 	netio := flag.Bool("net", false, "run the blocking-I/O jacket pressure scenario")
 	host := flag.Bool("host", false, "run host-machine Go benchmarks and write JSON")
-	hostOut := flag.String("hostout", "BENCH_host.json", "output path for -host results")
+	hostOut := flag.String("hostout", "BENCH_host.json", "output path for -host and -c10k results")
 	hostBench := flag.String("hostbench", defaultHostPattern, "benchmark pattern for -host")
+	c10k := flag.Bool("c10k", false, "run the C10k thread-scaling suite and merge into the JSON")
+	c10kMax := flag.Int("c10kmax", 10000, "largest thread count for -c10k")
+	c10kReps := flag.Int("c10kreps", 3, "repetitions per -c10k point (min host cost kept)")
 	flag.Parse()
 
 	if *host {
 		exitOn(runHost(*hostBench, *hostOut))
+		return
+	}
+	if *c10k {
+		exitOn(runC10K(*c10kMax, *c10kReps, *hostOut))
 		return
 	}
 	if *ablation {

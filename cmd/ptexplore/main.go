@@ -46,6 +46,7 @@ func main() {
 		check    = flag.Bool("check-replay", false, "record a run, replay it twice, verify byte-identical traces")
 		races    = flag.Bool("races", false, "always run the race checker (on by default for failing runs)")
 		expect   = flag.String("expect", "", "CI assertion: found or clean")
+		parallel = flag.Int("parallel", 1, "worker goroutines for the sweep (0 = GOMAXPROCS); results are byte-identical for any value")
 		nPhil    = flag.Int("philosophers", 3, "philosophers workloads: table size")
 		meals    = flag.Int("meals", 1, "philosophers workloads: meals per philosopher")
 		threads  = flag.Int("threads", 3, "counter workloads: worker threads")
@@ -65,9 +66,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ptexplore: unknown workload %q (try -list)\n", *workload)
 		os.Exit(2)
 	}
+	nw := *parallel
+	if nw == 0 {
+		nw = -1 // Options.Parallel: negative = GOMAXPROCS
+	}
 	opts := explore.Options{
 		MaxRuns: *maxRuns, Bound: *bound, LockOnly: *lockOnly,
 		Seeds: *seeds, SeedBase: *seedBase, Depth: *depth, Horizon: *horizon,
+		Parallel: nw,
 	}
 
 	switch {

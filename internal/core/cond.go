@@ -98,7 +98,8 @@ func (c *Cond) wait(m *Mutex, d vtime.Duration) error {
 	}
 
 	if d >= 0 {
-		t.waitTimer = s.kern.SetTimerInternal(s.proc, sigalrm, d, &timedWaitTag{t: t, c: c})
+		t.cvTag.t, t.cvTag.c = t, c
+		t.waitTimer = s.kern.SetTimerInternal(s.proc, sigalrm, d, &t.cvTag)
 	}
 
 	// Release the mutex atomically with the suspension: we are inside

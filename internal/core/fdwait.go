@@ -57,10 +57,21 @@ type fdWaitTag struct {
 	t *Thread
 }
 
-// fdName renders a queue label for traces. Call sites guard on the
-// tracer, so the formatting costs nothing when tracing is off.
-func fdName(fd unixkern.FD, dir FDDir) string {
-	return "fd" + strconv.Itoa(int(fd)) + "/" + dir.String()
+// fdLabel returns the interned queue label for traces ("fd3/read").
+// Call sites guard on the tracer, so when tracing is off neither the
+// formatting nor the cache is ever touched; with tracing on, each
+// (fd, dir) pair is formatted exactly once.
+func (s *System) fdLabel(fd unixkern.FD, dir FDDir) string {
+	key := fdKey{fd: fd, dir: dir}
+	if name, ok := s.fdNames[key]; ok {
+		return name
+	}
+	if s.fdNames == nil {
+		s.fdNames = make(map[fdKey]string)
+	}
+	name := "fd" + strconv.Itoa(int(fd)) + "/" + dir.String()
+	s.fdNames[key] = name
+	return name
 }
 
 // FDBlockingCall is the jacket primitive: it runs attempt inside the
@@ -80,6 +91,26 @@ func fdName(fd unixkern.FD, dir FDDir) string {
 // after the handler ran); cancellation terminates it as an interruption
 // point.
 func (s *System) FDBlockingCall(fd unixkern.FD, dir FDDir, what string, timeout vtime.Duration, attempt func() (done, more bool)) error {
+	return s.fdBlocking(fd, dir, what, timeout, nil, attempt)
+}
+
+// FDOp is the allocation-free form of a jacket attempt: a reusable
+// operation struct stored in an interface instead of a fresh closure per
+// call. Attempt has the same contract as FDBlockingCall's attempt.
+type FDOp interface {
+	Attempt() (done, more bool)
+}
+
+// FDBlockingOp is FDBlockingCall for pooled operation structs. The jacket
+// layer (internal/io) keeps a free list of these, so a steady-state
+// read/write loop allocates nothing.
+func (s *System) FDBlockingOp(fd unixkern.FD, dir FDDir, what string, timeout vtime.Duration, op FDOp) error {
+	return s.fdBlocking(fd, dir, what, timeout, op, nil)
+}
+
+// fdBlocking is the shared jacket loop; exactly one of op and attempt is
+// non-nil. The virtual costs charged are identical for both forms.
+func (s *System) fdBlocking(fd unixkern.FD, dir FDDir, what string, timeout vtime.Duration, op FDOp, attempt func() (done, more bool)) error {
 	s.TestCancel()
 	t := s.current
 	var deadline vtime.Time
@@ -88,7 +119,12 @@ func (s *System) FDBlockingCall(fd unixkern.FD, dir FDDir, what string, timeout 
 	}
 	s.enterKernel()
 	for {
-		done, more := attempt()
+		var done, more bool
+		if op != nil {
+			done, more = op.Attempt()
+		} else {
+			done, more = attempt()
+		}
 		if done {
 			if more {
 				s.fdWakeTop(fd, dir, "chain")
@@ -108,18 +144,19 @@ func (s *System) FDBlockingCall(fd unixkern.FD, dir FDDir, what string, timeout 
 			if rem <= 0 {
 				s.stats.FDTimeouts++
 				if s.tracer != nil {
-					s.traceObj(EvIO, t, fdName(fd, dir), "timeout", what)
+					s.traceObj(EvIO, t, s.fdLabel(fd, dir), "timeout", what)
 				}
 				s.leaveKernel()
 				return ETIMEDOUT.Or()
 			}
-			t.waitTimer = s.kern.SetTimerInternal(s.proc, sigalrm, rem, &fdWaitTag{t: t})
+			t.fdTag.t = t
+			t.waitTimer = s.kern.SetTimerInternal(s.proc, sigalrm, rem, &t.fdTag)
 		}
 		s.fdEnqueue(fd, dir, t)
 		t.wake = wakeNone
 		s.stats.FDWaits++
 		if s.tracer != nil {
-			s.traceObj(EvIO, t, fdName(fd, dir), "block", what)
+			s.traceObj(EvIO, t, s.fdLabel(fd, dir), "block", what)
 		}
 		blockedAt := s.clock.Now()
 		s.blockCurrent(BlockFD, what)
@@ -145,7 +182,7 @@ func (s *System) FDBlockingCall(fd unixkern.FD, dir FDDir, what string, timeout 
 			// (fake call) and the jacket call reports EINTR.
 			s.stats.FDEINTRs++
 			if s.tracer != nil {
-				s.traceObj(EvIO, t, fdName(fd, dir), "eintr", what)
+				s.traceObj(EvIO, t, s.fdLabel(fd, dir), "eintr", what)
 			}
 			return EINTR.Or()
 		case wakeCancel:
@@ -202,7 +239,7 @@ func (s *System) fdWakeTop(fd unixkern.FD, dir FDDir, why string) {
 	t.wake = wakeIO
 	s.stats.FDWakeups++
 	if s.tracer != nil {
-		s.traceObj(EvIO, t, fdName(fd, dir), "wake", why)
+		s.traceObj(EvIO, t, s.fdLabel(fd, dir), "wake", why)
 	}
 	s.makeReady(t, false)
 	s.fdRecycle(key, q)
@@ -226,7 +263,7 @@ func (s *System) fdWakeAll(fd unixkern.FD, dir FDDir, why string) {
 		t.wake = wakeIO
 		s.stats.FDWakeups++
 		if s.tracer != nil {
-			s.traceObj(EvIO, t, fdName(fd, dir), "wake", why)
+			s.traceObj(EvIO, t, s.fdLabel(fd, dir), "wake", why)
 		}
 		s.makeReady(t, false)
 	}
@@ -279,6 +316,9 @@ func (s *System) fdCompletion(c *unixkern.IOCompletion) {
 			}
 		}
 	}
+	// The readiness sets are consumed; hand an owned completion back to
+	// its pool (no-op for unowned ones).
+	c.Release()
 }
 
 // FDKickAll wakes every thread waiting on the descriptor, both

@@ -27,7 +27,13 @@ func (s *System) Sleep(d vtime.Duration) vtime.Duration {
 	s.enterKernel()
 	t.waitTimer = s.kern.SetTimer(s.proc, sigalrm, d, t, false)
 	t.wake = wakeNone
-	s.blockCurrent(BlockSleep, fmt.Sprintf("sleep %v", d))
+	// The duration-carrying label is only rendered for traces; the plain
+	// label keeps an untraced sleep storm allocation-free.
+	what := "sleep"
+	if s.tracer != nil {
+		what = fmt.Sprintf("sleep %v", d)
+	}
+	s.blockCurrent(BlockSleep, what)
 
 	switch t.wake {
 	case wakeTimer:

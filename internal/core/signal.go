@@ -209,11 +209,16 @@ func (s *System) universalHandler(sig unixkern.Signal, info *unixkern.SigInfo) {
 // handleCaught processes the signals logged while the kernel flag was
 // set. Runs inside the kernel, from the dispatcher.
 func (s *System) handleCaught() {
-	for len(s.caughtInKernel) > 0 {
-		in := s.caughtInKernel[0]
-		s.caughtInKernel = s.caughtInKernel[1:]
+	// Index iteration instead of re-slicing: the slice may grow while we
+	// drain it (a delivery can re-enter the UNIX kernel and catch more
+	// signals), and resetting to [:0] afterwards keeps the capacity so a
+	// steady stream of in-kernel catches never reallocates the log.
+	for i := 0; i < len(s.caughtInKernel); i++ {
+		in := s.caughtInKernel[i]
+		s.caughtInKernel[i] = nil
 		s.deliverToLibrary(in)
 	}
+	s.caughtInKernel = s.caughtInKernel[:0]
 }
 
 // deliverToLibrary resolves the receiving thread for a process-level
@@ -237,6 +242,9 @@ func (s *System) deliverToLibrary(info *unixkern.SigInfo) {
 			}
 			s.makeReady(t, false)
 		}
+		// Terminal: tag deliveries never reach user handlers or pending
+		// sets, so the kernel-minted SigInfo can be reclaimed here.
+		s.kern.RecycleSigInfo(info)
 		return
 	}
 
@@ -250,6 +258,7 @@ func (s *System) deliverToLibrary(info *unixkern.SigInfo) {
 			t.wake = wakeTimeout
 			s.makeReady(t, false)
 		}
+		s.kern.RecycleSigInfo(info) // terminal, as above
 		return
 	}
 
@@ -272,6 +281,9 @@ func (s *System) deliverToLibrary(info *unixkern.SigInfo) {
 	if info.Cause == unixkern.CauseIO {
 		if c, ok := info.Datum.(*unixkern.IOCompletion); ok {
 			s.fdCompletion(c)
+			// Terminal: the completion was demultiplexed to the wait
+			// queues; neither it nor the SigInfo is retained.
+			s.kern.RecycleSigInfo(info)
 			return
 		}
 		if t, ok := info.Datum.(*Thread); ok && t != nil && t.state != StateTerminated && !t.dead {
@@ -323,8 +335,9 @@ func (s *System) directAt(t *Thread, info *unixkern.SigInfo) {
 
 	// Rule 1: the thread masked the signal → pend on the thread.
 	if t.sigMask.Has(sig) {
-		if t.pending[sig] != nil {
+		if old := t.pending[sig]; old != nil {
 			s.stats.LostThreadSigs++
+			s.kern.RecycleSigInfo(old) // the overwritten instance is lost
 		}
 		t.pending[sig] = info
 		return
@@ -350,12 +363,14 @@ func (s *System) directAt(t *Thread, info *unixkern.SigInfo) {
 				s.trace(EvState, t, "ready", "time slice expired")
 				s.mState(t)
 			}
+			s.kern.RecycleSigInfo(info) // terminal: consumed by the slice logic
 			return
 		}
 		if t.state == StateBlocked && t.blockReason == BlockSleep {
 			t.waitTimer = 0
 			t.wake = wakeTimer
 			s.makeReady(t, false)
+			s.kern.RecycleSigInfo(info) // terminal: the sleep is satisfied
 			return
 		}
 		// Not suspended: fall through to the remaining rules (a thread

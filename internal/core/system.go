@@ -159,6 +159,9 @@ type System struct {
 	// (fd, direction); emptied queues are recycled through fdPool.
 	fdWait map[fdKey]*sched.Queue[*Thread]
 	fdPool []*sched.Queue[*Thread]
+	// fdNames interns the per-queue trace labels ("fd3/read"), so a
+	// traced I/O workload formats each label once instead of per event.
+	fdNames map[fdKey]string
 
 	pool          []*poolEntry
 	prng          *rand.Rand

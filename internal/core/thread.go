@@ -261,6 +261,14 @@ type Thread struct {
 	waitFD    unixkern.FD
 	waitFDDir FDDir
 	fdWaiting bool
+	// fdTag is the thread's reusable timer datum for timed descriptor
+	// waits: a thread has at most one outstanding fd-wait timer, so the
+	// tag never needs to be allocated per iteration.
+	fdTag fdWaitTag
+	// cvTag is the same for condition-variable timed waits: the expiry
+	// timer is always disarmed (or consumed) before the thread can wait
+	// again, so one tag per thread suffices.
+	cvTag timedWaitTag
 
 	// Simulated stack.
 	stack *hw.Stack

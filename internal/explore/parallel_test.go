@@ -1,0 +1,51 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelBoundedMatchesSequential requires the sharded bounded
+// search to produce the exact Result a sequential search produces — the
+// deterministic-merge property the parallel sweep engine is built on.
+func TestParallelBoundedMatchesSequential(t *testing.T) {
+	for _, broken := range []bool{true, false} {
+		w := PhilosophersWorkload(broken, 3, 1)
+		seq := ExploreBounded(w, Options{Bound: 2, MaxRuns: 2000, LockOnly: true, Parallel: 1})
+		for _, workers := range []int{2, 4, 8} {
+			par := ExploreBounded(w, Options{Bound: 2, MaxRuns: 2000, LockOnly: true, Parallel: workers})
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("broken=%v workers=%d: parallel result diverges\nseq: %+v\npar: %+v", broken, workers, seq, par)
+			}
+		}
+	}
+}
+
+// TestParallelPCTMatchesSequential does the same for the PCT seed sweep:
+// the first failing seed in seed order must win regardless of worker
+// count, with the same ordinal run count.
+func TestParallelPCTMatchesSequential(t *testing.T) {
+	w := RacyCounterWorkload(true, 3, 4)
+	seq := ExplorePCT(w, Options{Seeds: 30, Parallel: 1})
+	for _, workers := range []int{2, 4, 8} {
+		par := ExplorePCT(w, Options{Seeds: 30, Parallel: workers})
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: parallel PCT result diverges\nseq: %+v\npar: %+v", workers, seq, par)
+		}
+	}
+}
+
+// TestParallelCleanSweepRunCount checks the run accounting of a clean
+// sweep: every enumerated schedule within the bound is executed exactly
+// once for any worker count.
+func TestParallelCleanSweepRunCount(t *testing.T) {
+	w := PhilosophersWorkload(false, 3, 1)
+	seq := ExploreBounded(w, Options{Bound: 1, MaxRuns: 2000, LockOnly: true, Parallel: 1})
+	par := ExploreBounded(w, Options{Bound: 1, MaxRuns: 2000, LockOnly: true, Parallel: 4})
+	if seq.Found || par.Found {
+		t.Fatalf("fixed philosophers found a failure: seq=%+v par=%+v", seq, par)
+	}
+	if seq.Runs != par.Runs {
+		t.Fatalf("clean sweep run counts diverge: seq %d, par %d", seq.Runs, par.Runs)
+	}
+}

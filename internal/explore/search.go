@@ -2,6 +2,9 @@ package explore
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"pthreads/internal/core"
 )
@@ -25,6 +28,23 @@ type Options struct {
 	// switch points the d-1 change points are sampled over (default 1000).
 	Depth   int
 	Horizon int
+	// Parallel is the number of worker goroutines executing runs
+	// (0 or 1 = sequential; negative = GOMAXPROCS). Every run owns an
+	// isolated System, so the sweep is embarrassingly parallel; results
+	// are merged in enumeration order, making the aggregate output
+	// byte-identical to a sequential sweep regardless of worker count.
+	Parallel int
+}
+
+// workers resolves the Parallel option to an effective worker count.
+func (o Options) workers() int {
+	switch {
+	case o.Parallel < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Parallel == 0:
+		return 1
+	}
+	return o.Parallel
 }
 
 func (o Options) withDefaults() Options {
@@ -72,61 +92,141 @@ func (r Result) String() string {
 }
 
 // ExplorePCT sweeps PCT seeds until a run fails or the seed budget is
-// exhausted.
+// exhausted. Seeds are executed in waves of Parallel workers; the first
+// failing seed in seed order wins, and Runs counts its ordinal — so the
+// result is byte-identical to a sequential sweep.
 func ExplorePCT(w Workload, o Options) Result {
 	o = o.withDefaults()
-	runs := 0
-	for i := 0; i < o.Seeds && runs < o.MaxRuns; i++ {
-		seed := o.SeedBase + int64(i)
-		out := RunPCT(w, seed, o.Depth, o.Horizon)
-		runs++
-		if out.Failure != "" {
-			return Result{Found: true, Failure: out.Failure, Policy: "pct", Seed: seed, Schedule: out.Schedule, Runs: runs}
+	total := o.Seeds
+	if total > o.MaxRuns {
+		total = o.MaxRuns
+	}
+	workers := o.workers()
+	wave := workers
+	if wave < 1 {
+		wave = 1
+	}
+	outs := make([]RunOutcome, 0, wave)
+	for base := 0; base < total; base += wave {
+		n := wave
+		if n > total-base {
+			n = total - base
+		}
+		outs = runIndexed(outs[:0], n, workers, func(j int) RunOutcome {
+			return RunPCT(w, o.SeedBase+int64(base+j), o.Depth, o.Horizon)
+		})
+		for j, out := range outs {
+			if out.Failure != "" {
+				seed := o.SeedBase + int64(base+j)
+				return Result{Found: true, Failure: out.Failure, Policy: "pct", Seed: seed, Schedule: out.Schedule, Runs: base + j + 1}
+			}
 		}
 	}
-	return Result{Policy: "pct", Runs: runs}
+	return Result{Policy: "pct", Runs: total}
 }
 
 // ExploreBounded performs the systematic bounded-preemption search: a
-// stateless depth-first enumeration of schedules with at most Bound
-// forced switches. Each run replays a prefix and records the switch
-// points past it; the frontier is extended with every (point, pick)
-// alternative after the prefix's last decision, so each schedule is
-// visited exactly once (the CHESS iteration strategy).
+// stateless enumeration of schedules with at most Bound forced switches.
+// Each run replays a prefix and records the switch points past it; the
+// frontier is extended with every (point, pick) alternative after the
+// prefix's last decision, so each schedule is visited exactly once (the
+// CHESS iteration strategy). The frontier is a FIFO queue processed in
+// chunks of Parallel workers: extensions always append to the back, so
+// the enumeration order — and with it every reported result and run
+// count — is the same for any worker count, including one. The first
+// failure in enumeration order wins.
 func ExploreBounded(w Workload, o Options) Result {
 	o = o.withDefaults()
-	stack := [][]Decision{nil} // start from the unperturbed run
+	queue := [][]Decision{nil} // start from the unperturbed run
+	head := 0
 	runs := 0
-	for len(stack) > 0 && runs < o.MaxRuns {
-		prefix := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		out := runSchedule(w, prefix, nil)
-		runs++
-		if out.Failure != "" {
-			return Result{Found: true, Failure: out.Failure, Policy: "bounded", Schedule: out.Schedule, Runs: runs}
+	workers := o.workers()
+	for head < len(queue) && runs < o.MaxRuns {
+		chunk := workers
+		if chunk < 1 {
+			chunk = 1
 		}
-		if len(prefix) >= o.Bound {
-			continue
+		if rem := o.MaxRuns - runs; chunk > rem {
+			chunk = rem
 		}
-		// Push extensions in reverse so the earliest point is explored
-		// first (LIFO stack).
-		for k := len(out.Points) - 1; k >= 0; k-- {
-			pt := out.Points[k]
-			if pt.NReady == 0 {
+		if avail := len(queue) - head; chunk > avail {
+			chunk = avail
+		}
+		batch := queue[head : head+chunk]
+		outs := runIndexed(nil, chunk, workers, func(j int) RunOutcome {
+			return runSchedule(w, batch[j], nil)
+		})
+		for j, out := range outs {
+			if out.Failure != "" {
+				return Result{Found: true, Failure: out.Failure, Policy: "bounded", Schedule: out.Schedule, Runs: runs + j + 1}
+			}
+		}
+		for j, out := range outs {
+			prefix := batch[j]
+			if len(prefix) >= o.Bound {
 				continue
 			}
-			if o.LockOnly && pt.Kind != core.PointLock {
-				continue
-			}
-			for pick := pt.NReady - 1; pick >= 0; pick-- {
-				ext := make([]Decision, len(prefix), len(prefix)+1)
-				copy(ext, prefix)
-				ext = append(ext, Decision{Index: pt.Index, Pick: pick})
-				stack = append(stack, ext)
+			for _, pt := range out.Points {
+				if pt.NReady == 0 {
+					continue
+				}
+				if o.LockOnly && pt.Kind != core.PointLock {
+					continue
+				}
+				for pick := 0; pick < pt.NReady; pick++ {
+					ext := make([]Decision, len(prefix), len(prefix)+1)
+					ext = append(ext[:copy(ext, prefix)], Decision{Index: pt.Index, Pick: pick})
+					queue = append(queue, ext)
+				}
 			}
 		}
+		// Release the processed prefixes; the queue only grows forward.
+		for j := range batch {
+			queue[head+j] = nil
+		}
+		head += chunk
+		runs += chunk
 	}
 	return Result{Policy: "bounded", Runs: runs}
+}
+
+// runIndexed executes n independent runs, each identified only by its
+// index, and returns the outcomes in index order. With workers > 1 the
+// runs execute concurrently — every run builds its own System, clock,
+// and trace recorder, so nothing is shared — and the deterministic merge
+// is simply the index ordering: worker scheduling cannot affect any
+// observable output. dst (may be nil) is reused as the backing slice.
+func runIndexed(dst []RunOutcome, n, workers int, run func(j int) RunOutcome) []RunOutcome {
+	for cap(dst) < n {
+		dst = append(dst[:cap(dst)], RunOutcome{})
+	}
+	outs := dst[:n]
+	if workers <= 1 || n <= 1 {
+		for j := 0; j < n; j++ {
+			outs[j] = run(j)
+		}
+		return outs
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= n {
+					return
+				}
+				outs[j] = run(j)
+			}
+		}()
+	}
+	wg.Wait()
+	return outs
 }
 
 // Shrink greedily minimizes a failing schedule: it repeatedly tries to

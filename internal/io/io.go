@@ -33,6 +33,12 @@ var EOF = net.EOF
 type IO struct {
 	sys *core.System
 	st  *net.Stack
+
+	// ops pools the jacket's reusable attempt structs (see connOp): one
+	// is checked out for the duration of each blocking read/write and
+	// returned when the call completes, so steady-state I/O allocates
+	// nothing. Safe without a lock: one goroutine runs at a time.
+	ops []*connOp
 }
 
 // New builds the jacket layer over a fresh socket stack for the system's
@@ -119,7 +125,7 @@ func (l *Listener) accept(d vtime.Duration) (*Conn, error) {
 	if l.x.sys.Tracing() {
 		l.x.sys.TraceNet(nc.Name(), "accept", "")
 	}
-	return &Conn{x: l.x, nc: nc}, nil
+	return newConn(l.x, nc), nil
 }
 
 // Close unbinds the listener. Threads blocked in Accept are woken and
@@ -138,6 +144,72 @@ func (l *Listener) Close() error {
 type Conn struct {
 	x  *IO
 	nc *net.Conn
+
+	// Precomputed wait labels ("read sock5->srv"): built once per
+	// endpoint instead of concatenated on every blocking call.
+	readWhat  string
+	writeWhat string
+}
+
+// newConn wraps an established endpoint, precomputing its wait labels.
+func newConn(x *IO, nc *net.Conn) *Conn {
+	return &Conn{x: x, nc: nc, readWhat: "read " + nc.Name(), writeWhat: "write " + nc.Name()}
+}
+
+// connOp is the jacket's pooled core.FDOp: the state the per-call
+// attempt closures used to capture, held in a reusable struct.
+type connOp struct {
+	x     *IO
+	nc    *net.Conn
+	write bool
+	want  int // read: max bytes; write: bytes remaining in this step
+	n     int // bytes moved by the completed attempt
+	opErr error
+}
+
+// Attempt implements core.FDOp with the same logic as the former
+// closures, chain-waking residual readiness.
+func (op *connOp) Attempt() (bool, bool) {
+	if op.write {
+		k, e := op.nc.TryWrite(op.want)
+		if e == net.ErrWouldBlock {
+			return false, false
+		}
+		if k > 0 {
+			op.x.sys.CountFDBytes(k)
+		}
+		op.n, op.opErr = k, e
+		// Chain-wake: space the window still has can serve another writer.
+		return true, op.nc.Writable()
+	}
+	k, e := op.nc.TryRead(op.want)
+	if e == net.ErrWouldBlock {
+		return false, false
+	}
+	if k > 0 {
+		op.x.sys.CountFDBytes(k)
+	}
+	op.n, op.opErr = k, e
+	// Chain-wake: leftover buffered data can serve another reader.
+	return true, op.nc.Readable()
+}
+
+// getOp checks an op out of the pool for one blocking call.
+func (x *IO) getOp(nc *net.Conn, write bool, want int) *connOp {
+	if n := len(x.ops); n > 0 {
+		op := x.ops[n-1]
+		x.ops[n-1] = nil
+		x.ops = x.ops[:n-1]
+		*op = connOp{x: x, nc: nc, write: write, want: want}
+		return op
+	}
+	return &connOp{x: x, nc: nc, write: write, want: want}
+}
+
+// putOp returns a completed op to the pool.
+func (x *IO) putOp(op *connOp) {
+	op.nc, op.opErr = nil, nil
+	x.ops = append(x.ops, op)
 }
 
 // Name labels the endpoint in traces.
@@ -177,7 +249,7 @@ func (x *IO) dial(addr string, d vtime.Duration) (*Conn, error) {
 		nc.Close()
 		return nil, err
 	}
-	return &Conn{x: x, nc: nc}, nil
+	return newConn(x, nc), nil
 }
 
 // Read blocks until at least one byte (up to max) is available and
@@ -193,21 +265,10 @@ func (c *Conn) read(max int, d vtime.Duration) (int, error) {
 	if max < 0 {
 		return 0, core.EINVAL.Or()
 	}
-	var n int
-	var opErr error
-	err := c.x.sys.FDBlockingCall(c.nc.FD(), core.FDRead, "read "+c.nc.Name(), d,
-		func() (bool, bool) {
-			k, e := c.nc.TryRead(max)
-			if e == net.ErrWouldBlock {
-				return false, false
-			}
-			if k > 0 {
-				c.x.sys.CountFDBytes(k)
-			}
-			n, opErr = k, e
-			// Chain-wake: leftover buffered data can serve another reader.
-			return true, c.nc.Readable()
-		})
+	op := c.x.getOp(c.nc, false, max)
+	err := c.x.sys.FDBlockingOp(c.nc.FD(), core.FDRead, c.readWhat, d, op)
+	n, opErr := op.n, op.opErr
+	c.x.putOp(op)
 	if err != nil {
 		return 0, err
 	}
@@ -242,22 +303,11 @@ func (c *Conn) write(n int, d vtime.Duration) (int, error) {
 				return total, core.ETIMEDOUT.Or()
 			}
 		}
-		var opErr error
-		err := c.x.sys.FDBlockingCall(c.nc.FD(), core.FDWrite, "write "+c.nc.Name(), timeout,
-			func() (bool, bool) {
-				k, e := c.nc.TryWrite(n - total)
-				if e == net.ErrWouldBlock {
-					return false, false
-				}
-				if k > 0 {
-					total += k
-					c.x.sys.CountFDBytes(k)
-				}
-				opErr = e
-				// Chain-wake: space the window still has can serve another
-				// writer.
-				return true, c.nc.Writable()
-			})
+		op := c.x.getOp(c.nc, true, n-total)
+		err := c.x.sys.FDBlockingOp(c.nc.FD(), core.FDWrite, c.writeWhat, timeout, op)
+		k, opErr := op.n, op.opErr
+		c.x.putOp(op)
+		total += k
 		if err != nil {
 			return total, err
 		}

@@ -1,0 +1,104 @@
+package net
+
+import "testing"
+
+// Allocation regression tests for the zero-alloc I/O path: the socket
+// layer's per-segment bookkeeping (deferred window updates and segment
+// deliveries, their completions, the kernel's net events and SigInfos,
+// the clock's timer entries) is pooled, so a steady-state echo over an
+// established connection must not allocate at all. The listener backlog
+// keeps its capacity across fill/drain cycles instead of reallocating.
+
+func TestSteadyStateEchoZeroAlloc(t *testing.T) {
+	k, st := newStack(t, Config{})
+	l, err := st.Listen("srv", 4)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	c, err := st.Dial("srv")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	pump(k)
+	sc, err := l.TryAccept()
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+
+	round := func() {
+		if n, err := c.TryWrite(64); n != 64 || err != nil {
+			t.Fatalf("client write: %d, %v", n, err)
+		}
+		pump(k) // delivery + window update
+		if n, err := sc.TryRead(64); n != 64 || err != nil {
+			t.Fatalf("server read: %d, %v", n, err)
+		}
+		pump(k)
+		if n, err := sc.TryWrite(64); n != 64 || err != nil {
+			t.Fatalf("server write: %d, %v", n, err)
+		}
+		pump(k)
+		if n, err := c.TryRead(64); n != 64 || err != nil {
+			t.Fatalf("client read: %d, %v", n, err)
+		}
+		pump(k)
+	}
+	for i := 0; i < 32; i++ {
+		round() // warm the op/event/SigInfo/timer pools
+	}
+	if avg := testing.AllocsPerRun(200, round); avg != 0 {
+		t.Fatalf("steady-state echo round allocates %.2f times (want 0)", avg)
+	}
+}
+
+func TestBacklogCapacityReuse(t *testing.T) {
+	k, st := newStack(t, Config{})
+	l, err := st.Listen("srv", 4)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+
+	cycle := func() {
+		clients := make([]*Conn, 0, 4)
+		for i := 0; i < 4; i++ {
+			c, err := st.Dial("srv")
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			clients = append(clients, c)
+		}
+		pump(k)
+		for _, c := range clients {
+			sc, err := l.TryAccept()
+			if err != nil {
+				t.Fatalf("accept: %v", err)
+			}
+			sc.Close()
+			pump(k)
+			c.Close()
+			pump(k)
+		}
+	}
+
+	cycle()
+	base := cap(l.backlog)
+	if base == 0 {
+		t.Fatal("backlog never grew capacity")
+	}
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	if got := cap(l.backlog); got != base {
+		t.Fatalf("backlog capacity churned: %d after warmup, %d after 8 cycles", base, got)
+	}
+	if len(l.backlog) != 0 {
+		t.Fatalf("backlog not drained: %d queued", len(l.backlog))
+	}
+	// The shift-out path must nil the vacated slots so drained endpoints
+	// are not pinned by the retained capacity.
+	for i, c := range l.backlog[:cap(l.backlog)] {
+		if c != nil {
+			t.Fatalf("drained backlog slot %d still pins a connection", i)
+		}
+	}
+}

@@ -103,6 +103,9 @@ type Stack struct {
 
 	listeners map[string]*Listener
 	stats     Stats
+
+	// opFree pools the per-segment deferred operations (see ops.go).
+	opFree []*sockOp
 }
 
 // NewStack builds a socket stack for a process.

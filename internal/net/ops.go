@@ -1,0 +1,110 @@
+package net
+
+import "pthreads/internal/unixkern"
+
+// This file holds the pooled form of the socket layer's deferred events.
+// The two operations on every data-transfer path — the segment delivery
+// scheduled by TryWrite and the window update scheduled by TryRead —
+// used to capture their state in a fresh closure per call and return a
+// fresh IOCompletion per event. A sockOp replaces both allocations: it
+// is the unixkern.NetApplier run at the event's due time AND the
+// CompletionOwner of the completion it announces, carrying its readiness
+// set inline. One op lives per scheduled event and returns to the
+// stack's free list exactly once: either from ApplyNet itself when there
+// is nothing to announce, or via IOCompletion.Release once the library
+// has demultiplexed the readiness to its wait queues. No locks anywhere:
+// the simulation runs one goroutine at a time by construction.
+//
+// Cold-path events (connect handshakes, FIN/RST on close, listener
+// teardown) keep the closure form — they happen once per connection, not
+// once per segment.
+
+type opKind int
+
+const (
+	// opWindow is TryRead's deferred receive-window update: after the
+	// control message crosses the wire, the peer becomes writable.
+	opWindow opKind = iota
+	// opDeliver is TryWrite's deferred segment delivery: the bytes leave
+	// flight and land in the peer's buffer (or provoke an RST if the
+	// peer is gone), after the segment's wire time.
+	opDeliver
+)
+
+// sockOp is one pooled deferred socket operation. conn is always the
+// endpoint that issued the TryRead/TryWrite.
+type sockOp struct {
+	st   *Stack
+	kind opKind
+	conn *Conn
+	amt  int // bytes delivered (opDeliver)
+
+	comp  unixkern.IOCompletion
+	ready [1]unixkern.IOReady
+}
+
+// newOp mints an op from the stack free list.
+func (st *Stack) newOp(kind opKind, c *Conn, amt int) *sockOp {
+	if n := len(st.opFree); n > 0 {
+		op := st.opFree[n-1]
+		st.opFree[n-1] = nil
+		st.opFree = st.opFree[:n-1]
+		op.kind, op.conn, op.amt = kind, c, amt
+		return op
+	}
+	return &sockOp{st: st, kind: kind, conn: c, amt: amt}
+}
+
+// recycle returns the op to the free list, dropping the connection
+// reference so the pool does not pin dead endpoints.
+func (op *sockOp) recycle() {
+	op.conn = nil
+	op.comp = unixkern.IOCompletion{}
+	op.st.opFree = append(op.st.opFree, op)
+}
+
+// complete stages the op's single-entry readiness set and hands out the
+// inline completion, with the op as its owner.
+func (op *sockOp) complete(r unixkern.IOReady) *unixkern.IOCompletion {
+	op.ready[0] = r
+	op.comp.Ready = op.ready[:1]
+	op.comp.Owner = op
+	return &op.comp
+}
+
+// RecycleCompletion implements unixkern.CompletionOwner: the library (or
+// the kernel, for a completion that was never posted) is done with the
+// readiness set, so the op can be reused.
+func (op *sockOp) RecycleCompletion(*unixkern.IOCompletion) { op.recycle() }
+
+// ApplyNet implements unixkern.NetApplier; it is the pooled equivalent
+// of the closures TryRead and TryWrite used to schedule. A nil return
+// means nothing to announce — the op recycles itself in that case.
+func (op *sockOp) ApplyNet() *unixkern.IOCompletion {
+	c := op.conn
+	switch op.kind {
+	case opWindow:
+		peer := c.peer
+		if peer.closed {
+			op.recycle()
+			return nil
+		}
+		return op.complete(unixkern.IOReady{FD: peer.fd, W: true})
+	case opDeliver:
+		out := c.out()
+		out.inflight -= op.amt
+		peer := c.peer
+		if peer.closed {
+			// Data arrived at a closed endpoint: RST back to the writer.
+			if c.closed {
+				op.recycle()
+				return nil
+			}
+			c.markReset()
+			return op.complete(unixkern.IOReady{FD: c.fd, R: true, W: true})
+		}
+		out.buffered += op.amt
+		return op.complete(unixkern.IOReady{FD: peer.fd, R: true})
+	}
+	panic("net: unknown sockOp kind")
+}

@@ -33,6 +33,7 @@ func (l *Listener) TryAccept() (*Conn, error) {
 	}
 	c := l.backlog[0]
 	copy(l.backlog, l.backlog[1:])
+	l.backlog[len(l.backlog)-1] = nil // don't pin the shifted-out endpoint
 	l.backlog = l.backlog[:len(l.backlog)-1]
 	l.st.stats.Accepted++
 	return c, nil
@@ -60,7 +61,12 @@ func (l *Listener) Close() error {
 			return &unixkern.IOCompletion{Ready: []unixkern.IOReady{{FD: peer.fd, R: true, W: true}}}
 		})
 	}
-	l.backlog = nil
+	// Clear without releasing capacity (a closed listener keeps no
+	// references; the slice header is reused if the Listener ever is).
+	for i := range l.backlog {
+		l.backlog[i] = nil
+	}
+	l.backlog = l.backlog[:0]
 	l.st.p.CloseFD(l.fd)
 	return nil
 }
@@ -189,13 +195,7 @@ func (c *Conn) TryRead(max int) (int, error) {
 	}
 	c.in.buffered -= n
 	c.st.stats.BytesRecvd += int64(n)
-	peer := c.peer
-	c.st.k.NetAfter(c.st.p, c.st.cfg.WireSetup, func() *unixkern.IOCompletion {
-		if peer.closed {
-			return nil
-		}
-		return &unixkern.IOCompletion{Ready: []unixkern.IOReady{{FD: peer.fd, W: true}}}
-	})
+	c.st.k.NetAfterOp(c.st.p, c.st.cfg.WireSetup, c.st.newOp(opWindow, c, 0))
 	return n, nil
 }
 
@@ -227,25 +227,10 @@ func (c *Conn) TryWrite(n int) (int, error) {
 	if n > space {
 		n = space
 	}
-	out := c.out()
-	out.inflight += n
+	c.out().inflight += n
 	c.st.stats.BytesSent += int64(n)
 	c.st.stats.Segments++
-	peer := c.peer
-	amt := n
-	c.st.dev.Send(c.st.p, amt, 0, func() *unixkern.IOCompletion {
-		out.inflight -= amt
-		if peer.closed {
-			// Data arrived at a closed endpoint: RST back to the writer.
-			if c.closed {
-				return nil
-			}
-			c.markReset()
-			return &unixkern.IOCompletion{Ready: []unixkern.IOReady{{FD: c.fd, R: true, W: true}}}
-		}
-		out.buffered += amt
-		return &unixkern.IOCompletion{Ready: []unixkern.IOReady{{FD: peer.fd, R: true}}}
-	})
+	c.st.dev.SendOp(c.st.p, n, 0, c.st.newOp(opDeliver, c, n))
 	return n, nil
 }
 

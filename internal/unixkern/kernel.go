@@ -81,6 +81,16 @@ type Kernel struct {
 
 	aioNext     int64
 	aioInflight map[AioID]*aioRequest
+
+	// Free lists for the event-delivery hot path. The kernel mints a
+	// timerPayload per armed timer, a netEvent per scheduled network
+	// transition, and a SigInfo per generated signal; all three are
+	// recycled at their consumption points so a steady-state I/O or
+	// timer workload allocates nothing. No locks: the simulation is
+	// single-goroutine-at-a-time by construction.
+	timerPlFree []*timerPayload
+	netEvFree   []*netEvent
+	sigFree     []*SigInfo
 }
 
 // New creates a kernel over the given machine model with a fresh clock.
@@ -227,11 +237,15 @@ func (k *Kernel) Post(p *Process, info *SigInfo) {
 	sig := info.Sig
 	act := p.actions[sig]
 	if act.disp == DispIgnore {
+		k.dropSigInfo(info)
 		return
 	}
 	if p.mask.Has(sig) && sig.Maskable() {
-		if p.pending[sig] != nil {
+		if old := p.pending[sig]; old != nil {
+			// UNIX semantics: the second instance is lost. A pooled
+			// SigInfo that will never be delivered goes straight back.
 			k.LostSignals++
+			k.dropSigInfo(old)
 		}
 		p.pending[sig] = info
 		return
@@ -244,9 +258,11 @@ func (k *Kernel) deliver(p *Process, info *SigInfo) {
 	act := p.actions[info.Sig]
 	switch act.disp {
 	case DispIgnore:
+		k.dropSigInfo(info)
 		return
 	case DispDefault:
-		k.defaultAction(p, info.Sig)
+		k.defaultAction(p, info.Sig) // may terminate the process
+		k.dropSigInfo(info)
 		return
 	}
 
@@ -332,6 +348,76 @@ func (k *Kernel) defaultAction(p *Process, sig Signal) {
 	}
 }
 
+// --- Event free lists ------------------------------------------------------
+
+// newSigInfo mints a kernel-generated SigInfo from the free list.
+func (k *Kernel) newSigInfo(sig Signal, cause Cause, datum any, timeSlice bool) *SigInfo {
+	if n := len(k.sigFree); n > 0 {
+		in := k.sigFree[n-1]
+		k.sigFree[n-1] = nil
+		k.sigFree = k.sigFree[:n-1]
+		*in = SigInfo{Sig: sig, Cause: cause, Datum: datum, TimeSlice: timeSlice, pooled: true}
+		return in
+	}
+	return &SigInfo{Sig: sig, Cause: cause, Datum: datum, TimeSlice: timeSlice, pooled: true}
+}
+
+// dropSigInfo reclaims a signal that will never reach a handler
+// (ignored, default-actioned, or lost by a pending overwrite): an owned
+// completion riding as its datum is released to its pool — nobody else
+// will ever demultiplex it — and the SigInfo itself is recycled.
+func (k *Kernel) dropSigInfo(info *SigInfo) {
+	if c, ok := info.Datum.(*IOCompletion); ok {
+		c.Release()
+	}
+	k.RecycleSigInfo(info)
+}
+
+// RecycleSigInfo returns a kernel-minted SigInfo to the free list once
+// its consumer is done with it. The library calls it at the terminal
+// points of its delivery model — deliveries that can never be re-posted,
+// retained in a thread's pending set, or observed by user handlers.
+// Recycling a SigInfo the kernel did not mint is a no-op, so callers
+// need not distinguish.
+func (k *Kernel) RecycleSigInfo(in *SigInfo) {
+	if in == nil || !in.pooled {
+		return
+	}
+	*in = SigInfo{}
+	k.sigFree = append(k.sigFree, in)
+}
+
+// newTimerPayload mints a timer payload from the free list.
+func (k *Kernel) newTimerPayload(p *Process, sig Signal, datum any, timeSlice bool) *timerPayload {
+	if n := len(k.timerPlFree); n > 0 {
+		pl := k.timerPlFree[n-1]
+		k.timerPlFree[n-1] = nil
+		k.timerPlFree = k.timerPlFree[:n-1]
+		*pl = timerPayload{p: p, sig: sig, datum: datum, timeSlice: timeSlice}
+		return pl
+	}
+	return &timerPayload{p: p, sig: sig, datum: datum, timeSlice: timeSlice}
+}
+
+func (k *Kernel) recycleTimerPayload(pl *timerPayload) {
+	*pl = timerPayload{}
+	k.timerPlFree = append(k.timerPlFree, pl)
+}
+
+// cancelTimer disarms a clock event and, when its payload is a pooled
+// timerPayload, reclaims it immediately — the common fate of a timed
+// wait that is satisfied before its timeout fires.
+func (k *Kernel) cancelTimer(id vtime.TimerID) bool {
+	pl, ok := k.Clock.CancelTake(id)
+	if !ok {
+		return false
+	}
+	if tp, isTimer := pl.(*timerPayload); isTimer {
+		k.recycleTimerPayload(tp)
+	}
+	return true
+}
+
 // --- Timers ---------------------------------------------------------------
 
 type timerPayload struct {
@@ -348,7 +434,7 @@ type timerPayload struct {
 // setitimer/alarm; the syscall is charged here.
 func (k *Kernel) SetTimer(p *Process, sig Signal, d vtime.Duration, datum any, timeSlice bool) vtime.TimerID {
 	k.countSyscall("setitimer")
-	pl := &timerPayload{p: p, sig: sig, datum: datum, timeSlice: timeSlice}
+	pl := k.newTimerPayload(p, sig, datum, timeSlice)
 	pl.id = k.Clock.ScheduleAfter(d, pl)
 	return pl.id
 }
@@ -356,7 +442,7 @@ func (k *Kernel) SetTimer(p *Process, sig Signal, d vtime.Duration, datum any, t
 // CancelTimer disarms a timer.
 func (k *Kernel) CancelTimer(id vtime.TimerID) bool {
 	k.countSyscall("setitimer")
-	return k.Clock.Cancel(id)
+	return k.cancelTimer(id)
 }
 
 // ArmQuantum arms a time-slice expiration d from now, posting SIGALRM with
@@ -364,7 +450,7 @@ func (k *Kernel) CancelTimer(id vtime.TimerID) bool {
 // the library set up at initialization, so no per-arm system call is
 // charged.
 func (k *Kernel) ArmQuantum(p *Process, d vtime.Duration, datum any) vtime.TimerID {
-	pl := &timerPayload{p: p, sig: SIGALRM, datum: datum, timeSlice: true}
+	pl := k.newTimerPayload(p, SIGALRM, datum, true)
 	pl.id = k.Clock.ScheduleAfter(d, pl)
 	return pl.id
 }
@@ -372,14 +458,14 @@ func (k *Kernel) ArmQuantum(p *Process, d vtime.Duration, datum any) vtime.Timer
 // DisarmQuantum cancels a quantum armed with ArmQuantum, without a syscall
 // charge.
 func (k *Kernel) DisarmQuantum(id vtime.TimerID) bool {
-	return k.Clock.Cancel(id)
+	return k.cancelTimer(id)
 }
 
 // SetTimerInternal arms a timer riding the library's standing interval
 // timer (like ArmQuantum, but for arbitrary library-internal timeouts
 // such as condition-variable timed waits): no system call is charged.
 func (k *Kernel) SetTimerInternal(p *Process, sig Signal, d vtime.Duration, datum any) vtime.TimerID {
-	pl := &timerPayload{p: p, sig: sig, datum: datum}
+	pl := k.newTimerPayload(p, sig, datum, false)
 	pl.id = k.Clock.ScheduleAfter(d, pl)
 	return pl.id
 }
@@ -387,7 +473,7 @@ func (k *Kernel) SetTimerInternal(p *Process, sig Signal, d vtime.Duration, datu
 // DisarmInternal cancels a library-internal timer without a syscall
 // charge.
 func (k *Kernel) DisarmInternal(id vtime.TimerID) bool {
-	return k.Clock.Cancel(id)
+	return k.cancelTimer(id)
 }
 
 // Poll processes every due clock event, generating the corresponding
@@ -403,15 +489,33 @@ func (k *Kernel) Poll() int {
 		n++
 		switch pl := ev.Payload.(type) {
 		case *timerPayload:
-			k.Post(pl.p, &SigInfo{Sig: pl.sig, Cause: CauseTimer, Datum: pl.datum, TimeSlice: pl.timeSlice})
+			// Copy the payload fields out and recycle the struct before
+			// posting: the signal handler may arm fresh timers.
+			p, sig, datum, timeSlice := pl.p, pl.sig, pl.datum, pl.timeSlice
+			k.recycleTimerPayload(pl)
+			k.Post(p, k.newSigInfo(sig, CauseTimer, datum, timeSlice))
 		case *aioRequest:
 			pl.done = true
-			k.Post(pl.p, &SigInfo{Sig: SIGIO, Cause: CauseIO, Datum: pl.datum})
+			k.Post(pl.p, k.newSigInfo(SIGIO, CauseIO, pl.datum, false))
 		case *netEvent:
 			// Deferred network-state transition (see netdev.go): apply it,
-			// then announce any descriptors it made ready via SIGIO.
-			if comp := pl.apply(); comp != nil && len(comp.Ready) > 0 {
-				k.Post(pl.p, &SigInfo{Sig: SIGIO, Cause: CauseIO, Datum: comp})
+			// then announce any descriptors it made ready via SIGIO. The
+			// netEvent is consumed here; recycle it before posting, since
+			// the delivery may schedule further network events.
+			var comp *IOCompletion
+			if pl.applier != nil {
+				comp = pl.applier.ApplyNet()
+			} else {
+				comp = pl.apply()
+			}
+			p := pl.p
+			k.recycleNetEvent(pl)
+			if comp != nil && len(comp.Ready) > 0 {
+				k.Post(p, k.newSigInfo(SIGIO, CauseIO, comp, false))
+			} else {
+				// Nothing to announce: hand an owned completion straight
+				// back to its pool.
+				comp.Release()
 			}
 		default:
 			panic(fmt.Sprintf("unixkern: unknown clock event payload %T", ev.Payload))

@@ -22,24 +22,80 @@ type IOReady struct {
 	All bool
 }
 
+// CompletionOwner is implemented by layers that pool their IOCompletions
+// (the socket layer's operation structs). Release hands a consumed
+// completion back to whoever minted it.
+type CompletionOwner interface {
+	RecycleCompletion(c *IOCompletion)
+}
+
 // IOCompletion is the SIGIO datum for descriptor-based I/O: the set of
 // descriptors the completing event made ready.
 type IOCompletion struct {
 	Ready []IOReady
+
+	// Owner, when set, is notified by Release once the completion has
+	// been demultiplexed to the per-descriptor wait queues and can be
+	// reused. Completions with no owner are garbage-collected as before.
+	Owner CompletionOwner
 }
 
-// netEvent is a deferred network-state transition. Poll runs apply at the
-// due time and posts SIGIO for any readiness it returns.
+// Release returns a consumed completion to its owner's pool. The library
+// calls it exactly once, after the descriptor sets have been
+// demultiplexed; it is a no-op for unowned completions.
+func (c *IOCompletion) Release() {
+	if c != nil && c.Owner != nil {
+		c.Owner.RecycleCompletion(c)
+	}
+}
+
+// NetApplier is the allocation-free form of a deferred network-state
+// transition: a pooled operation struct stored in an interface (no boxing
+// allocation) instead of a fresh closure per event. ApplyNet runs at the
+// event's due time and returns the readiness to announce, or nil for
+// none — in the nil case the applier must have reclaimed itself.
+type NetApplier interface {
+	ApplyNet() *IOCompletion
+}
+
+// netEvent is a deferred network-state transition. Poll runs the applier
+// (or the closure form) at the due time and posts SIGIO for any readiness
+// it returns. netEvents are pooled: each is recycled as soon as Poll has
+// consumed it.
 type netEvent struct {
-	p     *Process
-	apply func() *IOCompletion
+	p       *Process
+	apply   func() *IOCompletion
+	applier NetApplier
+}
+
+// newNetEvent mints a netEvent from the kernel free list.
+func (k *Kernel) newNetEvent(p *Process, apply func() *IOCompletion, applier NetApplier) *netEvent {
+	if n := len(k.netEvFree); n > 0 {
+		ev := k.netEvFree[n-1]
+		k.netEvFree[n-1] = nil
+		k.netEvFree = k.netEvFree[:n-1]
+		*ev = netEvent{p: p, apply: apply, applier: applier}
+		return ev
+	}
+	return &netEvent{p: p, apply: apply, applier: applier}
+}
+
+func (k *Kernel) recycleNetEvent(ev *netEvent) {
+	*ev = netEvent{}
+	k.netEvFree = append(k.netEvFree, ev)
 }
 
 // NetAfter schedules apply to run after d of virtual time. It models
 // latency-only network events — connect handshakes, receive-window
 // updates — that do not occupy the interface.
 func (k *Kernel) NetAfter(p *Process, d vtime.Duration, apply func() *IOCompletion) vtime.TimerID {
-	return k.Clock.ScheduleAfter(d, &netEvent{p: p, apply: apply})
+	return k.Clock.ScheduleAfter(d, k.newNetEvent(p, apply, nil))
+}
+
+// NetAfterOp is NetAfter for pooled operation structs: no closure is
+// allocated, and the netEvent itself comes from the free list.
+func (k *Kernel) NetAfterOp(p *Process, d vtime.Duration, op NetApplier) vtime.TimerID {
+	return k.Clock.ScheduleAfter(d, k.newNetEvent(p, nil, op))
 }
 
 // NetDevice models a network interface: a fixed per-segment setup cost
@@ -79,6 +135,15 @@ func (k *Kernel) NewNetDevice(name string, setup, perByte vtime.Duration) *NetDe
 // the readiness it returns is posted as SIGIO. extra adds propagation
 // delay that does not occupy the interface. It returns the delivery time.
 func (nd *NetDevice) Send(p *Process, bytes int, extra vtime.Duration, apply func() *IOCompletion) vtime.Time {
+	return nd.send(p, bytes, extra, apply, nil)
+}
+
+// SendOp is Send for pooled operation structs (no per-segment closure).
+func (nd *NetDevice) SendOp(p *Process, bytes int, extra vtime.Duration, op NetApplier) vtime.Time {
+	return nd.send(p, bytes, extra, nil, op)
+}
+
+func (nd *NetDevice) send(p *Process, bytes int, extra vtime.Duration, apply func() *IOCompletion, op NetApplier) vtime.Time {
 	nd.Segments++
 	nd.Bytes += int64(bytes)
 	start := nd.k.Clock.Now()
@@ -88,7 +153,7 @@ func (nd *NetDevice) Send(p *Process, bytes int, extra vtime.Duration, apply fun
 	done := start.Add(nd.Setup + vtime.Duration(bytes)*nd.PerByte)
 	nd.busyUntil = done
 	at := done.Add(extra)
-	nd.k.Clock.ScheduleAt(at, &netEvent{p: p, apply: apply})
+	nd.k.Clock.ScheduleAt(at, nd.k.newNetEvent(p, apply, op))
 	return at
 }
 

@@ -212,4 +212,9 @@ type SigInfo struct {
 	// TimeSlice marks a timer expiration that was armed for time-sliced
 	// scheduling (action rule 2 treats it specially).
 	TimeSlice bool
+
+	// pooled marks a SigInfo minted from the kernel free list; only those
+	// may be reclaimed by RecycleSigInfo. Hand-built SigInfos (Kill,
+	// faults, tests) are never pooled and recycling them is a no-op.
+	pooled bool
 }

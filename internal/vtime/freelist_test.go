@@ -1,0 +1,176 @@
+package vtime
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// refClock is an intentionally unpooled reference model of the timer
+// queue: same heap ordering (at, then seq), same tombstone Cancel, but
+// every ScheduleAt allocates a fresh entry. The storm test below drives
+// the pooled Clock and this model in lockstep and requires identical
+// due-order, proving the free list changes nothing observable.
+type refClock struct {
+	now     Time
+	heap    timerHeap
+	entries map[TimerID]*timerEntry
+	nextID  TimerID
+	nextSeq int64
+}
+
+func newRefClock() *refClock {
+	return &refClock{entries: make(map[TimerID]*timerEntry)}
+}
+
+func (c *refClock) ScheduleAt(at Time, payload any) TimerID {
+	c.nextID++
+	c.nextSeq++
+	e := &timerEntry{id: c.nextID, at: at, seq: c.nextSeq, payload: payload}
+	c.entries[e.id] = e
+	heap.Push(&c.heap, e)
+	return e.id
+}
+
+func (c *refClock) Cancel(id TimerID) bool {
+	e, ok := c.entries[id]
+	if !ok || e.dead {
+		return false
+	}
+	e.dead = true
+	delete(c.entries, id)
+	return true
+}
+
+func (c *refClock) PopDue() (Event, bool) {
+	for len(c.heap) > 0 && c.heap[0].dead {
+		heap.Pop(&c.heap)
+	}
+	if len(c.heap) == 0 || c.heap[0].at > c.now {
+		return Event{}, false
+	}
+	e := heap.Pop(&c.heap).(*timerEntry)
+	delete(c.entries, e.id)
+	return Event{ID: e.id, At: e.at, Payload: e.payload}, true
+}
+
+// xorshift is a tiny deterministic PRNG so the storm is reproducible
+// without math/rand seeding ceremony.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+// TestFreeListStormMatchesUnpooledHeap drives an arm/cancel/fire storm
+// with interleaved cancels through the pooled Clock and the unpooled
+// reference model and asserts the due-order (ID, At, Payload) is
+// identical event for event.
+func TestFreeListStormMatchesUnpooledHeap(t *testing.T) {
+	c := NewClock()
+	r := newRefClock()
+	rng := xorshift(0x9e3779b97f4a7c15)
+
+	var live []TimerID // IDs armed and not yet cancelled (may have fired)
+	for round := 0; round < 5000; round++ {
+		switch rng.next() % 4 {
+		case 0, 1: // arm
+			d := Duration(rng.next() % 500)
+			id := c.ScheduleAfter(d, int(round))
+			rid := r.ScheduleAt(r.now.Add(d), int(round))
+			if id != rid {
+				t.Fatalf("round %d: pooled id %d != reference id %d", round, id, rid)
+			}
+			live = append(live, id)
+		case 2: // cancel a random earlier timer (possibly already fired)
+			if len(live) == 0 {
+				continue
+			}
+			id := live[rng.next()%uint64(len(live))]
+			if got, want := c.Cancel(id), r.Cancel(id); got != want {
+				t.Fatalf("round %d: Cancel(%d) pooled=%v reference=%v", round, id, got, want)
+			}
+		case 3: // advance and drain due events
+			d := Duration(rng.next() % 200)
+			c.Advance(d)
+			r.now = r.now.Add(d)
+			for {
+				ev, ok := c.PopDue()
+				rev, rok := r.PopDue()
+				if ok != rok {
+					t.Fatalf("round %d: PopDue pooled=%v reference=%v", round, ok, rok)
+				}
+				if !ok {
+					break
+				}
+				if ev != rev {
+					t.Fatalf("round %d: event %+v != reference %+v", round, ev, rev)
+				}
+			}
+		}
+	}
+	if c.Pending() != len(r.entries) {
+		t.Fatalf("pending mismatch: pooled %d, reference %d", c.Pending(), len(r.entries))
+	}
+}
+
+// TestFreeListSteadyStateZeroAlloc warms the pool, then asserts that an
+// arm/cancel/fire mix allocates nothing: every entry the storm needs is
+// served from the free list.
+func TestFreeListSteadyStateZeroAlloc(t *testing.T) {
+	c := NewClock()
+	// Warm-up: populate the free list with enough recycled entries to
+	// cover the steady-state working set.
+	for i := 0; i < 64; i++ {
+		c.ScheduleAfter(1, nil)
+	}
+	c.Advance(1)
+	for {
+		if _, ok := c.PopDue(); !ok {
+			break
+		}
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		// Arm three, cancel one mid-heap, fire the rest.
+		a := c.ScheduleAfter(10, nil)
+		b := c.ScheduleAfter(20, nil)
+		c.ScheduleAfter(30, nil)
+		_ = a
+		c.Cancel(b)
+		c.Advance(40)
+		for {
+			if _, ok := c.PopDue(); !ok {
+				break
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state arm/cancel/fire allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// TestFreeListRecyclesCancelled checks that a cancelled entry scrubbed
+// off the heap head is reused by a later ScheduleAt rather than leaked.
+func TestFreeListRecyclesCancelled(t *testing.T) {
+	c := NewClock()
+	id := c.ScheduleAfter(5, "x")
+	c.Cancel(id)
+	if _, ok := c.NextExpiry(); ok { // scrubs the tombstone into the pool
+		t.Fatal("cancelled timer still reported by NextExpiry")
+	}
+	if len(c.free) != 1 {
+		t.Fatalf("free list has %d entries after scrub, want 1", len(c.free))
+	}
+	if c.free[0].payload != nil {
+		t.Fatal("recycled entry still pins its payload")
+	}
+	c.ScheduleAfter(5, "y")
+	if len(c.free) != 0 {
+		t.Fatal("ScheduleAt did not reuse the free-list entry")
+	}
+}

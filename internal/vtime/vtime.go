@@ -126,6 +126,12 @@ type Clock struct {
 	entries map[TimerID]*timerEntry
 	nextID  TimerID
 	nextSeq int64
+	// free is the timerEntry free list. Entries are recycled when they
+	// leave the heap (fired via PopDue, or scrubbed after a Cancel), so a
+	// steady-state arm/cancel/fire workload allocates nothing. The list
+	// needs no lock: the clock is only ever touched by the single running
+	// thread (uniprocessor discipline).
+	free []*timerEntry
 }
 
 // NewClock returns a clock at time zero with no timers armed.
@@ -142,10 +148,25 @@ func (c *Clock) Now() Time { return c.now }
 func (c *Clock) ScheduleAt(at Time, payload any) TimerID {
 	c.nextID++
 	c.nextSeq++
-	e := &timerEntry{id: c.nextID, at: at, seq: c.nextSeq, payload: payload}
+	var e *timerEntry
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		*e = timerEntry{id: c.nextID, at: at, seq: c.nextSeq, payload: payload}
+	} else {
+		e = &timerEntry{id: c.nextID, at: at, seq: c.nextSeq, payload: payload}
+	}
 	c.entries[e.id] = e
 	heap.Push(&c.heap, e)
 	return e.id
+}
+
+// recycle returns an entry that has left the heap to the free list. The
+// payload reference is dropped so the pool does not pin user data.
+func (c *Clock) recycle(e *timerEntry) {
+	e.payload = nil
+	c.free = append(c.free, e)
 }
 
 // ScheduleAfter arms a timer d from now.
@@ -155,13 +176,28 @@ func (c *Clock) ScheduleAfter(d Duration, payload any) TimerID {
 
 // Cancel disarms the timer. It reports whether the timer was still armed.
 func (c *Clock) Cancel(id TimerID) bool {
+	_, ok := c.CancelTake(id)
+	return ok
+}
+
+// CancelTake disarms the timer and hands its payload back to the caller,
+// so callers that pool their payloads can reclaim them immediately
+// instead of waiting for the tombstoned entry to be scrubbed. The entry
+// drops the payload reference at once; the entry itself is recycled when
+// scrub reaches it.
+func (c *Clock) CancelTake(id TimerID) (any, bool) {
 	e, ok := c.entries[id]
 	if !ok || e.dead {
-		return false
+		return nil, false
 	}
 	e.dead = true
+	pl := e.payload
+	e.payload = nil
 	delete(c.entries, id)
-	return true
+	// Scrub eagerly so an arm/cancel storm recycles its entries instead
+	// of growing the heap with tombstones until the next query.
+	c.scrub()
+	return pl, true
 }
 
 // Pending reports the number of armed timers.
@@ -176,10 +212,11 @@ func (c *Clock) NextExpiry() (Time, bool) {
 	return c.heap[0].at, true
 }
 
-// scrub discards cancelled entries from the head of the heap.
+// scrub discards cancelled entries from the head of the heap, returning
+// them to the free list.
 func (c *Clock) scrub() {
 	for len(c.heap) > 0 && c.heap[0].dead {
-		heap.Pop(&c.heap)
+		c.recycle(heap.Pop(&c.heap).(*timerEntry))
 	}
 }
 
@@ -193,7 +230,9 @@ func (c *Clock) PopDue() (Event, bool) {
 	}
 	e := heap.Pop(&c.heap).(*timerEntry)
 	delete(c.entries, e.id)
-	return Event{ID: e.id, At: e.at, Payload: e.payload}, true
+	ev := Event{ID: e.id, At: e.at, Payload: e.payload}
+	c.recycle(e)
+	return ev, true
 }
 
 // AdvanceTo moves the clock forward to t. Moving backwards panics: the

@@ -50,3 +50,33 @@ b="$(go run ./cmd/ptreport)"
 [ "$a" = "$b" ]
 p="$(go run ./cmd/ptreport -profile)"
 case "$p" in "$a"*) ;; *) echo "ptreport -profile diverges from the base report" >&2; exit 1 ;; esac
+
+# Parallel-sweep determinism: the sharded ptexplore sweep must be
+# byte-identical to the sequential one, for both search policies (the
+# deterministic-merge property the parallel engine guarantees), and the
+# explore package's worker pool must be race-clean.
+go test -race ./internal/explore/
+t="$(mktemp -d)"
+go run ./cmd/ptexplore -workload philosophers-broken -policy bounded -bound 2 -lock-only -parallel 1 > "$t/seq.txt"
+go run ./cmd/ptexplore -workload philosophers-broken -policy bounded -bound 2 -lock-only -parallel 8 > "$t/par.txt"
+cmp "$t/seq.txt" "$t/par.txt"
+go run ./cmd/ptexplore -workload racy-counter -policy pct -seeds 50 -parallel 1 > "$t/seq.txt"
+go run ./cmd/ptexplore -workload racy-counter -policy pct -seeds 50 -parallel 8 > "$t/par.txt"
+cmp "$t/seq.txt" "$t/par.txt"
+
+# C10k smoke at reduced N: the scaling scenarios must run clean, and the
+# dispatch and uncontended-mutex per-op costs must stay flat (within 25%)
+# as the thread population grows 8 -> 1000.
+go run ./cmd/ptbench -c10k -c10kmax 1000 -hostout "$t/bench.json" > "$t/c10k.txt"
+cat "$t/c10k.txt"
+awk '
+  ($1 == "dispatch" || $1 == "mutex") && $2 ~ /^[0-9]+$/ {
+    if (!($1 in lo) || $4 < lo[$1]) lo[$1] = $4
+    if (!($1 in hi) || $4 > hi[$1]) hi[$1] = $4
+  }
+  END {
+    for (s in lo) if (hi[s] > 1.25 * lo[s]) { bad = 1
+      printf "c10k: %s per-op cost not flat: %.0f..%.0f ns/op\n", s, lo[s], hi[s] }
+    exit bad
+  }' "$t/c10k.txt"
+rm -rf "$t"
