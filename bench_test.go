@@ -606,12 +606,24 @@ func BenchmarkNetEcho(b *testing.B) {
 
 // BenchmarkC10KEcho is BenchmarkNetEcho under population pressure:
 // 10,000 other threads sit parked in Read on their own connections
-// while the active pair echoes. The per-descriptor wait maps, pooled
-// completions, and ring-buffer ready queues must keep the round trip at
-// the same cost it has with an empty house (BENCH_host.json's c10k
-// section records the full ladder).
+// while the active pair echoes. The sharded per-descriptor wait
+// tables, pooled completions, and ring-buffer ready queues must keep
+// the round trip at the same cost it has with an empty house
+// (BENCH_host.json's c10k section records the full ladder).
 func BenchmarkC10KEcho(b *testing.B) {
-	const parked = 10000
+	benchEchoParked(b, 10000)
+}
+
+// BenchmarkC100KEcho is the same round trip beside 100,000 parked
+// readers — the top rung of the ladder. Steady state must stay at
+// 0 allocs/op: the wait-queue shards, descriptor table, and timer
+// wheel are all preallocated or pooled, so population adds memory but
+// no per-op work.
+func BenchmarkC100KEcho(b *testing.B) {
+	benchEchoParked(b, 100000)
+}
+
+func benchEchoParked(b *testing.B, parked int) {
 	s := pthreads.New(pthreads.Config{PoolSize: parked + 4})
 	err := s.Run(func() {
 		x := pthreads.NewIO(s, pthreads.NetConfig{})

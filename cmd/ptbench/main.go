@@ -29,7 +29,7 @@ func main() {
 	hostOut := flag.String("hostout", "BENCH_host.json", "output path for -host and -c10k results")
 	hostBench := flag.String("hostbench", defaultHostPattern, "benchmark pattern for -host")
 	c10k := flag.Bool("c10k", false, "run the C10k thread-scaling suite and merge into the JSON")
-	c10kMax := flag.Int("c10kmax", 10000, "largest thread count for -c10k")
+	c10kMax := flag.Int("c10kmax", 10000, "largest thread count for -c10k (100000 climbs the full C100k ladder)")
 	c10kReps := flag.Int("c10kreps", 3, "repetitions per -c10k point (min host cost kept)")
 	flag.Parse()
 

@@ -44,10 +44,62 @@ func (d FDDir) String() string {
 	return "write"
 }
 
-// fdKey identifies one wait queue.
+// fdKey identifies one wait queue (trace-label interning only; the wait
+// queues themselves live in the fd-hashed shards below).
 type fdKey struct {
 	fd  unixkern.FD
 	dir FDDir
+}
+
+// The wait queues are sharded by descriptor hash: shard index is the low
+// six bits of the fd, and within a shard the remaining bits index a dense
+// slice of per-descriptor {read, write} queue pointers. Parking and
+// waking a waiter therefore touch two array slots — no global map insert
+// or delete on the hot path, and no rehashing as the descriptor
+// population grows to 100k and beyond. Queues themselves stay pooled:
+// a slot holds nil until a waiter arrives and gives its queue back to
+// fdPool when the last waiter leaves.
+const (
+	fdwShardBits  = 6
+	fdwShardCount = 1 << fdwShardBits
+	fdwShardMask  = fdwShardCount - 1
+)
+
+type fdwShard struct {
+	slots [][2]*sched.Queue[*Thread] // indexed by fd >> fdwShardBits
+}
+
+// fdQueue returns the wait queue for (fd, dir), or nil if no waiter ever
+// parked there (or all its queues were recycled).
+func (s *System) fdQueue(fd unixkern.FD, dir FDDir) *sched.Queue[*Thread] {
+	sh := &s.fdShards[int(fd)&fdwShardMask]
+	idx := int(fd) >> fdwShardBits
+	if idx >= len(sh.slots) {
+		return nil
+	}
+	return sh.slots[idx][dir]
+}
+
+// fdQueueEnsure returns the wait queue for (fd, dir), installing a pooled
+// queue in the shard slot on first use.
+func (s *System) fdQueueEnsure(fd unixkern.FD, dir FDDir) *sched.Queue[*Thread] {
+	sh := &s.fdShards[int(fd)&fdwShardMask]
+	idx := int(fd) >> fdwShardBits
+	for idx >= len(sh.slots) {
+		sh.slots = append(sh.slots, [2]*sched.Queue[*Thread]{})
+	}
+	q := sh.slots[idx][dir]
+	if q == nil {
+		if n := len(s.fdPool); n > 0 {
+			q = s.fdPool[n-1]
+			s.fdPool[n-1] = nil
+			s.fdPool = s.fdPool[:n-1]
+		} else {
+			q = new(sched.Queue[*Thread])
+		}
+		sh.slots[idx][dir] = q
+	}
+	return q
 }
 
 // fdWaitTag is the timer datum of a timed descriptor wait; like
@@ -197,20 +249,7 @@ func (s *System) fdBlocking(fd unixkern.FD, dir FDDir, what string, timeout vtim
 // fdEnqueue parks a thread on the (fd, dir) wait queue, priority-ordered
 // like every other wait queue in the library. Runs in the kernel.
 func (s *System) fdEnqueue(fd unixkern.FD, dir FDDir, t *Thread) {
-	key := fdKey{fd: fd, dir: dir}
-	q := s.fdWait[key]
-	if q == nil {
-		if n := len(s.fdPool); n > 0 {
-			q = s.fdPool[n-1]
-			s.fdPool = s.fdPool[:n-1]
-		} else {
-			q = new(sched.Queue[*Thread])
-		}
-		if s.fdWait == nil {
-			s.fdWait = make(map[fdKey]*sched.Queue[*Thread])
-		}
-		s.fdWait[key] = q
-	}
+	q := s.fdQueueEnsure(fd, dir)
 	s.cpu.ChargeInstr(instrReadyQueueOp)
 	q.Enqueue(t, t.prio)
 	t.waitFD, t.waitFDDir, t.fdWaiting = fd, dir, true
@@ -225,8 +264,7 @@ func (s *System) fdEnqueue(fd unixkern.FD, dir FDDir, t *Thread) {
 // so no completion is ever fanned out to waiters that would find nothing.
 // Runs in the kernel.
 func (s *System) fdWakeTop(fd unixkern.FD, dir FDDir, why string) {
-	key := fdKey{fd: fd, dir: dir}
-	q := s.fdWait[key]
+	q := s.fdQueue(fd, dir)
 	if q == nil {
 		return
 	}
@@ -242,14 +280,13 @@ func (s *System) fdWakeTop(fd unixkern.FD, dir FDDir, why string) {
 		s.traceObj(EvIO, t, s.fdLabel(fd, dir), "wake", why)
 	}
 	s.makeReady(t, false)
-	s.fdRecycle(key, q)
+	s.fdRecycle(fd, dir, q)
 }
 
 // fdWakeAll designates every waiter on (fd, dir), highest priority first.
 // Used for wake-all completions (shared device descriptors) and close.
 func (s *System) fdWakeAll(fd unixkern.FD, dir FDDir, why string) {
-	key := fdKey{fd: fd, dir: dir}
-	q := s.fdWait[key]
+	q := s.fdQueue(fd, dir)
 	if q == nil {
 		return
 	}
@@ -267,7 +304,7 @@ func (s *System) fdWakeAll(fd unixkern.FD, dir FDDir, why string) {
 		}
 		s.makeReady(t, false)
 	}
-	s.fdRecycle(key, q)
+	s.fdRecycle(fd, dir, q)
 }
 
 // fdRemoveWaiter takes a still-queued thread off its wait queue (cancel,
@@ -277,20 +314,20 @@ func (s *System) fdRemoveWaiter(t *Thread) {
 	if !t.fdWaiting {
 		return
 	}
-	key := fdKey{fd: t.waitFD, dir: t.waitFDDir}
-	if q := s.fdWait[key]; q != nil {
+	if q := s.fdQueue(t.waitFD, t.waitFDDir); q != nil {
 		if !q.Remove(t, t.prio) {
 			q.RemoveAny(t)
 		}
-		s.fdRecycle(key, q)
+		s.fdRecycle(t.waitFD, t.waitFDDir, q)
 	}
 	t.fdWaiting = false
 }
 
-// fdRecycle returns an emptied queue to the pool.
-func (s *System) fdRecycle(key fdKey, q *sched.Queue[*Thread]) {
+// fdRecycle returns an emptied queue to the pool and clears its shard
+// slot.
+func (s *System) fdRecycle(fd unixkern.FD, dir FDDir, q *sched.Queue[*Thread]) {
 	if q.Len() == 0 {
-		delete(s.fdWait, key)
+		s.fdShards[int(fd)&fdwShardMask].slots[int(fd)>>fdwShardBits][dir] = nil
 		s.fdPool = append(s.fdPool, q)
 	}
 }
@@ -334,7 +371,7 @@ func (s *System) FDKickAll(fd unixkern.FD) {
 // FDWaitDepth reports how many threads wait on (fd, dir) right now.
 // Bare accessor (see introspect.go): thread context or post-Run only.
 func (s *System) FDWaitDepth(fd unixkern.FD, dir FDDir) int {
-	if q := s.fdWait[fdKey{fd: fd, dir: dir}]; q != nil {
+	if q := s.fdQueue(fd, dir); q != nil {
 		return q.Len()
 	}
 	return 0

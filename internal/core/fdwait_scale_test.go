@@ -169,6 +169,238 @@ func (d *drainSource) ApplyNet() *unixkern.IOCompletion {
 	return &d.src.comp
 }
 
+// TestFDWaitScale100K is the mixed-waiter test at the top of the
+// ladder: 100,000 blocked descriptors spread across every wait-queue
+// shard, with polling callers interleaved. The population is three
+// orders of magnitude past the shard count, so every shard row holds
+// thousands of descriptors — and a steady-state wake/re-block round
+// must still allocate nothing.
+func TestFDWaitScale100K(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-descriptor scale test skipped in -short mode")
+	}
+	const (
+		nBlocked = 100000
+		nPolling = 64
+		batch    = 256
+		warmup   = 4
+		rounds   = 8
+	)
+	s := New(Config{PoolSize: nBlocked + nPolling + 2})
+	err := s.Run(func() {
+		p := s.Process()
+		k := s.Kernel()
+
+		fds := make([]unixkern.FD, nBlocked)
+		for i := range fds {
+			fds[i] = p.AllocFD(nil)
+		}
+		maxFD := int(fds[nBlocked-1]) + 1
+		tokens := make([]int, maxFD)
+
+		perFD := ((warmup+rounds)*batch)/nBlocked + 2
+		var ths []*Thread
+		for i := 0; i < nBlocked; i++ {
+			fd := fds[i]
+			th, err := s.Create(DefaultAttr(), func(any) any {
+				attempt := func() (bool, bool) {
+					if tokens[fd] > 0 {
+						tokens[fd]--
+						return true, false
+					}
+					return false, false
+				}
+				for r := 0; r < perFD; r++ {
+					if err := s.FDBlockingCall(fd, FDRead, "scale", 0, attempt); err != nil {
+						panic(err)
+					}
+				}
+				return nil
+			}, nil)
+			if err != nil {
+				panic(err)
+			}
+			ths = append(ths, th)
+		}
+
+		pollFD := p.AllocFD(nil)
+		polls := 0
+		for i := 0; i < nPolling; i++ {
+			th, err := s.Create(DefaultAttr(), func(any) any {
+				attempt := func() (bool, bool) { return true, false }
+				for r := 0; r < warmup+rounds; r++ {
+					if err := s.FDBlockingCall(pollFD, FDRead, "poll", 0, attempt); err != nil {
+						panic(err)
+					}
+					polls++
+					s.Yield()
+				}
+				return nil
+			}, nil)
+			if err != nil {
+				panic(err)
+			}
+			ths = append(ths, th)
+		}
+
+		for s.Stats().FDWaits < nBlocked {
+			s.Yield()
+		}
+		// Spot-check depth at descriptors in distant shard rows.
+		for _, i := range []int{0, nBlocked / 2, nBlocked - 1} {
+			if d := s.FDWaitDepth(fds[i], FDRead); d != 1 {
+				t.Errorf("fd[%d] wait depth = %d, want 1", i, d)
+			}
+		}
+
+		src := &scaleSource{ready: make([]unixkern.IOReady, batch)}
+		next := 0
+		// Stride the wake batches across the population so consecutive
+		// rounds hit unrelated shard rows, not one warm cache line.
+		const stride = 9973 // prime, coprime with nBlocked
+		round := func() {
+			for j := 0; j < batch; j++ {
+				fd := fds[next%nBlocked]
+				next += stride
+				tokens[fd]++
+				src.ready[j] = unixkern.IOReady{FD: fd, R: true}
+			}
+			k.NetAfterOp(p, vtime.Microsecond, src)
+			s.Sleep(2 * vtime.Microsecond)
+		}
+		for r := 0; r < warmup; r++ {
+			round()
+		}
+
+		wakes0 := s.Stats().FDWakeups
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		for r := 0; r < rounds; r++ {
+			round()
+		}
+		runtime.ReadMemStats(&ms1)
+		if got := ms1.Mallocs - ms0.Mallocs; got != 0 {
+			t.Errorf("steady-state wake/re-block rounds allocated %d times (want 0)", got)
+		}
+		if got := s.Stats().FDWakeups - wakes0; got < rounds*batch {
+			t.Errorf("fd wakeups in measured rounds = %d, want >= %d", got, rounds*batch)
+		}
+
+		for i := 0; i < nBlocked; i++ {
+			fd := fds[i]
+			for tokens[fd] < perFD {
+				tokens[fd]++
+			}
+			src.ready[0] = unixkern.IOReady{FD: fd, R: true, All: true}
+			src.comp.Ready = src.ready[:1]
+			k.NetAfterOp(p, vtime.Microsecond, &drainSource{src: src})
+			s.Sleep(2 * vtime.Microsecond)
+		}
+		for _, th := range ths {
+			s.Join(th)
+		}
+		if polls != nPolling*(warmup+rounds) {
+			t.Errorf("polling calls = %d, want %d", polls, nPolling*(warmup+rounds))
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestFDWaitPriorityOrderAcrossShards pins the chain-wake policy when
+// one completion carries readiness for descriptors scattered over the
+// wait-table shards: a stride of 67 (coprime with the 64-way split)
+// walks both shard dimensions, five waiters of shuffled priorities
+// park on each target, and a single event readies them all. Each
+// descriptor's chain must still wake strictly highest-priority-first —
+// sharding changes where a queue lives, never what it does.
+func TestFDWaitPriorityOrderAcrossShards(t *testing.T) {
+	const (
+		targets = 8
+		stride  = 67
+		waiters = 5
+	)
+	s := New(Config{PoolSize: targets*waiters + 2})
+	err := s.Run(func() {
+		p := s.Process()
+		k := s.Kernel()
+		all := make([]unixkern.FD, targets*stride)
+		for i := range all {
+			all[i] = p.AllocFD(nil)
+		}
+		fds := make([]unixkern.FD, targets)
+		for i := range fds {
+			fds[i] = all[i*stride]
+		}
+		tokens := make(map[unixkern.FD]int, targets)
+		orders := make([][]int, targets)
+		base := s.Self().Priority()
+		prios := []int{3, 1, 5, 2, 4}
+		var ths []*Thread
+		for ti := range fds {
+			ti := ti
+			fd := fds[ti]
+			for w := 0; w < waiters; w++ {
+				prio := base + prios[(w+ti)%waiters]
+				attr := DefaultAttr()
+				attr.Priority = prio
+				th, err := s.Create(attr, func(any) any {
+					err := s.FDBlockingCall(fd, FDRead, "shardorder", 0, func() (bool, bool) {
+						if tokens[fd] > 0 {
+							tokens[fd]--
+							return true, tokens[fd] > 0
+						}
+						return false, false
+					})
+					if err != nil {
+						panic(err)
+					}
+					orders[ti] = append(orders[ti], prio)
+					return nil
+				}, nil)
+				if err != nil {
+					panic(err)
+				}
+				ths = append(ths, th)
+			}
+		}
+		for s.Stats().FDWaits < targets*waiters {
+			s.Yield()
+		}
+		for _, fd := range fds {
+			if d := s.FDWaitDepth(fd, FDRead); d != waiters {
+				t.Errorf("fd %d wait depth = %d, want %d", fd, d, waiters)
+			}
+		}
+
+		ready := make([]unixkern.IOReady, targets)
+		for i, fd := range fds {
+			tokens[fd] = waiters
+			ready[i] = unixkern.IOReady{FD: fd, R: true}
+		}
+		src := &scaleSource{ready: ready}
+		k.NetAfterOp(p, vtime.Microsecond, src)
+		s.Sleep(2 * vtime.Microsecond)
+		for _, th := range ths {
+			s.Join(th)
+		}
+		for ti := range orders {
+			if len(orders[ti]) != waiters {
+				t.Fatalf("fd %d woke %d waiters, want %d", fds[ti], len(orders[ti]), waiters)
+			}
+			for i := 1; i < waiters; i++ {
+				if orders[ti][i-1] < orders[ti][i] {
+					t.Fatalf("fd %d wake order not priority-descending: %v", fds[ti], orders[ti])
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
 // TestFDWaitPriorityOrder pins the wake policy at depth: waiters of
 // distinct priorities park on one descriptor, a single completion
 // carrying several units of readiness arrives, and the chain (attempt's

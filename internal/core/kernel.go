@@ -363,7 +363,7 @@ func (s *System) setPriority(t *Thread, newPrio int, atHead bool) {
 			t.waitingCond.waiters.Enqueue(t, newPrio)
 		}
 		if t.fdWaiting {
-			if q := s.fdWait[fdKey{fd: t.waitFD, dir: t.waitFDDir}]; q != nil {
+			if q := s.fdQueue(t.waitFD, t.waitFDDir); q != nil {
 				if !q.Remove(t, old) {
 					q.RemoveAny(t)
 				}

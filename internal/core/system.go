@@ -155,10 +155,13 @@ type System struct {
 	sigactions     [unixkern.NSIGAll]sigactionRec
 	processPending [unixkern.NSIGAll]*unixkern.SigInfo
 
-	// Per-descriptor wait queues of the blocking-I/O jackets, keyed by
-	// (fd, direction); emptied queues are recycled through fdPool.
-	fdWait map[fdKey]*sched.Queue[*Thread]
-	fdPool []*sched.Queue[*Thread]
+	// Per-descriptor wait queues of the blocking-I/O jackets, sharded by
+	// fd hash (see fdwait.go): each shard holds a dense slice of per-fd
+	// read/write queue pointers, so the hot park/wake path indexes two
+	// arrays instead of hashing into one global map. Emptied queues are
+	// recycled through fdPool.
+	fdShards [fdwShardCount]fdwShard
+	fdPool   []*sched.Queue[*Thread]
 	// fdNames interns the per-queue trace labels ("fd3/read"), so a
 	// traced I/O workload formats each label once instead of per event.
 	fdNames map[fdKey]string

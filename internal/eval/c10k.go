@@ -28,17 +28,24 @@ import (
 // virtual cost (vus/op) is deterministic and must not drift across
 // hosts at all.
 
-// C10KSizes is the default thread-count ladder.
-var C10KSizes = []int{8, 100, 1000, 10000}
+// C10KSizes is the default thread-count ladder. The top rung is the
+// C100k point; `ptbench -c10k` stops at -c10kmax (default 10,000), so
+// the full climb is opt-in: `-c10kmax 100000`.
+var C10KSizes = []int{8, 100, 1000, 10000, 100000}
 
-// C10KPoint is one scenario measured at one thread count.
+// C10KPoint is one scenario measured at one thread count. The
+// percentile fields are set only by the open-loop scenario; like
+// VUSOp they are virtual time and must be bit-identical across hosts.
 type C10KPoint struct {
-	Scenario string  `json:"scenario"`
-	Threads  int     `json:"threads"`
-	Ops      int64   `json:"ops"`
-	HostNSOp float64 `json:"host_ns_per_op"`
-	AllocsOp float64 `json:"allocs_per_op"`
-	VUSOp    float64 `json:"vus_per_op"`
+	Scenario    string  `json:"scenario"`
+	Threads     int     `json:"threads"`
+	Ops         int64   `json:"ops"`
+	HostNSOp    float64 `json:"host_ns_per_op"`
+	AllocsOp    float64 `json:"allocs_per_op"`
+	VUSOp       float64 `json:"vus_per_op"`
+	IntervalVUS float64 `json:"interval_vus,omitempty"`
+	P50VUS      float64 `json:"p50_vus,omitempty"`
+	P99VUS      float64 `json:"p99_vus,omitempty"`
 }
 
 // c10kMeter brackets a measured region: host wall clock, cumulative
@@ -345,6 +352,7 @@ func RunC10K(sizes []int, reps int) ([]C10KPoint, error) {
 		{"mutex", c10kMutex},
 		{"timer", c10kTimer},
 		{"echo", c10kEcho},
+		{"openloop", c10kOpenLoop},
 	}
 	var pts []C10KPoint
 	for _, sc := range scenarios {
@@ -362,6 +370,10 @@ func RunC10K(sizes []int, reps int) ([]C10KPoint, error) {
 				if pt.VUSOp != best.VUSOp {
 					return nil, fmt.Errorf("c10k %s at %d threads: virtual cost drifted across repetitions (%.2f vs %.2f vus/op)",
 						sc.name, n, best.VUSOp, pt.VUSOp)
+				}
+				if pt.P50VUS != best.P50VUS || pt.P99VUS != best.P99VUS {
+					return nil, fmt.Errorf("c10k %s at %d threads: latency percentiles drifted across repetitions (p50 %.2f vs %.2f, p99 %.2f vs %.2f vus)",
+						sc.name, n, best.P50VUS, pt.P50VUS, best.P99VUS, pt.P99VUS)
 				}
 				if pt.HostNSOp < best.HostNSOp {
 					best = pt
@@ -389,7 +401,12 @@ func FormatC10K(pts []C10KPoint) string {
 	b.WriteString(" smallest population; timer is the O(log n) exception.)\n")
 	b.WriteString("  scenario  threads      ops   host-ns/op  allocs/op    vus/op   xBase\n")
 	base := map[string]float64{}
+	openloop := false
 	for _, p := range pts {
+		if p.Scenario == "openloop" {
+			openloop = true
+			continue
+		}
 		if _, ok := base[p.Scenario]; !ok {
 			base[p.Scenario] = p.HostNSOp
 		}
@@ -399,6 +416,19 @@ func FormatC10K(pts []C10KPoint) string {
 		}
 		b.WriteString(fmt.Sprintf("  %-8s  %7d  %7d  %11.1f  %9.3f  %8.2f  %6.2f\n",
 			p.Scenario, p.Threads, p.Ops, p.HostNSOp, p.AllocsOp, p.VUSOp, rel))
+	}
+	if openloop {
+		b.WriteString("\nOpen-loop echo: fixed arrival schedule at ~80% of the 16-client\n")
+		b.WriteString("pool's capacity beside n parked readers; latency counts queueing\n")
+		b.WriteString("behind late arrivals. Percentiles are virtual time (deterministic).\n")
+		b.WriteString("  scenario  threads      ops  arrival-vus    p50-vus    p99-vus  allocs/op\n")
+		for _, p := range pts {
+			if p.Scenario != "openloop" {
+				continue
+			}
+			b.WriteString(fmt.Sprintf("  %-8s  %7d  %7d  %11.2f  %9.2f  %9.2f  %9.3f\n",
+				p.Scenario, p.Threads, p.Ops, p.IntervalVUS, p.P50VUS, p.P99VUS, p.AllocsOp))
+		}
 	}
 	return b.String()
 }

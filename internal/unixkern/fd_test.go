@@ -1,0 +1,105 @@
+package unixkern
+
+import (
+	"testing"
+
+	"pthreads/internal/hw"
+)
+
+func newFDProc() *Process {
+	return New(hw.SPARCstationIPX()).NewProcess("fdtest")
+}
+
+func TestFDLowestFreeSemantics(t *testing.T) {
+	p := newFDProc()
+	a := p.AllocFD("a")
+	b := p.AllocFD("b")
+	c := p.AllocFD("c")
+	if a != 3 || b != 4 || c != 5 {
+		t.Fatalf("AllocFD sequence = %d,%d,%d; want 3,4,5", a, b, c)
+	}
+	if !p.CloseFD(b) {
+		t.Fatal("CloseFD(open) = false")
+	}
+	if p.CloseFD(b) {
+		t.Fatal("CloseFD(closed) = true")
+	}
+	if got := p.AllocFD("b2"); got != b {
+		t.Fatalf("AllocFD after close = %d, want lowest free %d", got, b)
+	}
+	if obj, ok := p.FDObject(b); !ok || obj != "b2" {
+		t.Fatalf("FDObject(%d) = %v, %v", b, obj, ok)
+	}
+	if p.OpenFDCount() != 3 {
+		t.Fatalf("OpenFDCount = %d, want 3", p.OpenFDCount())
+	}
+	// Reserved descriptors stay closed and unclosable.
+	for fd := FD(0); fd < 3; fd++ {
+		if _, ok := p.FDObject(fd); ok {
+			t.Fatalf("reserved fd %d reported open", fd)
+		}
+		if p.CloseFD(fd) {
+			t.Fatalf("CloseFD(%d) on reserved fd = true", fd)
+		}
+	}
+	if _, ok := p.FDObject(1 << 20); ok {
+		t.Fatal("out-of-range fd reported open")
+	}
+}
+
+// TestFDTableScale opens 100k descriptors, punches a scattered pattern of
+// holes, and checks every reallocation lands on the lowest free slot —
+// the UNIX semantics the old O(n)-scan table provided, now at O(1).
+func TestFDTableScale(t *testing.T) {
+	p := newFDProc()
+	const n = 100_000
+	fds := make([]FD, n)
+	for i := 0; i < n; i++ {
+		fds[i] = p.AllocFD(i)
+		if fds[i] != FD(3+i) {
+			t.Fatalf("fd %d allocated as %d, want %d", i, fds[i], 3+i)
+		}
+	}
+	if p.OpenFDCount() != n {
+		t.Fatalf("OpenFDCount = %d, want %d", p.OpenFDCount(), n)
+	}
+	// Close a scattered subset (every 7th), then verify re-allocation
+	// fills the holes in ascending order.
+	var holes []FD
+	for i := 0; i < n; i += 7 {
+		if !p.CloseFD(fds[i]) {
+			t.Fatalf("CloseFD(%d) failed", fds[i])
+		}
+		holes = append(holes, fds[i])
+	}
+	for _, want := range holes {
+		if got := p.AllocFD("refill"); got != want {
+			t.Fatalf("refill allocated %d, want %d", got, want)
+		}
+	}
+	// Table is full again: the next alloc extends it.
+	if got := p.AllocFD("tail"); got != FD(3+n) {
+		t.Fatalf("tail alloc = %d, want %d", got, 3+n)
+	}
+	// Spot-check object retrieval across shards.
+	if obj, ok := p.FDObject(fds[n-1]); !ok || obj != n-1 {
+		t.Fatalf("FDObject(%d) = %v, %v", fds[n-1], obj, ok)
+	}
+}
+
+func BenchmarkFDAllocClose(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(map[int]string{1000: "n=1000", 100000: "n=100000"}[n], func(b *testing.B) {
+			p := newFDProc()
+			for i := 0; i < n; i++ {
+				p.AllocFD(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fd := p.AllocFD(nil)
+				p.CloseFD(fd)
+			}
+		})
+	}
+}

@@ -48,7 +48,7 @@ type Process struct {
 	actions [NSIGAll]sigaction
 
 	// File descriptor table (see fd.go).
-	fds map[FD]any
+	fdt fdTable
 
 	// OnTerminate is called when a signal's default action terminates
 	// the process. The library hooks it to shut the thread system down.
@@ -91,6 +91,7 @@ type Kernel struct {
 	timerPlFree []*timerPayload
 	netEvFree   []*netEvent
 	sigFree     []*SigInfo
+	batchFree   []*batchCompletion
 }
 
 // New creates a kernel over the given machine model with a fresh clock.
@@ -479,22 +480,49 @@ func (k *Kernel) DisarmInternal(id vtime.TimerID) bool {
 // Poll processes every due clock event, generating the corresponding
 // signals. The library calls it whenever virtual time has advanced: after
 // compute steps, on kernel idle, at blocking points.
+//
+// Network readiness is batched epoll-style: consecutive net events due at
+// the same instant for the same process coalesce their descriptor sets
+// into one kernel-pooled IOCompletion and post a single SIGIO, instead of
+// one signal per event. A completion is only ever held back when the
+// clock's one-event lookahead proves the next due event is a coalescing
+// partner; in every other case — a run of one being the overwhelmingly
+// common shape, since each interface FIFO-serializes its segments — the
+// original completion posts immediately and untouched, so costs, delivery
+// order, and the handler's same-tick timer arms/cancels are bit-identical
+// to unbatched delivery. The pending announcement is always flushed
+// before any non-net signal posts, which keeps cross-type delivery order
+// exactly as it was.
 func (k *Kernel) Poll() int {
 	n := 0
+	var (
+		pend      *IOCompletion    // readiness awaiting announcement
+		pendBatch *batchCompletion // non-nil once pend holds a coalesced batch
+		pendP     *Process
+		pendAt    vtime.Time
+	)
 	for {
 		ev, ok := k.Clock.PopDue()
 		if !ok {
-			return n
+			break
 		}
 		n++
 		switch pl := ev.Payload.(type) {
 		case *timerPayload:
+			if pend != nil {
+				k.Post(pendP, k.newSigInfo(SIGIO, CauseIO, pend, false))
+				pend, pendBatch = nil, nil
+			}
 			// Copy the payload fields out and recycle the struct before
 			// posting: the signal handler may arm fresh timers.
 			p, sig, datum, timeSlice := pl.p, pl.sig, pl.datum, pl.timeSlice
 			k.recycleTimerPayload(pl)
 			k.Post(p, k.newSigInfo(sig, CauseTimer, datum, timeSlice))
 		case *aioRequest:
+			if pend != nil {
+				k.Post(pendP, k.newSigInfo(SIGIO, CauseIO, pend, false))
+				pend, pendBatch = nil, nil
+			}
 			pl.done = true
 			k.Post(pl.p, k.newSigInfo(SIGIO, CauseIO, pl.datum, false))
 		case *netEvent:
@@ -510,17 +538,57 @@ func (k *Kernel) Poll() int {
 			}
 			p := pl.p
 			k.recycleNetEvent(pl)
-			if comp != nil && len(comp.Ready) > 0 {
-				k.Post(p, k.newSigInfo(SIGIO, CauseIO, comp, false))
-			} else {
+			if comp == nil || len(comp.Ready) == 0 {
 				// Nothing to announce: hand an owned completion straight
 				// back to its pool.
 				comp.Release()
+				continue
+			}
+			// Hold the announcement only when the next due event is
+			// provably a coalescing partner — another net event for the
+			// same process due at this same instant. Otherwise post at
+			// once, so delivery order (and whatever timers the handler
+			// arms or cancels among the remaining same-tick events)
+			// matches unbatched delivery exactly.
+			hold := false
+			if nxt, ok := k.Clock.PeekDue(); ok && nxt.At == ev.At {
+				if ne, isNet := nxt.Payload.(*netEvent); isNet && ne.p == p {
+					hold = true
+				}
+			}
+			if pend != nil && (pendP != p || pendAt != ev.At) {
+				// A predicted partner evaporated (its apply announced
+				// nothing): flush the stale holding before this event.
+				k.Post(pendP, k.newSigInfo(SIGIO, CauseIO, pend, false))
+				pend, pendBatch = nil, nil
+			}
+			if pend != nil {
+				// Same instant, same process: coalesce into a batch. The
+				// source completions' ready sets are copied and the
+				// completions released at once.
+				if pendBatch == nil {
+					pendBatch = k.newBatch()
+					pendBatch.Ready = append(pendBatch.Ready, pend.Ready...)
+					pend.Release()
+					pend = &pendBatch.IOCompletion
+				}
+				pendBatch.Ready = append(pendBatch.Ready, comp.Ready...)
+				comp.Release()
+			} else {
+				pend, pendP, pendAt = comp, p, ev.At
+			}
+			if !hold {
+				k.Post(pendP, k.newSigInfo(SIGIO, CauseIO, pend, false))
+				pend, pendBatch = nil, nil
 			}
 		default:
 			panic(fmt.Sprintf("unixkern: unknown clock event payload %T", ev.Payload))
 		}
 	}
+	if pend != nil {
+		k.Post(pendP, k.newSigInfo(SIGIO, CauseIO, pend, false))
+	}
+	return n
 }
 
 // NextEventAt returns the expiry of the earliest armed event.

@@ -85,6 +85,34 @@ func (k *Kernel) recycleNetEvent(ev *netEvent) {
 	k.netEvFree = append(k.netEvFree, ev)
 }
 
+// batchCompletion is a kernel-pooled IOCompletion that coalesces the
+// readiness of several network events due at the same instant into one
+// epoll-style ready list, delivered as a single SIGIO instead of one per
+// event. It owns itself: Release hands it back to the kernel free list.
+type batchCompletion struct {
+	IOCompletion
+	k *Kernel
+}
+
+// RecycleCompletion implements CompletionOwner for the kernel batch pool.
+func (b *batchCompletion) RecycleCompletion(c *IOCompletion) {
+	b.Ready = b.Ready[:0]
+	b.k.batchFree = append(b.k.batchFree, b)
+}
+
+// newBatch mints a batch completion from the kernel free list.
+func (k *Kernel) newBatch() *batchCompletion {
+	if n := len(k.batchFree); n > 0 {
+		b := k.batchFree[n-1]
+		k.batchFree[n-1] = nil
+		k.batchFree = k.batchFree[:n-1]
+		return b
+	}
+	b := &batchCompletion{k: k}
+	b.Owner = b
+	return b
+}
+
 // NetAfter schedules apply to run after d of virtual time. It models
 // latency-only network events — connect handshakes, receive-window
 // updates — that do not occupy the interface.

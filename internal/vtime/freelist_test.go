@@ -1,57 +1,12 @@
 package vtime
 
-import (
-	"container/heap"
-	"testing"
-)
+import "testing"
 
-// refClock is an intentionally unpooled reference model of the timer
-// queue: same heap ordering (at, then seq), same tombstone Cancel, but
-// every ScheduleAt allocates a fresh entry. The storm test below drives
-// the pooled Clock and this model in lockstep and requires identical
-// due-order, proving the free list changes nothing observable.
-type refClock struct {
-	now     Time
-	heap    timerHeap
-	entries map[TimerID]*timerEntry
-	nextID  TimerID
-	nextSeq int64
-}
-
-func newRefClock() *refClock {
-	return &refClock{entries: make(map[TimerID]*timerEntry)}
-}
-
-func (c *refClock) ScheduleAt(at Time, payload any) TimerID {
-	c.nextID++
-	c.nextSeq++
-	e := &timerEntry{id: c.nextID, at: at, seq: c.nextSeq, payload: payload}
-	c.entries[e.id] = e
-	heap.Push(&c.heap, e)
-	return e.id
-}
-
-func (c *refClock) Cancel(id TimerID) bool {
-	e, ok := c.entries[id]
-	if !ok || e.dead {
-		return false
-	}
-	e.dead = true
-	delete(c.entries, id)
-	return true
-}
-
-func (c *refClock) PopDue() (Event, bool) {
-	for len(c.heap) > 0 && c.heap[0].dead {
-		heap.Pop(&c.heap)
-	}
-	if len(c.heap) == 0 || c.heap[0].at > c.now {
-		return Event{}, false
-	}
-	e := heap.Pop(&c.heap).(*timerEntry)
-	delete(c.entries, e.id)
-	return Event{ID: e.id, At: e.at, Payload: e.payload}, true
-}
+// The unpooled reference model (refClock) lives in refheap_test.go: it is
+// the library's original container/heap timer queue, kept test-only. The
+// storm test below drives the pooled wheel Clock and this model in
+// lockstep and requires identical due-order, proving neither the free
+// list nor the wheel changes anything observable.
 
 // xorshift is a tiny deterministic PRNG so the storm is reproducible
 // without math/rand seeding ceremony.
@@ -154,23 +109,24 @@ func TestFreeListSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
-// TestFreeListRecyclesCancelled checks that a cancelled entry scrubbed
-// off the heap head is reused by a later ScheduleAt rather than leaked.
+// TestFreeListRecyclesCancelled checks that a cancelled entry is
+// recycled into the pool immediately — no scrub or query needed — and
+// reused by a later ScheduleAt rather than leaked.
 func TestFreeListRecyclesCancelled(t *testing.T) {
 	c := NewClock()
 	id := c.ScheduleAfter(5, "x")
 	c.Cancel(id)
-	if _, ok := c.NextExpiry(); ok { // scrubs the tombstone into the pool
-		t.Fatal("cancelled timer still reported by NextExpiry")
+	if c.freeLen != 1 {
+		t.Fatalf("free list has %d entries after cancel, want 1", c.freeLen)
 	}
-	if len(c.free) != 1 {
-		t.Fatalf("free list has %d entries after scrub, want 1", len(c.free))
-	}
-	if c.free[0].payload != nil {
+	if c.free.payload != nil {
 		t.Fatal("recycled entry still pins its payload")
 	}
+	if _, ok := c.NextExpiry(); ok {
+		t.Fatal("cancelled timer still reported by NextExpiry")
+	}
 	c.ScheduleAfter(5, "y")
-	if len(c.free) != 0 {
+	if c.freeLen != 0 {
 		t.Fatal("ScheduleAt did not reuse the free-list entry")
 	}
 }

