@@ -66,10 +66,20 @@ type c10kSection struct {
 	Points      []eval.C10KPoint `json:"points"`
 }
 
+// smpSection is the simulated-SMP contention ladder's slot. Its points
+// are pure virtual-time measurements, so unlike the host benches they
+// are bit-identical on every machine.
+type smpSection struct {
+	GeneratedAt string          `json:"generated_at,omitempty"`
+	Command     string          `json:"command"`
+	Points      []eval.SMPPoint `json:"points"`
+}
+
 // hostReport is the BENCH_host.json document.
 type hostReport struct {
 	hostRun
 	C10K    *c10kSection `json:"c10k,omitempty"`
+	SMP     *smpSection  `json:"smp,omitempty"`
 	History []hostRun    `json:"history,omitempty"`
 }
 
@@ -207,5 +217,47 @@ func runC10K(maxThreads, reps int, outPath string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "ptbench: merged %d c10k points into %s\n", len(pts), outPath)
+	return nil
+}
+
+// runSMP runs the simulated-SMP contention ladder, prints the
+// deterministic table, and merges the points into the report's smp
+// section. With an empty outPath the table is printed without touching
+// any report — the determinism gate uses that to diff two runs' stdout.
+func runSMP(vcpus string, iters int, outPath string) error {
+	var cpus []int
+	for _, f := range strings.Split(vcpus, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return fmt.Errorf("-smpvcpus %q: %w", vcpus, err)
+		}
+		cpus = append(cpus, n)
+	}
+	pts, err := eval.RunSMPLadder(cpus, iters)
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.FormatSMP(pts))
+	if outPath == "" {
+		return nil
+	}
+
+	report, err := loadHostReport(outPath)
+	if err != nil {
+		return err
+	}
+	report.SMP = &smpSection{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Command:     fmt.Sprintf("go run ./cmd/ptbench -smp -smpvcpus %s -smpiters %d", vcpus, iters),
+		Points:      pts,
+	}
+	if err := writeHostReport(outPath, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ptbench: merged %d smp points into %s\n", len(pts), outPath)
 	return nil
 }

@@ -31,6 +31,10 @@ func main() {
 	c10k := flag.Bool("c10k", false, "run the C10k thread-scaling suite and merge into the JSON")
 	c10kMax := flag.Int("c10kmax", 10000, "largest thread count for -c10k (100000 climbs the full C100k ladder)")
 	c10kReps := flag.Int("c10kreps", 3, "repetitions per -c10k point (min host cost kept)")
+	smp := flag.Bool("smp", false, "run the simulated-SMP lock contention ladder and merge into the JSON")
+	smpVCPUs := flag.String("smpvcpus", "1,2,4,8", "comma-separated VCPU counts for -smp")
+	smpIters := flag.Int("smpiters", 300, "lock/unlock cycles per thread for -smp")
+	smpOut := flag.String("smpout", "BENCH_host.json", "output path for -smp results (empty: print only)")
 	flag.Parse()
 
 	if *host {
@@ -39,6 +43,10 @@ func main() {
 	}
 	if *c10k {
 		exitOn(runC10K(*c10kMax, *c10kReps, *hostOut))
+		return
+	}
+	if *smp {
+		exitOn(runSMP(*smpVCPUs, *smpIters, *smpOut))
 		return
 	}
 	if *ablation {

@@ -28,6 +28,7 @@ import (
 
 	"pthreads/internal/core"
 	"pthreads/internal/explore"
+	"pthreads/internal/lockeng"
 )
 
 func main() {
@@ -102,6 +103,14 @@ func buildWorkload(name string, nPhil, meals, threads, iters int) (explore.Workl
 		return explore.SockLostWakeupWorkload(true, 64), true
 	case "sock-lost-wakeup-fixed":
 		return explore.SockLostWakeupWorkload(false, 64), true
+	case "lock-mcs-handoff":
+		return explore.LockEngineWorkload(name, lockeng.KindMCS, threads, 3, 0), true
+	case "lock-ticket-wrap":
+		return explore.LockEngineWorkload(name, lockeng.KindTicket, threads, 4, 0xFFFB), true
+	case "lock-unfair":
+		return explore.LockEngineWorkload(name, lockeng.KindUnfair, threads, 3, 0), true
+	case "lock-unfair-fixed":
+		return explore.LockEngineWorkload(name, lockeng.KindUnfairFixed, threads, 3, 0), true
 	}
 	return explore.Workload{}, false
 }

@@ -82,6 +82,13 @@ func (c *Cond) wait(m *Mutex, d vtime.Duration) error {
 		t.errno = EINVAL
 		return EINVAL.Or()
 	}
+	if m.eng != nil {
+		// Engine mutexes have no suspend queue, and the signal hand-off
+		// below morphs cond waiters onto exactly that queue (see
+		// enginemutex.go).
+		t.errno = EINVAL
+		return EINVAL.Or()
+	}
 	s.TestCancel()
 
 	s.enterKernel()

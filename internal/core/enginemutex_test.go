@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"pthreads/internal/lockeng"
+	"pthreads/internal/vtime"
+)
+
+// engineRun spins up a uniprocessor system with n threads hammering one
+// engine mutex; returns the final counter and the system stats.
+func engineRun(t *testing.T, kind lockeng.Kind, threads, iters int) (int, Stats) {
+	t.Helper()
+	s := New(Config{})
+	counter := 0
+	err := s.Run(func() {
+		m := s.MustMutex(MutexAttr{Engine: kind, Name: "eng"})
+		ts := make([]*Thread, threads)
+		for i := 0; i < threads; i++ {
+			th, err := s.Create(Attr{}, func(arg any) any {
+				for n := 0; n < iters; n++ {
+					if e := m.Lock(); e != nil {
+						t.Errorf("%v: Lock: %v", kind, e)
+						return nil
+					}
+					counter++
+					// Release the processor while holding the lock, so
+					// other threads run their Lock path and genuinely
+					// contend (spin-with-yield) on the engine.
+					s.Yield()
+					s.Compute(vtime.Microsecond)
+					if e := m.Unlock(); e != nil {
+						t.Errorf("%v: Unlock: %v", kind, e)
+						return nil
+					}
+				}
+				return nil
+			}, nil)
+			if err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+			ts[i] = th
+		}
+		for _, th := range ts {
+			if _, e := s.Join(th); e != nil {
+				t.Errorf("join: %v", e)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("%v: Run: %v", kind, err)
+	}
+	return counter, s.Stats()
+}
+
+func TestEngineMutexUniprocessorAllKinds(t *testing.T) {
+	for _, kind := range lockeng.Kinds() {
+		counter, _ := engineRun(t, kind, 3, 20)
+		if counter != 60 {
+			t.Fatalf("%v: counter = %d, want 60", kind, counter)
+		}
+	}
+	// The repaired unfair engine is correct too.
+	counter, _ := engineRun(t, lockeng.KindUnfairFixed, 3, 20)
+	if counter != 60 {
+		t.Fatalf("unfair-fixed: counter = %d, want 60", counter)
+	}
+}
+
+func TestEngineMutexBasics(t *testing.T) {
+	s := New(Config{})
+	err := s.Run(func() {
+		m := s.MustMutex(MutexAttr{Engine: lockeng.KindMCS, Name: "m"})
+		if err := m.Lock(); err != nil {
+			t.Errorf("Lock: %v", err)
+		}
+		if m.Owner() != s.Current() {
+			t.Errorf("owner not recorded on engine lock")
+		}
+		if err := m.Lock(); err == nil {
+			t.Errorf("relock succeeded, want EDEADLK")
+		}
+		if err := m.TryLock(); err == nil {
+			t.Errorf("trylock while held succeeded, want EBUSY")
+		}
+		if err := m.Unlock(); err != nil {
+			t.Errorf("Unlock: %v", err)
+		}
+		if err := m.TryLock(); err != nil {
+			t.Errorf("trylock on free engine mutex: %v", err)
+		}
+		if err := m.Unlock(); err != nil {
+			t.Errorf("Unlock after trylock: %v", err)
+		}
+		// Unlock by a non-owner is refused.
+		th, _ := s.Create(Attr{}, func(arg any) any {
+			if err := m.Unlock(); err == nil {
+				t.Errorf("non-owner unlock succeeded, want EPERM")
+			}
+			return nil
+		}, nil)
+		s.Join(th)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEngineMutexRejectsProtocolsAndCondWait(t *testing.T) {
+	s := New(Config{})
+	err := s.Run(func() {
+		if _, err := s.NewMutex(MutexAttr{Engine: lockeng.KindTTAS, Protocol: ProtocolInherit}); err == nil {
+			t.Errorf("engine + inheritance accepted, want EINVAL")
+		}
+		if _, err := s.NewMutex(MutexAttr{Engine: lockeng.KindTicket, Protocol: ProtocolCeiling, Ceiling: 20}); err == nil {
+			t.Errorf("engine + ceiling accepted, want EINVAL")
+		}
+		m := s.MustMutex(MutexAttr{Engine: lockeng.KindTTAS, Name: "m"})
+		cv := s.NewCond("cv")
+		if err := m.Lock(); err != nil {
+			t.Errorf("Lock: %v", err)
+		}
+		if err := cv.Wait(m); err == nil {
+			t.Errorf("cond wait on engine mutex succeeded, want EINVAL")
+		}
+		if err := m.Unlock(); err != nil {
+			t.Errorf("Unlock: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestEngineMutexContentionCounted checks the contended path (spin with
+// yields) is exercised and accounted.
+func TestEngineMutexContentionCounted(t *testing.T) {
+	_, stats := engineRun(t, lockeng.KindTicket, 4, 10)
+	if stats.MutexContentions == 0 {
+		t.Fatalf("no contentions recorded on a 4-thread ticket-lock run")
+	}
+}
+
+// TestEngineMutexDeterministic pins schedule determinism: two identical
+// engine-mutex runs must produce identical virtual end times.
+func TestEngineMutexDeterministic(t *testing.T) {
+	end := func() vtime.Time {
+		s := New(Config{})
+		err := s.Run(func() {
+			m := s.MustMutex(MutexAttr{Engine: lockeng.KindCLH, Name: "m"})
+			var ts []*Thread
+			for i := 0; i < 3; i++ {
+				th, _ := s.Create(Attr{}, func(arg any) any {
+					for n := 0; n < 15; n++ {
+						m.Lock()
+						s.Compute(500 * vtime.Nanosecond)
+						m.Unlock()
+					}
+					return nil
+				}, nil)
+				ts = append(ts, th)
+			}
+			for _, th := range ts {
+				s.Join(th)
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return s.Now()
+	}
+	if a, b := end(), end(); a != b {
+		t.Fatalf("engine-mutex runs diverged: %v vs %v", a, b)
+	}
+}

@@ -121,11 +121,30 @@ func (s *System) dispatch() {
 		if len(s.caughtInKernel) > 0 {
 			s.kernelFlag = true
 			if next != s.current {
-				s.ready.EnqueueHead(next, next.prio)
+				if s.lastPickForce {
+					// The pick came from a consumed PRNG draw or an
+					// explorer decision. Discarding it here would re-run
+					// selection by plain priority — a draw with no
+					// schedule effect, desynchronizing record/replay.
+					// Park it back on the level it was taken from and
+					// pin it so the re-selection after signal handling
+					// honors the committed decision.
+					s.ready.EnqueueHead(next, s.lastPickPrio)
+					s.forcedNext = next
+					s.forcedPrio = s.lastPickPrio
+				} else {
+					s.ready.EnqueueHead(next, next.prio)
+				}
 			}
 			continue
 		}
 
+		if s.pendingPick != nil {
+			if s.pendingPick == next {
+				s.prngDecisions++
+			}
+			s.pendingPick = nil
+		}
 		if next != s.current {
 			s.contextSwitch(next)
 		} else if next.state != StateRunning {
@@ -149,6 +168,26 @@ func (s *System) dispatch() {
 func (s *System) selectNext() *Thread {
 	s.cpu.ChargeInstr(instrSelect)
 	cur := s.current
+	s.lastPickForce = false
+
+	if s.forcedNext != nil {
+		// A draw/explorer pick preserved across the restart arc: honor
+		// it if the signal handling left the thread ready (a handler
+		// may have blocked or killed it, invalidating the decision).
+		t := s.forcedNext
+		s.forcedNext = nil
+		if t.state == StateReady {
+			ok := s.ready.Remove(t, s.forcedPrio)
+			if !ok {
+				_, ok = s.ready.RemoveAny(t)
+			}
+			if ok {
+				s.lastPickForce = true
+				s.lastPickPrio = s.forcedPrio
+				return t
+			}
+		}
+	}
 
 	if s.explorePickArmed {
 		// Exploration: dispatch exactly the ready thread the explorer
@@ -163,6 +202,8 @@ func (s *System) selectNext() *Thread {
 			}
 			t, p, _ := s.ready.Nth(i)
 			s.ready.Remove(t, p)
+			s.lastPickForce = true
+			s.lastPickPrio = p
 			return t
 		}
 	}
@@ -173,8 +214,12 @@ func (s *System) selectNext() *Thread {
 		// by the policy hook).
 		s.randomPick = false
 		if n := s.ready.Len(); n > 0 {
+			s.prngDraws++
 			t, p, _ := s.ready.Nth(s.prng.Intn(n))
 			s.ready.Remove(t, p)
+			s.lastPickForce = true
+			s.lastPickPrio = p
+			s.pendingPick = t
 			return t
 		}
 	}

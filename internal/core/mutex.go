@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pthreads/internal/hw"
+	"pthreads/internal/lockeng"
 	"pthreads/internal/sched"
 )
 
@@ -51,6 +52,11 @@ type MutexAttr struct {
 	// PrimitiveSet marks Primitive as deliberately chosen (the
 	// lock-primitive ablation benchmark sets it).
 	PrimitiveSet bool
+	// Engine selects a lock-engine protocol (lockeng) instead of the
+	// kernel's native test-and-set + suspend path. Engine mutexes spin
+	// with yields rather than parking; they require ProtocolNone and do
+	// not compose with condition variables (see enginemutex.go).
+	Engine lockeng.Kind
 	// Name labels the mutex in traces.
 	Name string
 }
@@ -69,6 +75,11 @@ type Mutex struct {
 	ownerWord hw.Word
 	owner     *Thread
 	waiters   sched.Queue[*Thread]
+
+	// eng, when non-nil, replaces the native lock path with a lockeng
+	// protocol; engCtxs holds each thread's per-lock engine context.
+	eng     *lockeng.Mutex
+	engCtxs map[*Thread]*lockeng.Ctx
 
 	// Contentions counts lock attempts that had to suspend.
 	Contentions int64
@@ -98,7 +109,19 @@ func (s *System) NewMutex(attr MutexAttr) (*Mutex, error) {
 	if name == "" {
 		name = "mutex"
 	}
-	return &Mutex{s: s, name: name, waitName: "mutex " + name, protocol: attr.Protocol, ceiling: attr.Ceiling, primitive: prim}, nil
+	m := &Mutex{s: s, name: name, waitName: "mutex " + name, protocol: attr.Protocol, ceiling: attr.Ceiling, primitive: prim}
+	if attr.Engine != lockeng.KindNone {
+		if attr.Protocol != ProtocolNone {
+			// Spinning waiters never park, so there is nobody to boost:
+			// the priority protocols need the suspend queue.
+			return nil, EINVAL.Or()
+		}
+		if s.lockEnv == nil {
+			s.lockEnv = &lockEnv{s: s}
+		}
+		m.eng = lockeng.New(attr.Engine, s.lockEnv, name)
+	}
+	return m, nil
 }
 
 // MustMutex is NewMutex that panics on invalid attributes; a convenience
@@ -138,6 +161,10 @@ func (m *Mutex) Lock() error {
 		t.errno = EINVAL
 		return EINVAL.Or()
 	}
+	if m.eng != nil {
+		s.engineLock(m)
+		return nil
+	}
 	// Uncontended fast path, entirely in user mode: the Figure 4
 	// sequence plus ownership bookkeeping, no kernel entry.
 	if s.acquireAtomic(m, t) {
@@ -160,6 +187,13 @@ func (m *Mutex) TryLock() error {
 	if m.protocol == ProtocolCeiling && t.prio > m.ceiling {
 		t.errno = EINVAL
 		return EINVAL.Or()
+	}
+	if m.eng != nil {
+		if !s.engineTryLock(m) {
+			t.errno = EBUSY
+			return EBUSY.Or()
+		}
+		return nil
 	}
 	if !s.acquireAtomic(m, t) {
 		t.errno = EBUSY
@@ -274,6 +308,10 @@ func (s *System) afterAcquire(m *Mutex, t *Thread) {
 // condition wait.
 func (s *System) mutexLock(m *Mutex) {
 	t := s.current
+	if m.eng != nil {
+		s.engineLock(m)
+		return
+	}
 	if s.acquireAtomic(m, t) {
 		s.afterAcquire(m, t)
 		return
@@ -339,6 +377,10 @@ func (s *System) lockSlow(m *Mutex) {
 // mutexUnlock releases the mutex, restoring any priority boost and
 // handing the mutex to the highest-priority waiter.
 func (s *System) mutexUnlock(m *Mutex) {
+	if m.eng != nil {
+		s.engineUnlock(m)
+		return
+	}
 	t := s.current
 
 	// Drop m from the owned list.

@@ -70,6 +70,12 @@ func (s *System) pervertKernelExit() {
 		if s.ready.Empty() {
 			return
 		}
+		// The coin flip is a decision either way (switch or stay), so
+		// draw and decision are counted together; the Intn(n) pick in
+		// selectNext counts its decision only when the picked thread is
+		// actually dispatched.
+		s.prngDraws++
+		s.prngDecisions++
 		if s.prng.Intn(2) == 0 {
 			return
 		}
@@ -80,6 +86,17 @@ func (s *System) pervertKernelExit() {
 		s.trace(EvState, cur, "ready", "perverted random switch")
 		s.mState(cur)
 	}
+}
+
+// PrngAudit reports the scheduler's PRNG discipline: draws is how many
+// random values the scheduling machinery has consumed, decisions how
+// many of them were applied to the schedule (a dispatched random pick,
+// or a switch/stay coin flip). The two are equal unless a signal
+// handler invalidated a committed pick by unreadying the chosen thread
+// — any other divergence means a draw leaked without a schedule effect,
+// which silently breaks record/replay token compatibility.
+func (s *System) PrngAudit() (draws, decisions int64) {
+	return s.prngDraws, s.prngDecisions
 }
 
 // pervertMutexSwitch forces the mutex-switch policy's context switch

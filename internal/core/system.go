@@ -168,6 +168,7 @@ type System struct {
 
 	pool          []*poolEntry
 	prng          *rand.Rand
+	lockEnv       *lockEnv // lazily created when a mutex selects a lock engine
 	quantum       vtime.Duration
 	sliceTimer    vtime.TimerID
 	sliceFor      *Thread
@@ -178,6 +179,20 @@ type System struct {
 	metrics       MetricsSink
 	pervertArm    bool // set when the active perverted policy wants a switch at kernel exit
 	randomPick    bool // random-switch: pick the next thread at random
+
+	// PRNG audit: every draw the scheduler consumes must correspond to
+	// an applied scheduling decision, or record/replay token streams
+	// desynchronize (see pervert_draws_test.go). forcedNext preserves a
+	// draw- or explorer-committed pick across the dispatch restart arc,
+	// which would otherwise discard it (re-selecting by plain priority
+	// after the draw was already consumed).
+	prngDraws     int64
+	prngDecisions int64
+	pendingPick   *Thread // thread chosen by a PRNG draw, not yet dispatched
+	lastPickPrio  int     // queue level the forced/explored pick was dequeued from
+	lastPickForce bool    // selectNext's return came from a draw/explorer pick
+	forcedNext    *Thread // pick preserved across the restart arc
+	forcedPrio    int
 
 	// Exploration-engine state (all dormant while explorer is nil).
 	explorer         Explorer

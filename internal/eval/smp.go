@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"pthreads/internal/core"
+	"pthreads/internal/lockeng"
+	"pthreads/internal/vtime"
+)
+
+// The simulated-SMP contention ladder (EXPERIMENTS.md E29): every lock
+// engine runs the same fixed-work critical-section program on 1 to 8
+// virtual CPUs, and the cache-coherence cost model separates them the
+// way the multiprocessor literature predicts — TAS collapses under the
+// bounce storm of its contended swaps, TTAS's read spinning bounces
+// only at release, and the queue locks (MCS/CLH) spin on locally-held
+// lines so their traffic stays near one bounce per handoff. Every
+// column is virtual and therefore bit-identical across hosts; the
+// schedule hash doubles as the determinism fingerprint the verify
+// gate compares between repeated runs.
+
+// SMPVCPULadder is the default CPU-count ladder.
+var SMPVCPULadder = []int{1, 2, 4, 8}
+
+// SMPPoint is one (engine, vcpus) measurement. All fields derive from
+// virtual time and deterministic counters — no host clocks.
+type SMPPoint struct {
+	Engine       string  `json:"engine"`
+	VCPUs        int     `json:"vcpus"`
+	Threads      int     `json:"threads"`
+	Ops          int64   `json:"ops"`
+	MakespanVUS  float64 `json:"makespan_vus"`
+	VUSOp        float64 `json:"vus_per_op"`
+	WaitVUSOp    float64 `json:"wait_vus_per_op"`
+	BouncesOp    float64 `json:"bounces_per_op"`
+	SpinsOp      float64 `json:"spins_per_op"`
+	Steals       int64   `json:"steals"`
+	WaitSpread   float64 `json:"wait_spread"`
+	ScheduleHash string  `json:"schedule_hash"`
+}
+
+// RunSMPPoint measures one engine at one CPU count: one thread per
+// VCPU, each performing iters lock / 2µs critical section / unlock /
+// 1µs local-work cycles.
+func RunSMPPoint(kind lockeng.Kind, vcpus, iters int) (SMPPoint, error) {
+	s := core.NewSMP(core.SMPConfig{VCPUs: vcpus})
+	m := s.NewSMPMutex(kind, "ladder")
+	ths := make([]*core.SMPThread, vcpus)
+	for i := range ths {
+		ths[i] = s.Go(fmt.Sprintf("w%d", i), func(t *core.SMPThread) {
+			for n := 0; n < iters; n++ {
+				m.Lock(t)
+				t.Compute(2 * vtime.Microsecond)
+				m.Unlock(t)
+				t.Compute(vtime.Microsecond)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		return SMPPoint{}, fmt.Errorf("%v/%d: %w", kind, vcpus, err)
+	}
+
+	ops := int64(vcpus) * int64(iters)
+	var waits, spins, bounces int64
+	minWait, maxWait := int64(-1), int64(0)
+	for _, t := range ths {
+		waits += t.WaitVUS
+		if minWait < 0 || t.WaitVUS < minWait {
+			minWait = t.WaitVUS
+		}
+		if t.WaitVUS > maxWait {
+			maxWait = t.WaitVUS
+		}
+	}
+	mach := s.Machine()
+	for _, v := range mach.CPUs {
+		spins += v.Spins
+	}
+	bounces = mach.TotalBounces()
+	// WaitSpread is max/min per-thread lock-wait time — the ladder's
+	// fairness column. Queue locks hand off in strict FIFO, so their
+	// spread stays near 1; the backoff locks let luck decide.
+	spread := 1.0
+	if minWait > 0 {
+		spread = float64(maxWait) / float64(minWait)
+	} else if maxWait > 0 {
+		spread = float64(maxWait)
+	}
+	makespan := int64(mach.MaxNow())
+	return SMPPoint{
+		Engine:       kind.String(),
+		VCPUs:        vcpus,
+		Threads:      vcpus,
+		Ops:          ops,
+		MakespanVUS:  float64(makespan) / 1e3,
+		VUSOp:        float64(makespan) / float64(ops) / 1e3,
+		WaitVUSOp:    float64(waits) / float64(ops) / 1e3,
+		BouncesOp:    float64(bounces) / float64(ops),
+		SpinsOp:      float64(spins) / float64(ops),
+		Steals:       s.Steals(),
+		WaitSpread:   spread,
+		ScheduleHash: fmt.Sprintf("%016x", s.ScheduleHash()),
+	}, nil
+}
+
+// RunSMPLadder sweeps every real lock engine across the CPU ladder.
+func RunSMPLadder(cpus []int, iters int) ([]SMPPoint, error) {
+	if len(cpus) == 0 {
+		cpus = SMPVCPULadder
+	}
+	var pts []SMPPoint
+	for _, kind := range lockeng.Kinds() {
+		for _, n := range cpus {
+			pt, err := RunSMPPoint(kind, n, iters)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, pt)
+		}
+	}
+	return pts, nil
+}
+
+// FormatSMP renders the ladder. Every column is deterministic virtual
+// state: two runs of the same build must render byte-identical tables.
+func FormatSMP(pts []SMPPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Simulated-SMP lock contention ladder (virtual time; deterministic)\n")
+	fmt.Fprintf(&b, "%-8s %6s %8s %14s %10s %12s %12s %10s %8s %7s  %s\n",
+		"engine", "vcpus", "ops", "makespan_vus", "vus/op", "wait_vus/op", "bounces/op", "spins/op", "steals", "spread", "schedule")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-8s %6d %8d %14.1f %10.2f %12.2f %12.2f %10.2f %8d %7.2f  %s\n",
+			p.Engine, p.VCPUs, p.Ops, p.MakespanVUS, p.VUSOp, p.WaitVUSOp, p.BouncesOp, p.SpinsOp, p.Steals, p.WaitSpread, p.ScheduleHash)
+	}
+	return b.String()
+}

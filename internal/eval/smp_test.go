@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"testing"
+
+	"pthreads/internal/lockeng"
+)
+
+// The ladder's headline claims, pinned: coherence traffic separates the
+// engines at high CPU counts (queue locks degrade gracefully where TAS
+// collapses), a single CPU sees zero coherence traffic, and every point
+// is deterministic down to its schedule hash.
+
+func ladderPoint(t *testing.T, kind lockeng.Kind, vcpus, iters int) SMPPoint {
+	t.Helper()
+	pt, err := RunSMPPoint(kind, vcpus, iters)
+	if err != nil {
+		t.Fatalf("%v/%d: %v", kind, vcpus, err)
+	}
+	return pt
+}
+
+func TestSMPLadderEngineSeparation(t *testing.T) {
+	const iters = 150
+	tas := ladderPoint(t, lockeng.KindTAS, 8, iters)
+	ttas := ladderPoint(t, lockeng.KindTTAS, 8, iters)
+	mcs := ladderPoint(t, lockeng.KindMCS, 8, iters)
+	clh := ladderPoint(t, lockeng.KindCLH, 8, iters)
+	if !(mcs.BouncesOp < ttas.BouncesOp && clh.BouncesOp < ttas.BouncesOp) {
+		t.Errorf("queue locks should bounce less than TTAS: mcs=%.2f clh=%.2f ttas=%.2f",
+			mcs.BouncesOp, clh.BouncesOp, ttas.BouncesOp)
+	}
+	if !(ttas.BouncesOp < tas.BouncesOp) {
+		t.Errorf("TTAS should bounce less than TAS: ttas=%.2f tas=%.2f", ttas.BouncesOp, tas.BouncesOp)
+	}
+	// FIFO handoff keeps the queue locks' wait spread tight.
+	if mcs.WaitSpread > 1.2 || clh.WaitSpread > 1.2 {
+		t.Errorf("queue-lock wait spread too large: mcs=%.2f clh=%.2f", mcs.WaitSpread, clh.WaitSpread)
+	}
+}
+
+func TestSMPLadderSingleCPUNoCoherence(t *testing.T) {
+	for _, kind := range lockeng.Kinds() {
+		pt := ladderPoint(t, kind, 1, 100)
+		if pt.BouncesOp != 0 {
+			t.Errorf("%v: single CPU bounced (%.2f/op)", kind, pt.BouncesOp)
+		}
+		if pt.Steals != 0 {
+			t.Errorf("%v: single CPU stole work (%d)", kind, pt.Steals)
+		}
+	}
+}
+
+func TestSMPLadderDeterministic(t *testing.T) {
+	a := ladderPoint(t, lockeng.KindTicket, 4, 120)
+	b := ladderPoint(t, lockeng.KindTicket, 4, 120)
+	if a != b {
+		t.Errorf("identical ladder points diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,87 @@
+package explore
+
+import (
+	"fmt"
+
+	"pthreads/internal/core"
+	"pthreads/internal/lockeng"
+	"pthreads/internal/sched"
+	"pthreads/internal/vtime"
+)
+
+// Lock-engine workloads: the same critical-section integrity program run
+// over the selectable mutex engines. On the uniprocessor every engine
+// spin beat is a sched_yield — a kernel-exit switch point — so bounded
+// DFS steps straight through the protocols' handoff windows. The MCS and
+// ticket-wrap variants are correctness fixtures (exploration and the
+// race checker must come back clean, including across the 16-bit ticket
+// overflow); the unfair-handoff pair seeds a real mutual-exclusion bug:
+// the broken engine publishes its direct grant after freeing the lock
+// word and the grantee enters on the grant alone, so a third context
+// that swaps the free word overlaps with the grantee inside the
+// critical section — observed as a lost update on the shared counter.
+
+// LockEngineWorkload builds the counter program over one engine kind.
+// Each iteration reads the counter, yields inside the critical section
+// (a preemption point the engines must keep exclusive), and writes the
+// increment back; annotated accesses let the race checker corroborate.
+// A non-zero ticketBase winds a ticket engine's counters to just below
+// the 16-bit wrap before the threads start.
+func LockEngineWorkload(name string, kind lockeng.Kind, threads, iters int, ticketBase int64) Workload {
+	return Workload{
+		Name: name,
+		Desc: fmt.Sprintf("%d threads × %d increments under a %v engine mutex", threads, iters, kind),
+		Make: func(sys *core.System) (func(), func(error) string) {
+			counter := 0
+			body := func() {
+				m := sys.MustMutex(core.MutexAttr{Name: "engine", Engine: kind})
+				if ticketBase != 0 {
+					if err := sys.EngineTicketBase(m, ticketBase); err != nil {
+						panic(err)
+					}
+				}
+				attr := core.DefaultAttr()
+				// Everyone runs at the lowest priority: an exploration
+				// preemption parks the preempted thread at MinPrio's tail,
+				// and unlike the kernel's native mutexes the engines keep
+				// contenders Ready — a demoted lock holder would be starved
+				// forever by spinners rotating at a higher level.
+				attr.Priority = sched.MinPrio
+				ths := make([]*core.Thread, 0, threads)
+				for i := 0; i < threads; i++ {
+					attr.Name = fmt.Sprintf("worker%d", i)
+					th, _ := sys.Create(attr, func(any) any {
+						for j := 0; j < iters; j++ {
+							m.Lock()
+							sys.NoteRead("counter")
+							tmp := counter
+							// A switch point in the middle of the critical
+							// section: if mutual exclusion ever breaks, the
+							// overlap becomes a lost update.
+							sys.Yield()
+							sys.NoteWrite("counter")
+							counter = tmp + 1
+							m.Unlock()
+							sys.Compute(50 * vtime.Microsecond)
+						}
+						return nil
+					}, nil)
+					ths = append(ths, th)
+				}
+				for _, th := range ths {
+					sys.Join(th)
+				}
+			}
+			check := func(err error) string {
+				if err != nil {
+					return firstLine(err.Error())
+				}
+				if expected := threads * iters; counter != expected {
+					return fmt.Sprintf("mutual exclusion violated: final counter %d, expected %d", counter, expected)
+				}
+				return ""
+			}
+			return body, check
+		},
+	}
+}

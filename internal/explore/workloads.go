@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pthreads/internal/core"
+	"pthreads/internal/lockeng"
 	"pthreads/internal/sched"
 	"pthreads/internal/vtime"
 )
@@ -149,6 +150,10 @@ func Workloads() []Workload {
 		SockEchoWorkload(2, 64),
 		SockLostWakeupWorkload(true, 64),
 		SockLostWakeupWorkload(false, 64),
+		LockEngineWorkload("lock-mcs-handoff", lockeng.KindMCS, 3, 3, 0),
+		LockEngineWorkload("lock-ticket-wrap", lockeng.KindTicket, 3, 4, 0xFFFB),
+		LockEngineWorkload("lock-unfair", lockeng.KindUnfair, 3, 3, 0),
+		LockEngineWorkload("lock-unfair-fixed", lockeng.KindUnfairFixed, 3, 3, 0),
 	}
 }
 

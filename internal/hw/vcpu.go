@@ -1,0 +1,248 @@
+package hw
+
+// This file models a simulated symmetric multiprocessor: N virtual CPUs,
+// each with its own virtual clock and instruction counters, sharing a
+// memory system with a cache-line coherence cost model.
+//
+// As with the uniprocessor CostModel, this is a cost model and not an
+// emulator. The coherence protocol tracked per line is a simplified
+// MESI: each line remembers its last writer (the owner) and the set of
+// CPUs holding a valid copy (the sharers). A load that hits the local
+// copy is cheap; a load of a line last written elsewhere transfers the
+// line across the interconnect (a "bounce"); a store or atomic
+// read-modify-write by a CPU that does not hold the line exclusively
+// pays the bounce plus an invalidation message per remote sharer. These
+// three charges are what make test-and-set locks collapse under
+// contention while queue locks (MCS/CLH), whose waiters spin on CPU-
+// local lines, degrade gracefully — the behavior the contention-scaling
+// evaluation ladder measures.
+
+import "pthreads/internal/vtime"
+
+// MaxVCPUs bounds the size of a simulated machine; sharer sets are a
+// uint64 bitmask.
+const MaxVCPUs = 64
+
+// CacheModel holds the per-event virtual-time costs of the simulated
+// memory system.
+type CacheModel struct {
+	// Name identifies the memory system in reports.
+	Name string
+
+	// LoadHitNS is the cost of a load that hits the local cache.
+	LoadHitNS int64
+
+	// StoreHitNS is the cost of a store to a line the CPU already holds
+	// exclusively.
+	StoreHitNS int64
+
+	// BounceNS is the cost of transferring a cache line from a remote
+	// cache (or memory, after a remote write) into the local cache.
+	BounceNS int64
+
+	// InvalidatePerSharerNS is the per-remote-sharer cost a writer pays
+	// to invalidate outstanding copies before its store completes.
+	InvalidatePerSharerNS int64
+
+	// AtomicExtraNS is the additional cost of the bus-locked cycle of an
+	// atomic read-modify-write, on top of the line-state charges.
+	AtomicExtraNS int64
+
+	// SpinBeatNS is the cost of one beat of a spin-wait loop body (the
+	// test, branch, and optional pause of a spinner between probes).
+	SpinBeatNS int64
+}
+
+// DefaultCacheModel returns coherence costs calibrated against the
+// SPARCstation-class CostModel presets: a cached load is one simple
+// instruction, a line bounce is on the order of a memory access (an
+// order of magnitude worse), and the atomic extra matches the ldstub
+// penalty already charged by the uniprocessor model.
+func DefaultCacheModel() *CacheModel {
+	return &CacheModel{
+		Name:                  "snooping-bus",
+		LoadHitNS:             25,
+		StoreHitNS:            25,
+		BounceNS:              400,
+		InvalidatePerSharerNS: 100,
+		AtomicExtraNS:         50,
+		SpinBeatNS:            25,
+	}
+}
+
+// Line is the coherence state of one simulated cache line. The value
+// stored in the line lives with its user (the lock engines keep values
+// in their own words); Line tracks only who holds copies, which is all
+// the cost model needs.
+type Line struct {
+	name string
+
+	// owner is the CPU that last wrote the line, or -1 if the line has
+	// never been written.
+	owner int16
+
+	// sharers is the bitmask of CPUs holding a valid copy.
+	sharers uint64
+}
+
+// Name returns the line's label.
+func (l *Line) Name() string { return l.name }
+
+// VCPU is one virtual processor of a simulated multiprocessor: a
+// uniprocessor CPU cost model bound to a private clock, plus memory-
+// system counters.
+type VCPU struct {
+	ID  int
+	CPU *CPU
+
+	// Counters of memory-system events, for the evaluation harness.
+	Loads         int64
+	Stores        int64
+	Atomics       int64
+	LocalHits     int64
+	Bounces       int64
+	Invalidations int64 // remote copies this CPU invalidated by writing
+	Spins         int64 // spin-wait beats executed
+	Steals        int64 // threads stolen from another CPU's run queue
+}
+
+// Now returns the VCPU's local virtual time.
+func (v *VCPU) Now() vtime.Time { return v.CPU.Clock.Now() }
+
+// Machine is a simulated multiprocessor: N VCPUs over a shared memory
+// system. All charging is explicit — the scheduler above decides which
+// VCPU "executes" and in what order; the machine only accounts costs
+// and coherence state.
+type Machine struct {
+	Model *CostModel
+	Cache *CacheModel
+	CPUs  []*VCPU
+}
+
+// NewMachine builds an n-CPU machine over the given cost models. Each
+// VCPU gets its own clock starting at zero.
+func NewMachine(model *CostModel, cache *CacheModel, n int) *Machine {
+	if n < 1 || n > MaxVCPUs {
+		panic("hw: VCPU count out of range")
+	}
+	if model == nil {
+		model = SPARCstationIPX()
+	}
+	if cache == nil {
+		cache = DefaultCacheModel()
+	}
+	m := &Machine{Model: model, Cache: cache, CPUs: make([]*VCPU, n)}
+	for i := range m.CPUs {
+		m.CPUs[i] = &VCPU{ID: i, CPU: NewCPU(model, vtime.NewClock())}
+	}
+	return m
+}
+
+// NewLine allocates a cache line in the invalid-everywhere state.
+func (m *Machine) NewLine(name string) *Line {
+	return &Line{name: name, owner: -1}
+}
+
+// Load charges VCPU v for loading the line. A copy already in v's cache
+// hits locally; otherwise the line bounces in from its last writer. A
+// line never written anywhere is served from (conflict-free) memory at
+// hit cost — cold misses are not contention and charging them would
+// make single-CPU runs noisy for no modeling gain.
+func (m *Machine) Load(v *VCPU, l *Line) {
+	v.Loads++
+	bit := uint64(1) << uint(v.ID)
+	if l.sharers&bit != 0 || l.owner < 0 {
+		v.LocalHits++
+		v.CPU.Charge(m.Cache.LoadHitNS)
+	} else {
+		v.Bounces++
+		v.CPU.Charge(m.Cache.BounceNS)
+	}
+	l.sharers |= bit
+}
+
+// Store charges VCPU v for writing the line: free if held exclusively,
+// otherwise a bounce plus one invalidation per remote sharer. After the
+// store v is the exclusive owner.
+func (m *Machine) Store(v *VCPU, l *Line) {
+	v.Stores++
+	m.chargeWrite(v, l, 0)
+}
+
+// Atomic charges VCPU v for an atomic read-modify-write on the line
+// (test-and-set, swap, compare-and-swap, fetch-and-add): the write-
+// ownership charges plus the bus-locked-cycle extra.
+func (m *Machine) Atomic(v *VCPU, l *Line) {
+	v.Atomics++
+	m.chargeWrite(v, l, m.Cache.AtomicExtraNS)
+}
+
+func (m *Machine) chargeWrite(v *VCPU, l *Line, extra int64) {
+	bit := uint64(1) << uint(v.ID)
+	if l.owner == int16(v.ID) && l.sharers == bit {
+		v.CPU.Charge(m.Cache.StoreHitNS + extra)
+	} else {
+		ns := extra
+		if l.sharers&bit == 0 && l.owner >= 0 {
+			ns += m.Cache.BounceNS
+			v.Bounces++
+		} else {
+			ns += m.Cache.StoreHitNS
+		}
+		if remote := popcount(l.sharers &^ bit); remote > 0 {
+			ns += int64(remote) * m.Cache.InvalidatePerSharerNS
+			v.Invalidations += int64(remote)
+		}
+		v.CPU.Charge(ns)
+	}
+	l.owner = int16(v.ID)
+	l.sharers = bit
+}
+
+// Spin charges VCPU v for n beats of a spin-wait loop.
+func (m *Machine) Spin(v *VCPU, n int) {
+	if n <= 0 {
+		n = 1
+	}
+	v.Spins += int64(n)
+	v.CPU.Charge(int64(n) * m.Cache.SpinBeatNS)
+}
+
+// ChargeSteal charges VCPU v for stealing work from another CPU's run
+// queue: the queue operation's instructions plus a line bounce for the
+// victim's queue header.
+func (m *Machine) ChargeSteal(v *VCPU, queueInstrs int64) {
+	v.Steals++
+	v.Bounces++
+	v.CPU.Charge(queueInstrs*m.Model.InstrNS + m.Cache.BounceNS)
+}
+
+// Bounces sums the line transfers observed by all CPUs.
+func (m *Machine) TotalBounces() int64 {
+	var n int64
+	for _, v := range m.CPUs {
+		n += v.Bounces
+	}
+	return n
+}
+
+// MaxNow returns the largest local clock — the virtual makespan of the
+// machine's execution so far.
+func (m *Machine) MaxNow() vtime.Time {
+	max := m.CPUs[0].Now()
+	for _, v := range m.CPUs[1:] {
+		if t := v.Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

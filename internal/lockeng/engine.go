@@ -1,0 +1,323 @@
+// Package lockeng implements the lock menagerie of "Basic Lock
+// Algorithms in Lightweight Thread Environments" as engines selectable
+// behind the pthread_mutex API: test-and-set, test-and-test-and-set
+// with exponential backoff, ticket locks with bounded (16-bit) ticket
+// arithmetic, and the MCS and CLH queue locks whose waiters spin on
+// CPU-local lines.
+//
+// The engines are pure protocol: every memory operation goes through an
+// Env, so the same algorithm runs over three different substrates —
+//
+//   - the simulated multiprocessor (internal/core's SMP executor), where
+//     each operation charges coherence costs to a virtual CPU and Spin
+//     hands the virtual processor over at a deterministic point;
+//   - the simulated uniprocessor (internal/core's Mutex with an Engine
+//     attribute), where Spin yields the single virtual CPU so the lock
+//     holder can run — the spin-versus-yield adaptation the lightweight-
+//     threads paper studies;
+//   - plain host goroutines (the package tests), where the race detector
+//     checks that the protocols themselves establish mutual exclusion.
+//
+// Engines never block in the host sense and never allocate after setup.
+package lockeng
+
+import "fmt"
+
+// Kind selects a lock engine.
+type Kind int
+
+const (
+	// KindNone is the zero value: no engine, the kernel's native
+	// suspend-on-contention mutex.
+	KindNone Kind = iota
+
+	// KindTAS is a bare test-and-set spin lock: every probe is an atomic
+	// swap on the shared lock word. The collapse-under-contention
+	// baseline.
+	KindTAS
+
+	// KindTTAS is test-and-test-and-set with capped exponential backoff:
+	// spinners probe with plain loads and attempt the swap only when the
+	// lock reads free.
+	KindTTAS
+
+	// KindTicket is a ticket lock with 16-bit ticket arithmetic
+	// (tickets wrap at 65536, as they would in a pair of packed
+	// halfwords) and proportional backoff.
+	KindTicket
+
+	// KindMCS is the MCS queue lock: waiters link into an explicit queue
+	// and spin on a flag in their own qnode; release hands the lock to
+	// the successor by writing that node.
+	KindMCS
+
+	// KindCLH is the CLH queue lock: waiters spin on their predecessor's
+	// node and recycle it on acquisition.
+	KindCLH
+
+	// KindUnfair is a deliberately broken variant of TTAS-with-handoff
+	// used by the exploration workloads: release publishes a direct
+	// grant to a registered waiter *after* freeing the lock word, and a
+	// granted waiter enters the critical section without re-acquiring
+	// the word — so a third party can swap the free word and overlap
+	// with the grantee.
+	KindUnfair
+
+	// KindUnfairFixed is the repaired variant: the grant is only a
+	// wakeup hint, and the grantee still acquires the lock word
+	// atomically before entering.
+	KindUnfairFixed
+)
+
+var kindNames = map[Kind]string{
+	KindNone:        "none",
+	KindTAS:         "tas",
+	KindTTAS:        "ttas",
+	KindTicket:      "ticket",
+	KindMCS:         "mcs",
+	KindCLH:         "clh",
+	KindUnfair:      "unfair",
+	KindUnfairFixed: "unfair-fixed",
+}
+
+// String names the engine for reports and flags.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ByName resolves an engine name as used on command lines.
+func ByName(s string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == s {
+			return k, true
+		}
+	}
+	return KindNone, false
+}
+
+// Kinds lists the real engines in evaluation-ladder order (the broken
+// workload variants are excluded).
+func Kinds() []Kind { return []Kind{KindTAS, KindTTAS, KindTicket, KindMCS, KindCLH} }
+
+// Word is one shared memory word a lock engine operates on. The value
+// lives here; the backing Env charges costs (and, on the simulated
+// multiprocessor, tracks cache-line coherence) via the tag it binds.
+type Word struct {
+	name string
+	v    int64
+	tag  any
+}
+
+// Name returns the word's label ("m.tail").
+func (w *Word) Name() string { return w.name }
+
+// Value peeks at the word without going through an Env. Only for
+// assertions in single-threaded contexts (simulation or test setup).
+func (w *Word) Value() int64 { return w.v }
+
+// Tag returns the backend cookie installed by Env.Bind.
+func (w *Word) Tag() any { return w.tag }
+
+// SetTag installs the backend cookie. Called by Env.Bind implementations.
+func (w *Word) SetTag(t any) { w.tag = t }
+
+// SetValue writes the word directly. Only Env implementations (inside
+// their own serialization) and single-threaded test setup may call it.
+func (w *Word) SetValue(v int64) { w.v = v }
+
+// Env is one execution context's view of shared memory. Implementations
+// perform the data operation on the word (so they can serialize it
+// however the substrate requires) and charge whatever the operation
+// costs there. Spin(n) burns n beats of a spin-wait loop; on
+// cooperative substrates it is also the point where the spinner lets
+// other contexts run.
+type Env interface {
+	// Bind prepares backend state for a word (e.g. allocates its
+	// simulated cache line). Called once per word at engine setup.
+	Bind(w *Word)
+
+	Load(w *Word) int64
+	Store(w *Word, v int64)
+
+	// Swap atomically exchanges the word's value, returning the old one
+	// (the ldstub/swap generalization).
+	Swap(w *Word, v int64) int64
+
+	// CAS atomically replaces old with new, reporting success.
+	CAS(w *Word, old, new int64) bool
+
+	// FetchAdd atomically adds d, returning the previous value.
+	FetchAdd(w *Word, d int64) int64
+
+	Spin(n int)
+}
+
+// Ctx is one acquirer's per-lock context: the qnode of the queue locks,
+// plus scratch the other engines use. Allocate one per (thread, lock)
+// pair with Mutex.NewCtx before contention starts; engines allocate
+// nothing afterwards.
+type Ctx struct {
+	// id is the acquirer's ordinal within the lock (assigned by NewCtx);
+	// queue words store id+1 so zero can mean "nil".
+	id int
+
+	// locked and next are the MCS qnode.
+	locked, next *Word
+
+	// node is the CLH context's current node index into Mutex.nodes
+	// (nodes migrate between contexts as the CLH queue recycles them),
+	// and pred is the predecessor node observed at the last acquisition,
+	// adopted as the context's next node when it unlocks.
+	node, pred int
+}
+
+// ID returns the acquirer ordinal NewCtx assigned.
+func (c *Ctx) ID() int { return c.id }
+
+// Mutex is the engine-side state of one lock: the shared words the
+// protocol spins on. It holds no owner bookkeeping — that stays with
+// the caller (the kernel's Mutex wrapper or the SMP harness).
+type Mutex struct {
+	kind Kind
+	name string
+
+	lock          *Word // tas/ttas/unfair
+	waiter, grant *Word // unfair
+	next, serve   *Word // ticket
+	tail          *Word // mcs/clh
+
+	ctxs  []*Ctx  // mcs: id → ctx, for successor hand-off
+	nodes []*Word // clh: node storage (index 0 is the initial sentinel)
+}
+
+// New builds the engine state for one lock over env. Not safe for
+// concurrent use; create locks before contention starts.
+func New(kind Kind, env Env, name string) *Mutex {
+	m := &Mutex{kind: kind, name: name}
+	word := func(suffix string) *Word {
+		w := &Word{name: name + "." + suffix}
+		env.Bind(w)
+		return w
+	}
+	switch kind {
+	case KindTAS, KindTTAS:
+		m.lock = word("lock")
+	case KindTicket:
+		m.next = word("next")
+		m.serve = word("serve")
+	case KindMCS:
+		m.tail = word("tail")
+	case KindCLH:
+		m.tail = word("tail")
+		sentinel := word("node0")
+		m.nodes = []*Word{sentinel}
+		m.tail.v = 1 // points at the (unlocked) sentinel
+	case KindUnfair, KindUnfairFixed:
+		m.lock = word("lock")
+		m.waiter = word("waiter")
+		m.grant = word("grant")
+	default:
+		panic("lockeng: New with no engine kind")
+	}
+	return m
+}
+
+// Kind returns the engine the lock runs.
+func (m *Mutex) Kind() Kind { return m.kind }
+
+// Name returns the lock's label.
+func (m *Mutex) Name() string { return m.name }
+
+// NewCtx allocates an acquirer context for this lock. Not safe for
+// concurrent use; create contexts before contention starts (the kernel
+// wrapper does this lazily, which is safe there because the simulation
+// is single-threaded).
+func (m *Mutex) NewCtx(env Env) *Ctx {
+	c := &Ctx{id: len(m.ctxs)}
+	m.ctxs = append(m.ctxs, c)
+	switch m.kind {
+	case KindMCS:
+		c.locked = &Word{name: fmt.Sprintf("%s.q%d.locked", m.name, c.id)}
+		c.next = &Word{name: fmt.Sprintf("%s.q%d.next", m.name, c.id)}
+		env.Bind(c.locked)
+		env.Bind(c.next)
+	case KindCLH:
+		n := &Word{name: fmt.Sprintf("%s.node%d", m.name, len(m.nodes))}
+		env.Bind(n)
+		c.node = len(m.nodes)
+		m.nodes = append(m.nodes, n)
+	}
+	return c
+}
+
+// Lock acquires the mutex for the context, spinning via env until the
+// protocol grants it.
+func (m *Mutex) Lock(env Env, c *Ctx) {
+	switch m.kind {
+	case KindTAS:
+		m.tasLock(env)
+	case KindTTAS:
+		m.ttasLock(env)
+	case KindTicket:
+		m.ticketLock(env)
+	case KindMCS:
+		m.mcsLock(env, c)
+	case KindCLH:
+		m.clhLock(env, c)
+	case KindUnfair, KindUnfairFixed:
+		m.unfairLock(env, c)
+	}
+}
+
+// TryLock attempts a non-blocking acquisition, reporting success. A
+// false under momentary contention is permitted (POSIX trylock may
+// spuriously report busy).
+func (m *Mutex) TryLock(env Env, c *Ctx) bool {
+	switch m.kind {
+	case KindTAS, KindTTAS:
+		return env.Load(m.lock) == 0 && env.Swap(m.lock, -1) == 0
+	case KindTicket:
+		cur := env.Load(m.serve)
+		return env.Load(m.next) == cur && env.CAS(m.next, cur, (cur+1)&ticketMask)
+	case KindMCS:
+		if !env.CAS(m.tail, 0, int64(c.id+1)) {
+			return false
+		}
+		env.Store(c.next, 0)
+		return true
+	case KindCLH:
+		prev := env.Load(m.tail)
+		if env.Load(m.nodes[prev-1]) != 0 {
+			return false
+		}
+		env.Store(m.nodes[c.node], 1)
+		if !env.CAS(m.tail, prev, int64(c.node+1)) {
+			env.Store(m.nodes[c.node], 0)
+			return false
+		}
+		c.pred = int(prev - 1)
+		return true
+	case KindUnfair, KindUnfairFixed:
+		return env.Load(m.lock) == 0 && env.Swap(m.lock, -1) == 0
+	}
+	return false
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock(env Env, c *Ctx) {
+	switch m.kind {
+	case KindTAS, KindTTAS:
+		env.Store(m.lock, 0)
+	case KindTicket:
+		env.Store(m.serve, (env.Load(m.serve)+1)&ticketMask)
+	case KindMCS:
+		m.mcsUnlock(env, c)
+	case KindCLH:
+		m.clhUnlock(env, c)
+	case KindUnfair, KindUnfairFixed:
+		m.unfairUnlock(env, c)
+	}
+}

@@ -1,0 +1,205 @@
+package lockeng
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// hostEnv runs the engines over plain host goroutines: every word
+// operation is serialized by one host mutex (standing in for the memory
+// system's per-operation atomicity), and Spin yields the OS thread.
+// Under `go test -race` this checks that the protocols themselves — not
+// any hidden host synchronization — establish the happens-before edges
+// that make a critical section safe.
+type hostEnv struct {
+	mu sync.Mutex
+}
+
+func (e *hostEnv) Bind(w *Word) {}
+
+func (e *hostEnv) Load(w *Word) int64 {
+	e.mu.Lock()
+	v := w.v
+	e.mu.Unlock()
+	return v
+}
+
+func (e *hostEnv) Store(w *Word, v int64) {
+	e.mu.Lock()
+	w.v = v
+	e.mu.Unlock()
+}
+
+func (e *hostEnv) Swap(w *Word, v int64) int64 {
+	e.mu.Lock()
+	old := w.v
+	w.v = v
+	e.mu.Unlock()
+	return old
+}
+
+func (e *hostEnv) CAS(w *Word, old, new int64) bool {
+	e.mu.Lock()
+	ok := w.v == old
+	if ok {
+		w.v = new
+	}
+	e.mu.Unlock()
+	return ok
+}
+
+func (e *hostEnv) FetchAdd(w *Word, d int64) int64 {
+	e.mu.Lock()
+	old := w.v
+	w.v += d
+	e.mu.Unlock()
+	return old
+}
+
+func (e *hostEnv) Spin(n int) { runtime.Gosched() }
+
+// realKinds are the engines with correct mutual exclusion (the broken
+// unfair variant is exercised only by the deterministic explorer, where
+// its violation is reproducible rather than a host-scheduling lottery).
+var realKinds = []Kind{KindTAS, KindTTAS, KindTicket, KindMCS, KindCLH, KindUnfairFixed}
+
+func TestUncontendedLockTryLockUnlock(t *testing.T) {
+	for _, k := range realKinds {
+		env := &hostEnv{}
+		m := New(k, env, "m")
+		c := m.NewCtx(env)
+		m.Lock(env, c)
+		if m.TryLock(env, c) {
+			t.Fatalf("%v: TryLock succeeded while held", k)
+		}
+		m.Unlock(env, c)
+		if !m.TryLock(env, c) {
+			t.Fatalf("%v: TryLock failed on a free lock", k)
+		}
+		m.Unlock(env, c)
+		// A full cycle after the trylock path still works.
+		m.Lock(env, c)
+		m.Unlock(env, c)
+	}
+}
+
+func TestTicketWraparound(t *testing.T) {
+	env := &hostEnv{}
+	m := New(KindTicket, env, "m")
+	c := m.NewCtx(env)
+	const base = 65530
+	m.SetTicketBase(env, base)
+	for i := 0; i < 12; i++ {
+		m.Lock(env, c)
+		m.Unlock(env, c)
+	}
+	want := int64((base + 12) & ticketMask)
+	if got := m.next.Value(); got != want {
+		t.Fatalf("next ticket after wrap: got %d, want %d", got, want)
+	}
+	if got := m.serve.Value(); got != want {
+		t.Fatalf("serve ticket after wrap: got %d, want %d", got, want)
+	}
+	if !m.TryLock(env, c) {
+		t.Fatalf("TryLock failed on a free wrapped lock")
+	}
+	m.Unlock(env, c)
+}
+
+func TestCLHNodeRecycling(t *testing.T) {
+	env := &hostEnv{}
+	m := New(KindCLH, env, "m")
+	ctxs := []*Ctx{m.NewCtx(env), m.NewCtx(env), m.NewCtx(env)}
+	for i := 0; i < 300; i++ {
+		c := ctxs[i%3]
+		m.Lock(env, c)
+		m.Unlock(env, c)
+	}
+	if got := len(m.nodes); got != 4 {
+		t.Fatalf("CLH allocated %d nodes for 3 contexts, want ctxs+1 = 4", got)
+	}
+}
+
+// TestMutualExclusionHost runs every correct engine from concurrently
+// scheduled goroutines guarding a plain (host-unsynchronized) counter.
+// Mutual exclusion makes the final count exact; under -race the
+// detector additionally verifies that the engine's env operations are
+// the only thing ordering the counter accesses.
+func TestMutualExclusionHost(t *testing.T) {
+	const goroutines = 4
+	const iters = 200
+	for _, k := range realKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			env := &hostEnv{}
+			m := New(k, env, "m")
+			ctxs := make([]*Ctx, goroutines)
+			for i := range ctxs {
+				ctxs[i] = m.NewCtx(env)
+			}
+			counter := 0
+			var wg sync.WaitGroup
+			for i := 0; i < goroutines; i++ {
+				wg.Add(1)
+				go func(c *Ctx) {
+					defer wg.Done()
+					for n := 0; n < iters; n++ {
+						m.Lock(env, c)
+						counter++
+						m.Unlock(env, c)
+					}
+				}(ctxs[i])
+			}
+			wg.Wait()
+			if counter != goroutines*iters {
+				t.Fatalf("%v: counter = %d, want %d (mutual exclusion violated)", k, counter, goroutines*iters)
+			}
+		})
+	}
+}
+
+// TestMutualExclusionTicketNearWrap repeats the contended test with the
+// ticket counters wound to just below the 16-bit boundary, so the
+// wraparound happens under contention.
+func TestMutualExclusionTicketNearWrap(t *testing.T) {
+	const goroutines = 4
+	const iters = 100
+	env := &hostEnv{}
+	m := New(KindTicket, env, "m")
+	m.SetTicketBase(env, 65500)
+	ctxs := make([]*Ctx, goroutines)
+	for i := range ctxs {
+		ctxs[i] = m.NewCtx(env)
+	}
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(c *Ctx) {
+			defer wg.Done()
+			for n := 0; n < iters; n++ {
+				m.Lock(env, c)
+				counter++
+				m.Unlock(env, c)
+			}
+		}(ctxs[i])
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d across the ticket wrap", counter, goroutines*iters)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for _, k := range append(realKinds, KindUnfair, KindNone) {
+		name := k.String()
+		got, ok := ByName(name)
+		if !ok || got != k {
+			t.Fatalf("ByName(%q) = %v, %v; want %v", name, got, ok, k)
+		}
+	}
+	if _, ok := ByName("no-such-engine"); ok {
+		t.Fatalf("ByName accepted an unknown engine")
+	}
+}

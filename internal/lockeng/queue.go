@@ -1,0 +1,61 @@
+package lockeng
+
+// The two queue locks. Both make waiters spin on a line no other CPU
+// writes until hand-off, which is what keeps their coherence traffic
+// constant per acquisition as contention grows:
+//
+//   - MCS: each waiter has an explicit qnode (locked, next); the lock
+//     word is a tail pointer. A waiter appends itself with an atomic
+//     swap, links into its predecessor's next, and spins on its own
+//     locked flag. Release hands off by writing the successor's flag.
+//   - CLH: the queue is implicit. A waiter marks its node busy, swaps
+//     it into the tail, and spins on its *predecessor's* node; release
+//     clears the waiter's own node. The predecessor's node is recycled
+//     as the waiter's next node, so the lock needs ctxs+1 nodes total.
+//
+// Queue words store context/node ordinals + 1, so zero means "nil".
+
+func (m *Mutex) mcsLock(env Env, c *Ctx) {
+	env.Store(c.next, 0)
+	env.Store(c.locked, 1)
+	prev := env.Swap(m.tail, int64(c.id+1))
+	if prev == 0 {
+		return
+	}
+	// Publish ourselves in the predecessor's qnode, then spin locally.
+	env.Store(m.ctxs[prev-1].next, int64(c.id+1))
+	for env.Load(c.locked) != 0 {
+		env.Spin(1)
+	}
+}
+
+func (m *Mutex) mcsUnlock(env Env, c *Ctx) {
+	if env.Load(c.next) == 0 {
+		// No successor visible: try to swing the tail back to nil. If
+		// that fails, a waiter is mid-append — wait for it to publish.
+		if env.CAS(m.tail, int64(c.id+1), 0) {
+			return
+		}
+		for env.Load(c.next) == 0 {
+			env.Spin(1)
+		}
+	}
+	succ := env.Load(c.next)
+	env.Store(m.ctxs[succ-1].locked, 0)
+}
+
+func (m *Mutex) clhLock(env Env, c *Ctx) {
+	env.Store(m.nodes[c.node], 1)
+	prev := env.Swap(m.tail, int64(c.node+1))
+	c.pred = int(prev - 1)
+	for env.Load(m.nodes[c.pred]) != 0 {
+		env.Spin(1)
+	}
+}
+
+func (m *Mutex) clhUnlock(env Env, c *Ctx) {
+	env.Store(m.nodes[c.node], 0)
+	// Recycle: our released node may still be watched by a successor,
+	// so our next acquisition uses the predecessor's retired node.
+	c.node = c.pred
+}

@@ -1,0 +1,32 @@
+package lockeng
+
+// Test-and-set and test-and-test-and-set with capped exponential
+// backoff. The difference only matters once the memory system charges
+// for coherence: a bare TAS probe is an atomic write that invalidates
+// every spinner's copy of the line, so K spinners cost O(K) line
+// transfers per probe; TTAS probes with plain loads that hit the local
+// cache between releases.
+
+// maxBackoffExp caps exponential backoff at 2^maxBackoffExp spin beats.
+const maxBackoffExp = 6
+
+func (m *Mutex) tasLock(env Env) {
+	for env.Swap(m.lock, -1) != 0 {
+		env.Spin(1)
+	}
+}
+
+func (m *Mutex) ttasLock(env Env) {
+	attempt := 0
+	for {
+		if env.Load(m.lock) == 0 && env.Swap(m.lock, -1) == 0 {
+			return
+		}
+		exp := attempt
+		if exp > maxBackoffExp {
+			exp = maxBackoffExp
+		}
+		env.Spin(1 << uint(exp))
+		attempt++
+	}
+}

@@ -1,0 +1,48 @@
+package lockeng
+
+// Ticket lock with bounded ticket arithmetic. Tickets live in 16-bit
+// halfwords (as they would in one packed word on a 32-bit machine), so
+// both counters wrap at 65536 and every comparison must be performed
+// modulo 2^16 — the overflow-wraparound path the test suite drives
+// explicitly by winding the counters to the edge.
+
+// ticketMask bounds tickets to 16 bits.
+const ticketMask = 0xFFFF
+
+// ticketLock draws a ticket with a CAS loop (fetch-and-add modulo 2^16)
+// and spins with backoff proportional to its distance from the serving
+// counter.
+func (m *Mutex) ticketLock(env Env) {
+	var my int64
+	for {
+		old := env.Load(m.next)
+		if env.CAS(m.next, old, (old+1)&ticketMask) {
+			my = old
+			break
+		}
+		env.Spin(1)
+	}
+	for {
+		cur := env.Load(m.serve)
+		if cur == my {
+			return
+		}
+		// Proportional backoff: a waiter d positions back probes less
+		// often than the next in line.
+		d := int((my - cur) & ticketMask)
+		if d > 1<<maxBackoffExp {
+			d = 1 << maxBackoffExp
+		}
+		env.Spin(d)
+	}
+}
+
+// SetTicketBase winds both counters to base (mod 2^16) on an idle lock;
+// the wraparound tests use it to start just below 65536.
+func (m *Mutex) SetTicketBase(env Env, base int64) {
+	if m.kind != KindTicket {
+		panic("lockeng: SetTicketBase on non-ticket lock")
+	}
+	env.Store(m.next, base&ticketMask)
+	env.Store(m.serve, base&ticketMask)
+}

@@ -1,0 +1,50 @@
+package lockeng
+
+// The unfair-handoff engine pair, built for the exploration workloads:
+// a TTAS lock augmented with a direct-grant channel so a releaser can
+// hand the lock straight to a registered waiter instead of letting the
+// swap race decide.
+//
+// The broken variant (KindUnfair) publishes the grant *after* freeing
+// the lock word, and a granted waiter enters the critical section
+// without touching the word — so in the window between the two release
+// stores a third party can swap the free word and overlap with the
+// grantee. The fixed variant (KindUnfairFixed) treats the grant as a
+// wakeup hint only: the grantee still acquires the word atomically.
+// The bounded-DFS explorer finds the broken interleaving; the fixed
+// engine comes back clean.
+
+func (m *Mutex) unfairLock(env Env, c *Ctx) {
+	me := int64(c.id + 1)
+	for {
+		if env.Load(m.grant) == me {
+			env.Store(m.grant, 0)
+			if m.kind == KindUnfair {
+				// BUG: enter the critical section on the strength of the
+				// grant alone, without acquiring the lock word.
+				return
+			}
+			// Fixed: the grant only means "the lock was just free" —
+			// fall through and take it atomically like everyone else.
+		}
+		if env.Load(m.lock) == 0 && env.Swap(m.lock, -1) == 0 {
+			if env.Load(m.waiter) == me {
+				env.Store(m.waiter, 0)
+			}
+			return
+		}
+		env.Store(m.waiter, me)
+		env.Spin(1)
+	}
+}
+
+func (m *Mutex) unfairUnlock(env Env, c *Ctx) {
+	w := env.Load(m.waiter)
+	env.Store(m.lock, 0)
+	// The window between freeing the word and publishing the grant: one
+	// beat in which another context can observe the free lock.
+	env.Spin(1)
+	if w != 0 {
+		env.Store(m.grant, w)
+	}
+}

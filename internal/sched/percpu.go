@@ -1,0 +1,75 @@
+package sched
+
+// Per-CPU run queues for the simulated multiprocessor: one priority
+// Queue per virtual CPU plus a deterministic work-stealing policy. The
+// SMP executor in internal/core owns when these are consulted; this
+// layer only provides the data structure and the (fixed, seed-free)
+// victim-scan order, so the same sequence of operations always yields
+// the same steals — determinism is inherited, not re-established.
+
+// RunQueues is a set of per-CPU priority run queues over the existing
+// ring-buffer deques.
+type RunQueues[T comparable] struct {
+	qs []Queue[T]
+
+	// Steals counts successful steals per thief CPU, for reports.
+	Steals []int64
+}
+
+// NewRunQueues builds run queues for n CPUs.
+func NewRunQueues[T comparable](n int) *RunQueues[T] {
+	if n < 1 {
+		panic("sched: run queues need at least one CPU")
+	}
+	return &RunQueues[T]{qs: make([]Queue[T], n), Steals: make([]int64, n)}
+}
+
+// CPUs returns the number of per-CPU queues.
+func (r *RunQueues[T]) CPUs() int { return len(r.qs) }
+
+// Local returns CPU c's own queue for direct operations (enqueue on
+// wakeup, requeue on yield).
+func (r *RunQueues[T]) Local(c int) *Queue[T] { return &r.qs[c] }
+
+// Len sums the queued items across all CPUs.
+func (r *RunQueues[T]) Len() int {
+	n := 0
+	for i := range r.qs {
+		n += r.qs[i].Len()
+	}
+	return n
+}
+
+// Pop takes the highest-priority item from CPU c's local queue.
+func (r *RunQueues[T]) Pop(c int) (x T, p int, ok bool) {
+	return r.qs[c].DequeueMax()
+}
+
+// Steal scans the other CPUs in ring order starting at c+1 and takes
+// the highest-priority item from the first non-empty queue. It returns
+// the victim CPU alongside the item; ok is false when every queue is
+// empty. The fixed scan order (no randomization) keeps the executor's
+// schedule a pure function of the operation sequence.
+func (r *RunQueues[T]) Steal(c int) (x T, p int, victim int, ok bool) {
+	n := len(r.qs)
+	for d := 1; d < n; d++ {
+		v := (c + d) % n
+		if x, p, ok = r.qs[v].DequeueMax(); ok {
+			r.Steals[c]++
+			return x, p, v, true
+		}
+	}
+	return x, 0, -1, false
+}
+
+// Busiest returns the CPU with the most queued items (lowest ID wins
+// ties) and that count; used by balance reporting.
+func (r *RunQueues[T]) Busiest() (cpu, n int) {
+	cpu = -1
+	for i := range r.qs {
+		if l := r.qs[i].Len(); l > n {
+			cpu, n = i, l
+		}
+	}
+	return cpu, n
+}

@@ -1,0 +1,65 @@
+package sched
+
+import "testing"
+
+func TestRunQueuesLocalAndPop(t *testing.T) {
+	r := NewRunQueues[int](4)
+	r.Local(2).Enqueue(10, 5)
+	r.Local(2).Enqueue(11, 9)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if x, p, ok := r.Pop(2); !ok || x != 11 || p != 9 {
+		t.Fatalf("Pop(2) = %d,%d,%v; want 11,9,true", x, p, ok)
+	}
+	if _, _, ok := r.Pop(0); ok {
+		t.Fatalf("Pop(0) on empty local queue succeeded")
+	}
+}
+
+func TestStealScanOrderDeterministic(t *testing.T) {
+	r := NewRunQueues[int](4)
+	r.Local(1).Enqueue(100, 3)
+	r.Local(3).Enqueue(300, 7)
+	// Thief 0 scans 1,2,3: finds CPU 1 first even though CPU 3 has the
+	// higher-priority item — victim order is positional, not global.
+	x, p, v, ok := r.Steal(0)
+	if !ok || x != 100 || p != 3 || v != 1 {
+		t.Fatalf("Steal(0) = %d,%d,cpu%d,%v; want 100,3,cpu1,true", x, p, v, ok)
+	}
+	// Thief 2 scans 3,0,1: finds CPU 3.
+	x, _, v, ok = r.Steal(2)
+	if !ok || x != 300 || v != 3 {
+		t.Fatalf("Steal(2) = %d,cpu%d,%v; want 300,cpu3,true", x, v, ok)
+	}
+	if _, _, _, ok = r.Steal(0); ok {
+		t.Fatalf("Steal on all-empty queues succeeded")
+	}
+	if r.Steals[0] != 1 || r.Steals[2] != 1 {
+		t.Fatalf("steal counters = %v, want one each for CPUs 0 and 2", r.Steals)
+	}
+}
+
+func TestStealNeverTakesLocal(t *testing.T) {
+	r := NewRunQueues[int](2)
+	r.Local(0).Enqueue(1, 4)
+	if _, _, _, ok := r.Steal(0); ok {
+		t.Fatalf("Steal(0) took from its own queue")
+	}
+	if x, _, v, ok := r.Steal(1); !ok || x != 1 || v != 0 {
+		t.Fatalf("Steal(1) = %d,cpu%d,%v; want 1,cpu0,true", x, v, ok)
+	}
+}
+
+func TestBusiest(t *testing.T) {
+	r := NewRunQueues[int](3)
+	if cpu, n := r.Busiest(); cpu != -1 || n != 0 {
+		t.Fatalf("Busiest on empty = %d,%d; want -1,0", cpu, n)
+	}
+	r.Local(1).Enqueue(1, 1)
+	r.Local(2).Enqueue(2, 1)
+	r.Local(2).Enqueue(3, 2)
+	if cpu, n := r.Busiest(); cpu != 2 || n != 2 {
+		t.Fatalf("Busiest = %d,%d; want 2,2", cpu, n)
+	}
+}

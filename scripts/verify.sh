@@ -126,4 +126,32 @@ awk '
 go run ./examples/webserver > "$t/ws1.txt"
 go run ./examples/webserver > "$t/ws2.txt"
 cmp "$t/ws1.txt" "$t/ws2.txt"
+
+# Simulated-SMP gates (DESIGN.md §12, E29). First the N=1 byte-identity
+# claim: the SMP machinery must leave every uniprocessor artifact — the
+# Table 2 regeneration, the full ptreport, the webserver trace tokens —
+# byte-identical to the checked-in pre-SMP golden outputs.
+go run ./cmd/ptbench > "$t/table2.txt"
+cmp scripts/golden/table2.txt "$t/table2.txt"
+go run ./cmd/ptreport > "$t/ptreport.txt"
+cmp scripts/golden/ptreport.txt "$t/ptreport.txt"
+cmp scripts/golden/webserver.txt "$t/ws1.txt"
+
+# Multiprocessor determinism: two full contention-ladder runs (every
+# engine, 1..8 VCPUs, schedule hashes included) must be byte-identical.
+go run ./cmd/ptbench -smp -smpout "" > "$t/smp1.txt"
+go run ./cmd/ptbench -smp -smpout "" > "$t/smp2.txt"
+cmp "$t/smp1.txt" "$t/smp2.txt"
+
+# The lock-engine protocols must hold up under the host race detector
+# (real goroutine interleavings over the same protocol code the
+# simulator runs), and the engine exploration workloads must behave:
+# bounded DFS finds the seeded unfair-handoff mutual-exclusion bug,
+# while MCS handoff, the 16-bit ticket wraparound, and the repaired
+# unfair engine explore clean.
+go test -race ./internal/lockeng/
+go run ./cmd/ptexplore -workload lock-unfair -policy bounded -bound 1 -races -expect found
+go run ./cmd/ptexplore -workload lock-unfair-fixed -policy bounded -bound 2 -expect clean
+go run ./cmd/ptexplore -workload lock-mcs-handoff -policy bounded -bound 2 -expect clean
+go run ./cmd/ptexplore -workload lock-ticket-wrap -policy bounded -bound 2 -expect clean
 rm -rf "$t"
