@@ -75,11 +75,20 @@ type smpSection struct {
 	Points      []eval.SMPPoint `json:"points"`
 }
 
+// dcSection is the virtual-datacenter replica/loss ladder's slot; like
+// the SMP ladder its points are pure virtual-time measurements.
+type dcSection struct {
+	GeneratedAt string         `json:"generated_at,omitempty"`
+	Command     string         `json:"command"`
+	Points      []eval.DCPoint `json:"points"`
+}
+
 // hostReport is the BENCH_host.json document.
 type hostReport struct {
 	hostRun
 	C10K    *c10kSection `json:"c10k,omitempty"`
 	SMP     *smpSection  `json:"smp,omitempty"`
+	DC      *dcSection   `json:"dc,omitempty"`
 	History []hostRun    `json:"history,omitempty"`
 }
 
@@ -259,5 +268,60 @@ func runSMP(vcpus string, iters int, outPath string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "ptbench: merged %d smp points into %s\n", len(pts), outPath)
+	return nil
+}
+
+// runDC runs the virtual-datacenter ladder, prints the deterministic
+// table, and merges the points into the report's dc section. With an
+// empty outPath the table is printed without touching any report — the
+// determinism gate diffs two runs' stdout.
+func runDC(replicaCSV, lossCSV string, clients int, outPath string) error {
+	var replicas []int
+	for _, f := range strings.Split(replicaCSV, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return fmt.Errorf("-dcreplicas %q: %w", replicaCSV, err)
+		}
+		replicas = append(replicas, n)
+	}
+	var losses []float64
+	for _, f := range strings.Split(lossCSV, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return fmt.Errorf("-dcloss %q: %w", lossCSV, err)
+		}
+		losses = append(losses, v)
+	}
+	pts, err := eval.RunDCLadder(replicas, losses, clients)
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.FormatDC(pts))
+	if outPath == "" {
+		return nil
+	}
+
+	report, err := loadHostReport(outPath)
+	if err != nil {
+		return err
+	}
+	report.DC = &dcSection{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Command: fmt.Sprintf("go run ./cmd/ptbench -dc -dcreplicas %s -dcloss %s -dcclients %d",
+			replicaCSV, lossCSV, clients),
+		Points: pts,
+	}
+	if err := writeHostReport(outPath, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ptbench: merged %d dc points into %s\n", len(pts), outPath)
 	return nil
 }

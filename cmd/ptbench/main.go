@@ -35,6 +35,11 @@ func main() {
 	smpVCPUs := flag.String("smpvcpus", "1,2,4,8", "comma-separated VCPU counts for -smp")
 	smpIters := flag.Int("smpiters", 300, "lock/unlock cycles per thread for -smp")
 	smpOut := flag.String("smpout", "BENCH_host.json", "output path for -smp results (empty: print only)")
+	dc := flag.Bool("dc", false, "run the virtual-datacenter replica/loss ladder and merge into the JSON")
+	dcClients := flag.Int("dcclients", 200, "simulated users per -dc point")
+	dcReplicas := flag.String("dcreplicas", "1,2,4", "comma-separated replica counts for -dc")
+	dcLoss := flag.String("dcloss", "0,0.01,0.05", "comma-separated lb->replica loss rates for -dc")
+	dcOut := flag.String("dcout", "BENCH_host.json", "output path for -dc results (empty: print only)")
 	flag.Parse()
 
 	if *host {
@@ -47,6 +52,10 @@ func main() {
 	}
 	if *smp {
 		exitOn(runSMP(*smpVCPUs, *smpIters, *smpOut))
+		return
+	}
+	if *dc {
+		exitOn(runDC(*dcReplicas, *dcLoss, *dcClients, *dcOut))
 		return
 	}
 	if *ablation {

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"pthreads/internal/explore"
+	"pthreads/internal/fabric"
+)
+
+// Fleet mode: the same explore/replay/check verbs, but over a whole
+// virtual datacenter. The schedule token is host-qualified
+// ("f1:h1/2/0"); the race checker is the fleet variant, whose
+// happens-before edges include cross-host message delivery.
+
+func fleetScenario(name string) fabric.Scenario {
+	sc := fabric.FleetScenarioByName(name)
+	if sc == nil {
+		var known []string
+		for _, s := range fabric.FleetScenarios() {
+			known = append(known, s.Name)
+		}
+		fmt.Fprintf(os.Stderr, "ptexplore: unknown fleet scenario %q (have: %s)\n", name, strings.Join(known, ", "))
+		os.Exit(2)
+	}
+	return *sc
+}
+
+// doFleetExplore runs the bounded fleet search and verifies any finding
+// by double replay.
+func doFleetExplore(sc fabric.Scenario, opts explore.Options, alwaysRaces bool, expect string) {
+	fmt.Printf("fleet scenario %s: %s\n", sc.Name, sc.Desc)
+	points := "lock+kernel-exit"
+	if opts.LockOnly {
+		points = "lock-only"
+	}
+	fmt.Printf("policy bounded: preemption bound %d, %s points, max %d runs\n", opts.Bound, points, opts.MaxRuns)
+	r := fabric.ExploreFleetBounded(sc, opts)
+	if !r.Found {
+		fmt.Printf("clean: no failure in %d runs\n", r.Runs)
+		assertExpect(expect, false, true)
+		return
+	}
+
+	fmt.Printf("FAILURE after %d runs: %s\n", r.Runs, r.Failure)
+	fmt.Printf("  schedule: %s (%d forced decisions)\n", r.Schedule.Token(), len(r.Schedule.Decisions))
+	a := fabric.RunFleetSchedule(sc, r.Schedule)
+	b := fabric.RunFleetSchedule(sc, r.Schedule)
+	identical := a.TraceHash == b.TraceHash && a.Failure != ""
+	fmt.Printf("  replay: trace %s, fingerprint %s, failure %q\n", a.TraceHash, a.Fingerprint, a.Failure)
+	if identical {
+		fmt.Println("  replay determinism: byte-identical fleet traces across replays — one-line repro verified")
+	} else {
+		fmt.Printf("  replay determinism: VIOLATED (%s vs %s, failure %q)\n", a.TraceHash, b.TraceHash, a.Failure)
+	}
+	printFleetRaces(a, alwaysRaces || a.Failure != "")
+	assertExpect(expect, identical, false)
+}
+
+// doFleetReplay replays one host-qualified token.
+func doFleetReplay(sc fabric.Scenario, token string, alwaysRaces bool) {
+	sched, err := fabric.ParseFleetToken(token)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptexplore:", err)
+		os.Exit(2)
+	}
+	out := fabric.RunFleetSchedule(sc, sched)
+	fmt.Printf("fleet scenario %s, schedule %s\n", sc.Name, sched.Token())
+	fmt.Printf("  trace %s, fingerprint %s, decisions taken %s\n", out.TraceHash, out.Fingerprint, out.Schedule.Token())
+	if out.Failure != "" {
+		fmt.Printf("  FAILURE: %s\n", out.Failure)
+	} else {
+		fmt.Println("  clean run")
+	}
+	printFleetRaces(out, alwaysRaces || out.Failure != "")
+}
+
+// doFleetCheckReplay is the CI determinism check across the fleet: two
+// unforced runs must agree byte for byte, and a forced single-decision
+// schedule (the first switch point the unforced run exposes) must
+// replay to identical traces twice.
+func doFleetCheckReplay(sc fabric.Scenario) {
+	a := fabric.RunFleetSchedule(sc, fabric.FleetSchedule{})
+	b := fabric.RunFleetSchedule(sc, fabric.FleetSchedule{})
+	fmt.Printf("fleet scenario %s: unforced trace %s, fingerprint %s\n", sc.Name, a.TraceHash, a.Fingerprint)
+	if a.TraceHash != b.TraceHash || a.Fingerprint != b.Fingerprint {
+		fmt.Printf("  fleet determinism: VIOLATED (%s/%s vs %s/%s)\n", a.Fingerprint, a.TraceHash, b.Fingerprint, b.TraceHash)
+		os.Exit(1)
+	}
+	var forced *fabric.FleetSchedule
+	for _, pt := range a.Points {
+		if pt.NReady > 0 {
+			forced = &fabric.FleetSchedule{Decisions: []fabric.FleetDecision{{Host: pt.Host, Index: pt.Index, Pick: 0}}}
+			break
+		}
+	}
+	if forced == nil {
+		fmt.Println("  fleet determinism: unforced runs byte-identical (no preemptible switch points to force)")
+		return
+	}
+	fa := fabric.RunFleetSchedule(sc, *forced)
+	fb := fabric.RunFleetSchedule(sc, *forced)
+	fmt.Printf("  forced schedule %s: trace %s\n", forced.Token(), fa.TraceHash)
+	if fa.TraceHash != fb.TraceHash {
+		fmt.Printf("  replay determinism: VIOLATED (%s vs %s)\n", fa.TraceHash, fb.TraceHash)
+		os.Exit(1)
+	}
+	fmt.Println("  fleet determinism: unforced and forced replays byte-identical across runs")
+}
+
+// printFleetRaces runs the cross-host race checker over the outcome.
+func printFleetRaces(out fabric.FleetOutcome, run bool) {
+	if !run {
+		return
+	}
+	races := out.Races()
+	if len(races) == 0 {
+		fmt.Println("  race checker: no data races on annotated accesses")
+		return
+	}
+	fmt.Printf("  race checker: %d racy access pair(s)\n", len(races))
+	for _, line := range strings.Split(strings.TrimRight(explore.FormatRaces(races), "\n"), "\n") {
+		fmt.Println("    " + line)
+	}
+}

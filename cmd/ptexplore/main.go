@@ -14,6 +14,15 @@
 //	ptexplore -workload racy-counter -replay v1:3/0 -races
 //	ptexplore -workload racy-counter -check-replay
 //
+// With -fleet, the same verbs run over a whole virtual datacenter: the
+// bounded search explores per-host preemptions of a multi-host
+// scenario, tokens are host-qualified ("f1:h1/2/0"), and the race
+// checker draws happens-before edges across the network fabric.
+//
+//	ptexplore -fleet fleet-lost-wakeup -races
+//	ptexplore -fleet fleet-echo -check-replay
+//	ptexplore -fleet fleet-lost-wakeup -replay f1:h1/2/0 -races
+//
 // The -expect flag makes the exit status a CI assertion: "found" fails
 // the process unless a bug was found (and its minimized schedule
 // replayed byte-identically); "clean" fails it unless the exploration
@@ -28,6 +37,7 @@ import (
 
 	"pthreads/internal/core"
 	"pthreads/internal/explore"
+	"pthreads/internal/fabric"
 	"pthreads/internal/lockeng"
 )
 
@@ -43,6 +53,7 @@ func main() {
 		seedBase = flag.Int64("seed-base", 1, "PCT: first seed")
 		depth    = flag.Int("depth", 3, "PCT: bug depth d (d-1 priority-change points)")
 		horizon  = flag.Int("horizon", 1000, "PCT: switch-point horizon for change points")
+		fleet    = flag.String("fleet", "", "explore a fleet scenario instead of a workload (see -list)")
 		replay   = flag.String("replay", "", "replay a schedule token instead of exploring")
 		check    = flag.Bool("check-replay", false, "record a run, replay it twice, verify byte-identical traces")
 		races    = flag.Bool("races", false, "always run the race checker (on by default for failing runs)")
@@ -58,6 +69,23 @@ func main() {
 	if *list {
 		for _, w := range explore.Workloads() {
 			fmt.Printf("  %-22s %s\n", w.Name, w.Desc)
+		}
+		for _, sc := range fabric.FleetScenarios() {
+			fmt.Printf("  %-22s (fleet) %s\n", sc.Name, sc.Desc)
+		}
+		return
+	}
+
+	if *fleet != "" {
+		sc := fleetScenario(*fleet)
+		opts := explore.Options{MaxRuns: *maxRuns, Bound: *bound, LockOnly: *lockOnly}
+		switch {
+		case *replay != "":
+			doFleetReplay(sc, *replay, *races)
+		case *check:
+			doFleetCheckReplay(sc)
+		default:
+			doFleetExplore(sc, opts, *races, *expect)
 		}
 		return
 	}

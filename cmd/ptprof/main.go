@@ -7,6 +7,13 @@
 //	ptprof -workload webserver -chrome web.json
 //	ptprof -workload inversion -expect inversion
 //	ptprof -workload webserver -check
+//
+// With -fleet, ptprof runs a named fleet scenario instead: every
+// simulated host becomes its own process group in the export (distinct
+// pid and process_name), all sharing the one virtual timeline.
+//
+//	ptprof -fleet fleet-echo -chrome fleet.json
+//	ptprof -fleet fleet-echo -check
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"time"
 
 	"pthreads/internal/eval"
+	"pthreads/internal/fabric"
 	"pthreads/internal/metrics"
 	"pthreads/internal/vtime"
 )
@@ -37,8 +45,14 @@ func main() {
 	expect := flag.String("expect", "", "assert the watchdog outcome: inversion, deadlock, or clean")
 	longHold := flag.Duration("long-hold", 0, "flag mutex holds at least this long (host units map 1:1 to virtual)")
 	starvation := flag.Duration("starvation", 0, "flag dispatch latencies at least this long")
+	fleet := flag.String("fleet", "", "profile a fleet scenario instead of a workload (fleet-echo, ...)")
 	quiet := flag.Bool("q", false, "suppress the text profile (checks and exports only)")
 	flag.Parse()
+
+	if *fleet != "" {
+		runFleet(*fleet, *chrome, *check)
+		return
+	}
 
 	opt := metrics.Options{
 		LongHold:   vtime.Duration(*longHold / time.Nanosecond),
@@ -81,6 +95,80 @@ func main() {
 	if *check {
 		selfCheck(*workload, opt, run)
 	}
+}
+
+// runFleet profiles a whole virtual datacenter: one scenario run, every
+// host exported as its own process on the shared virtual timeline.
+func runFleet(name, chrome string, check bool) {
+	sc := fabric.FleetScenarioByName(name)
+	if sc == nil {
+		var known []string
+		for _, s := range fabric.FleetScenarios() {
+			known = append(known, s.Name)
+		}
+		fail("unknown fleet scenario %q (have: %s)", name, strings.Join(known, ", "))
+	}
+	out := fabric.RunFleetSchedule(*sc, fabric.FleetSchedule{})
+	if out.Failure != "" {
+		fail("fleet %s: %s", name, out.Failure)
+	}
+	data, err := metrics.ChromeTraceFleet(fleetTraces(out))
+	if err != nil {
+		fail("fleet chrome export: %v", err)
+	}
+	nev := 0
+	for _, evs := range out.PerHost {
+		nev += len(evs)
+	}
+	fmt.Printf("fleet %s: %d hosts, %d trace events, fingerprint %s, trace hash %s\n",
+		name, len(out.HostNames), nev, out.Fingerprint, out.TraceHash)
+	if chrome != "" {
+		if err := os.WriteFile(chrome, data, 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ptprof: wrote %s (%d bytes)\n", chrome, len(data))
+	}
+	if check {
+		second := fabric.RunFleetSchedule(*sc, fabric.FleetSchedule{})
+		if second.TraceHash != out.TraceHash || second.Fingerprint != out.Fingerprint {
+			fail("check: fleet run not deterministic: %s/%s vs %s/%s",
+				out.Fingerprint, out.TraceHash, second.Fingerprint, second.TraceHash)
+		}
+		data2, err := metrics.ChromeTraceFleet(fleetTraces(second))
+		if err != nil {
+			fail("check: fleet chrome export (rerun): %v", err)
+		}
+		if string(data) != string(data2) {
+			fail("check: fleet chrome export differs between two runs — determinism broken")
+		}
+		var parsed struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &parsed); err != nil {
+			fail("check: fleet chrome export is not valid JSON: %v", err)
+		}
+		pids := map[float64]bool{}
+		for _, ev := range parsed.TraceEvents {
+			if pid, ok := ev["pid"].(float64); ok {
+				pids[pid] = true
+			}
+		}
+		if len(pids) != len(out.HostNames) {
+			fail("check: export has %d distinct pids for %d hosts", len(pids), len(out.HostNames))
+		}
+		fmt.Fprintf(os.Stderr,
+			"ptprof: check ok — fleet deterministic across runs, %d chrome events parse, %d host process groups\n",
+			len(parsed.TraceEvents), len(pids))
+	}
+}
+
+// fleetTraces adapts a fleet outcome into the exporter's host slices.
+func fleetTraces(out fabric.FleetOutcome) []metrics.HostTrace {
+	hosts := make([]metrics.HostTrace, len(out.HostNames))
+	for i := range out.HostNames {
+		hosts[i] = metrics.HostTrace{Name: out.HostNames[i], Events: out.PerHost[i], End: out.HostEnds[i]}
+	}
+	return hosts
 }
 
 // assertExpect enforces the watchdog outcome the caller demands; the

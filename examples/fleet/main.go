@@ -1,0 +1,304 @@
+// A virtual datacenter under fault injection: one round-robin load
+// balancer (8 worker threads sharing the accept queue) fronts 4 replica
+// hosts, loaded by 2,000 simulated users spread over 4 client hosts —
+// nine machines, each with its own kernel, thread library, and TCP-like
+// stack, advanced by one deterministic virtual clock.
+//
+// The fault script is on by default: replica r1 freezes for 15ms
+// mid-run, the lb→r2 link drops 2% of its segments, and the lb→r3 link
+// is one-way partitioned for a 10ms window. The client swarm's opening
+// connection storm overflows the balancer's accept backlog, so early
+// dials bounce with ECONNREFUSED and retry with backoff. None of it is
+// allowed to lose a request: every user must complete or count an
+// error, and the whole nine-host run must be bit-reproducible — the
+// workload executes twice and the schedule fingerprint plus every
+// host's trace stream are compared byte for byte; any mismatch exits 1.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sort"
+
+	"pthreads/internal/core"
+	"pthreads/internal/fabric"
+	"pthreads/internal/io"
+	"pthreads/internal/vtime"
+)
+
+const (
+	replicas    = 4
+	lbWorkers   = 8
+	clientHosts = 4
+	users       = 2000
+	reqBytes    = 128
+	rspBytes    = 512
+	service     = 200 * vtime.Microsecond
+	lbBacklog   = 64
+	maxRetries  = 20
+	// The first storm users per client host dial the instant the fleet
+	// boots — 100 simultaneous SYNs against a backlog of 64, so the
+	// opening storm overflows the balancer and the refused tail retries.
+	// The rest arrive paced at one user per pace per host, just under
+	// the balancer's capacity, so the swarm drains instead of melting.
+	storm = 25
+	pace  = 10 * vtime.Millisecond
+)
+
+// outcome is everything one fleet run produces; two runs must agree on
+// every field and on the trace hash.
+type outcome struct {
+	fingerprint string
+	traceHash   string
+	served      [replicas]int
+	done        int
+	errors      int
+	retries     int
+	p50, p99    vtime.Duration
+	makespan    vtime.Time
+}
+
+func run() outcome {
+	var (
+		served  [replicas]int
+		lats    []vtime.Duration
+		errors  int
+		retries int
+	)
+
+	cfg := fabric.Config{
+		Seed:  3,
+		Trace: true,
+		// The fault script: a frozen replica, a lossy link, a one-way
+		// partition window.
+		Pauses:     []fabric.HostPause{{Host: "r1", From: 30 * vtime.Time(vtime.Millisecond), To: 45 * vtime.Time(vtime.Millisecond)}},
+		Loss:       []fabric.LinkLoss{{From: "lb", To: "r2", Rate: 0.02}},
+		Partitions: []fabric.LinkPartition{{From: "lb", To: "r3", Start: 10 * vtime.Time(vtime.Millisecond), End: 20 * vtime.Time(vtime.Millisecond)}},
+	}
+
+	// The balancer: 8 workers share the accept queue; a shared counter
+	// round-robins the backends.
+	cfg.Hosts = append(cfg.Hosts, fabric.HostSpec{Name: "lb", Body: func(h *fabric.Host) error {
+		l, err := h.IO.Listen("http", lbBacklog)
+		if err != nil {
+			return err
+		}
+		rr := 0
+		for w := 0; w < lbWorkers; w++ {
+			attr := core.DefaultAttr()
+			attr.Name = fmt.Sprintf("lbw%d", w)
+			if _, err := h.Sys.Create(attr, func(any) any {
+				for {
+					c, err := l.Accept()
+					if err != nil {
+						return nil
+					}
+					target := fmt.Sprintf("r%d:serve", rr%replicas)
+					rr++
+					forward(h, c, target)
+				}
+			}, nil); err != nil {
+				return err
+			}
+		}
+		// The main thread parks; the drain tears the host down.
+		hold, err := h.IO.Listen("hold", 1)
+		if err != nil {
+			return err
+		}
+		_, err = hold.Accept()
+		return err
+	}})
+
+	for i := 0; i < replicas; i++ {
+		i := i
+		cfg.Hosts = append(cfg.Hosts, fabric.HostSpec{Name: fmt.Sprintf("r%d", i), Body: func(h *fabric.Host) error {
+			l, err := h.IO.Listen("serve", 256)
+			if err != nil {
+				return err
+			}
+			for n := 0; ; n++ {
+				c, err := l.Accept()
+				if err != nil {
+					return err
+				}
+				attr := core.DefaultAttr()
+				attr.Name = fmt.Sprintf("srv%d", n)
+				if _, err := h.Sys.Create(attr, func(any) any {
+					defer c.Close()
+					if !pump(c.Read, reqBytes) {
+						return nil
+					}
+					h.Sys.Compute(service)
+					served[i]++
+					c.Write(rspBytes)
+					return nil
+				}, nil); err != nil {
+					return err
+				}
+			}
+		}})
+	}
+
+	perHost := users / clientHosts
+	for ch := 0; ch < clientHosts; ch++ {
+		ch := ch
+		name := fmt.Sprintf("c%d", ch)
+		cfg.Drain = append(cfg.Drain, name)
+		cfg.Hosts = append(cfg.Hosts, fabric.HostSpec{Name: name, Body: func(h *fabric.Host) error {
+			sys := h.Sys
+			ths := make([]*core.Thread, perHost)
+			for j := 0; j < perHost; j++ {
+				g := ch*perHost + j
+				attr := core.DefaultAttr()
+				attr.Name = fmt.Sprintf("u%d", g)
+				th, err := sys.Create(attr, func(any) any {
+					if j >= storm {
+						sys.Sleep(vtime.Duration(j-storm+1) * pace)
+					}
+					start := sys.Clock().Now()
+					// The opening storm overflows the balancer's backlog;
+					// refused dials back off and retry.
+					var c *io.Conn
+					for try := 0; ; try++ {
+						var err error
+						c, err = h.IO.Dial("lb:http")
+						if err == nil {
+							break
+						}
+						if try == maxRetries {
+							errors++
+							return nil
+						}
+						retries++
+						sys.Sleep(vtime.Duration(try+1) * vtime.Millisecond)
+					}
+					ok := true
+					if _, err := c.Write(reqBytes); err != nil {
+						ok = false
+					}
+					if ok {
+						ok = pump(c.Read, rspBytes)
+					}
+					c.Close()
+					if ok {
+						lats = append(lats, sys.Clock().Now().Sub(start))
+					} else {
+						errors++
+					}
+					return nil
+				}, nil)
+				if err != nil {
+					return err
+				}
+				ths[j] = th
+			}
+			for _, th := range ths {
+				sys.Join(th)
+			}
+			return nil
+		}})
+	}
+
+	f, err := fabric.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet: ", err)
+		os.Exit(1)
+	}
+	if err := f.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleet: ", err)
+		os.Exit(1)
+	}
+
+	out := outcome{
+		fingerprint: f.Fingerprint(),
+		served:      served,
+		done:        len(lats),
+		errors:      errors,
+		retries:     retries,
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	if n := len(lats); n > 0 {
+		out.p50 = lats[(n-1)*50/100]
+		out.p99 = lats[(n-1)*99/100]
+	}
+	h := sha256.New()
+	for _, host := range f.Hosts() {
+		if now := host.Sys.Clock().Now(); now > out.makespan {
+			out.makespan = now
+		}
+		fmt.Fprintf(h, "host %s\n", host.Name)
+		for _, ev := range host.TraceEvents() {
+			name := "-"
+			if ev.Thread != nil {
+				name = ev.Thread.Name()
+			}
+			fmt.Fprintf(h, "%d %s %s %s %s %s\n", ev.At, ev.Kind, name, ev.Obj, ev.Arg, ev.Detail)
+		}
+	}
+	out.traceHash = hex.EncodeToString(h.Sum(nil)[:8])
+	return out
+}
+
+// forward relays one balancer connection to its backend: request in,
+// response back, both sides closed.
+func forward(h *fabric.Host, c *io.Conn, target string) {
+	defer c.Close()
+	if !pump(c.Read, reqBytes) {
+		return
+	}
+	b, err := h.IO.Dial(target)
+	if err != nil {
+		return
+	}
+	defer b.Close()
+	if _, err := b.Write(reqBytes); err != nil {
+		return
+	}
+	for got := 0; got < rspBytes; {
+		n, err := b.Read(rspBytes)
+		if err != nil {
+			return
+		}
+		got += n
+		if _, err := c.Write(n); err != nil {
+			return
+		}
+	}
+}
+
+// pump reads until total bytes arrived (the byte-counting transport has
+// no payloads, only counts).
+func pump(read func(int) (int, error), total int) bool {
+	for got := 0; got < total; {
+		n, err := read(total)
+		if err != nil {
+			return false
+		}
+		got += n
+	}
+	return true
+}
+
+func main() {
+	a := run()
+
+	fmt.Printf("virtual datacenter: 1 lb (%d workers) + %d replicas + %d users on %d client hosts\n",
+		lbWorkers, replicas, users, clientHosts)
+	fmt.Printf("fault script: r1 paused 30–45ms, lb→r2 2%% loss, lb→r3 partitioned 10–20ms\n\n")
+	fmt.Printf("completed %d/%d requests, %d errors, %d refused-dial retries\n", a.done, users, a.errors, a.retries)
+	fmt.Printf("client latency: p50 %v, p99 %v; makespan %v\n", a.p50, a.p99, a.makespan)
+	for i, n := range a.served {
+		fmt.Printf("  r%d served %4d\n", i, n)
+	}
+	fmt.Printf("schedule fingerprint %s, trace hash %s\n", a.fingerprint, a.traceHash)
+
+	b := run()
+	if a != b {
+		fmt.Printf("\nDETERMINISM VIOLATED:\n  run 1: %+v\n  run 2: %+v\n", a, b)
+		os.Exit(1)
+	}
+	fmt.Println("\nsecond run: schedule fingerprint and all 9 host trace streams byte-identical — deterministic")
+}

@@ -322,7 +322,17 @@ func (s *System) park(t *Thread) {
 func (s *System) idleStep() {
 	at, ok := s.kern.NextEventAt()
 	if !ok {
-		s.deadlock()
+		if !s.cfg.ExternalEvents {
+			s.deadlock()
+		}
+		// Another host may still land an event here. Sleep on the
+		// governed clock until something arrives (the governor parks us
+		// and wakes us at the arrival) — or the fabric, having seen
+		// every host asleep like this, declares fleet-wide deadlock and
+		// kills the run.
+		s.clock.AdvanceTo(vtime.Infinity)
+		s.kern.Poll()
+		return
 	}
 	if at > s.clock.Now() {
 		s.clock.AdvanceTo(at)

@@ -76,6 +76,11 @@ type Config struct {
 	// (see internal/metrics). Like Tracer and Explorer, every call site
 	// is a nil check and the hooks charge no virtual cost.
 	Metrics MetricsSink
+	// ExternalEvents declares that events may arrive from outside this
+	// system (another host on a network fabric). An idle system with no
+	// local timer then sleeps on its clock instead of declaring deadlock
+	// — the fabric detects fleet-wide deadlock across all hosts.
+	ExternalEvents bool
 }
 
 // Stats aggregates the library-level counters the evaluation harness
@@ -384,6 +389,15 @@ func (s *System) finish(err error, status any) {
 // ExitStatus returns the value passed to Shutdown/exit, if any.
 func (s *System) ExitStatus() any { return s.exitStatus }
 
+// Stop ends the simulation from outside thread context (e.g. a fabric
+// coordinator tearing down a fleet). It records err as the outcome and
+// releases every parked thread goroutine; threads currently blocked in
+// a governed clock advance are unwound by their governor. Unlike
+// Shutdown it returns normally and is a no-op once finished.
+func (s *System) Stop(err error) {
+	s.finish(err, nil)
+}
+
 // Shutdown terminates the whole process from thread context, like exit().
 // It does not return.
 func (s *System) Shutdown(status any) {
@@ -583,6 +597,15 @@ func (s *System) allocTCB(attr Attr) *Thread {
 // blocked thread and what it waits for — the library doubles as the
 // debugging aid the paper positions it as.
 func (s *System) deadlock() {
+	s.finish(fmt.Errorf("%s", s.BlockedReport()), nil)
+	panic(killPanic{})
+}
+
+// BlockedReport formats the blocked-thread diagnosis used in deadlock
+// reports: one line per blocked or never-started thread naming what it
+// waits for. The fabric uses it to assemble fleet-wide deadlock reports
+// spanning several hosts.
+func (s *System) BlockedReport() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "deadlock at %v: all %d live threads blocked:\n", s.clock.Now(), s.liveCnt)
 	for _, t := range s.all {
@@ -590,6 +613,5 @@ func (s *System) deadlock() {
 			fmt.Fprintf(&b, "  %v: %v %s\n", t, t.blockReason, t.waitingFor)
 		}
 	}
-	s.finish(fmt.Errorf("%s", b.String()), nil)
-	panic(killPanic{})
+	return b.String()
 }

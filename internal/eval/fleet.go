@@ -1,0 +1,312 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pthreads/internal/core"
+	"pthreads/internal/fabric"
+	"pthreads/internal/vtime"
+)
+
+// The virtual-datacenter ladder (EXPERIMENTS.md E30): a round-robin
+// load balancer fronting N replica hosts, loaded by client threads
+// spread over a few client hosts, swept over replica count × link-loss
+// rate. Every column is virtual time measured by the clients
+// themselves, so the table is bit-identical across machines and the
+// fingerprint doubles as the determinism gate: two runs of the same
+// point must agree on every byte.
+
+// DCReplicaLadder and DCLossLadder are the default sweep axes.
+var (
+	DCReplicaLadder = []int{1, 2, 4}
+	DCLossLadder    = []float64{0, 0.01, 0.05}
+)
+
+const (
+	dcReqBytes    = 128
+	dcRespBytes   = 512
+	dcService     = 2 * vtime.Millisecond
+	dcClientHosts = 4
+	dcReqsPerUser = 2
+	dcStagger     = 20 * vtime.Microsecond
+	dcSeed        = 11
+)
+
+// DCPoint is one (replicas, loss) measurement of the ladder.
+type DCPoint struct {
+	Replicas      int     `json:"replicas"`
+	LossPct       float64 `json:"loss_pct"`
+	Clients       int     `json:"clients"`
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	MakespanVUS   float64 `json:"makespan_vus"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50VUS        float64 `json:"p50_vus"`
+	P99VUS        float64 `json:"p99_vus"`
+	Fingerprint   string  `json:"fingerprint"`
+}
+
+// dcStats collects client-measured latencies and per-replica tallies.
+// The fleet runs one goroutine at a time across every host, so plain
+// fields are safe to share between host bodies.
+type dcStats struct {
+	lats       []vtime.Duration
+	errors     int64
+	perReplica []int64
+}
+
+// dcConfig assembles the fleet: lb + r0..r{n-1} + client hosts, with
+// the loss rate applied to the lb→replica links (the path a fault in
+// the backend fabric degrades first).
+func dcConfig(replicas int, loss float64, clients int) (fabric.Config, *dcStats) {
+	stats := &dcStats{perReplica: make([]int64, replicas)}
+	cfg := fabric.Config{Seed: dcSeed}
+
+	cfg.Hosts = append(cfg.Hosts, fabric.HostSpec{Name: "lb", Body: dcLBBody(replicas)})
+	for i := 0; i < replicas; i++ {
+		name := fmt.Sprintf("r%d", i)
+		cfg.Hosts = append(cfg.Hosts, fabric.HostSpec{Name: name, Body: dcReplicaBody(i, stats)})
+		if loss > 0 {
+			cfg.Loss = append(cfg.Loss, fabric.LinkLoss{From: "lb", To: name, Rate: loss})
+		}
+	}
+
+	nHosts := dcClientHosts
+	if clients < nHosts {
+		nHosts = clients
+	}
+	global := 0
+	for i := 0; i < nHosts; i++ {
+		count := clients / nHosts
+		if i < clients%nHosts {
+			count++
+		}
+		name := fmt.Sprintf("c%d", i)
+		cfg.Drain = append(cfg.Drain, name)
+		cfg.Hosts = append(cfg.Hosts, fabric.HostSpec{Name: name, Body: dcClientBody(count, global, stats)})
+		global += count
+	}
+	return cfg, stats
+}
+
+// dcLBBody accepts forever and forwards each connection to the next
+// replica in round-robin order on its own worker thread.
+func dcLBBody(replicas int) func(h *fabric.Host) error {
+	return func(h *fabric.Host) error {
+		l, err := h.IO.Listen("http", 256)
+		if err != nil {
+			return err
+		}
+		rr := 0
+		for i := 0; ; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				return err
+			}
+			target := fmt.Sprintf("r%d:serve", rr%replicas)
+			rr++
+			attr := core.DefaultAttr()
+			attr.Name = fmt.Sprintf("fw%d", i)
+			if _, err := h.Sys.Create(attr, func(any) any {
+				defer c.Close()
+				for n := 0; n < dcReqBytes; {
+					r, err := c.Read(dcReqBytes)
+					if err != nil {
+						return nil
+					}
+					n += r
+				}
+				b, err := h.IO.Dial(target)
+				if err != nil {
+					return nil
+				}
+				defer b.Close()
+				if _, err := b.Write(dcReqBytes); err != nil {
+					return nil
+				}
+				for got := 0; got < dcRespBytes; {
+					r, err := b.Read(dcRespBytes)
+					if err != nil {
+						return nil
+					}
+					got += r
+					if _, err := c.Write(r); err != nil {
+						return nil
+					}
+				}
+				return nil
+			}, nil); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// dcReplicaBody serves requests: read, compute, respond.
+func dcReplicaBody(idx int, stats *dcStats) func(h *fabric.Host) error {
+	return func(h *fabric.Host) error {
+		l, err := h.IO.Listen("serve", 256)
+		if err != nil {
+			return err
+		}
+		for i := 0; ; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				return err
+			}
+			attr := core.DefaultAttr()
+			attr.Name = fmt.Sprintf("srv%d", i)
+			if _, err := h.Sys.Create(attr, func(any) any {
+				defer c.Close()
+				for n := 0; n < dcReqBytes; {
+					r, err := c.Read(dcReqBytes)
+					if err != nil {
+						return nil
+					}
+					n += r
+				}
+				h.Sys.Compute(dcService)
+				stats.perReplica[idx]++
+				c.Write(dcRespBytes)
+				return nil
+			}, nil); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// dcClientBody runs count simulated users, each issuing dcReqsPerUser
+// sequential requests through the load balancer and timing every one
+// on the virtual clock.
+func dcClientBody(count, firstID int, stats *dcStats) func(h *fabric.Host) error {
+	return func(h *fabric.Host) error {
+		sys := h.Sys
+		ids := make([]*core.Thread, count)
+		for j := 0; j < count; j++ {
+			g := firstID + j
+			attr := core.DefaultAttr()
+			attr.Name = fmt.Sprintf("u%d", g)
+			id, err := sys.Create(attr, func(any) any {
+				sys.Sleep(vtime.Duration(g) * dcStagger)
+				for r := 0; r < dcReqsPerUser; r++ {
+					start := sys.Clock().Now()
+					c, err := h.IO.Dial("lb:http")
+					if err != nil {
+						stats.errors++
+						continue
+					}
+					ok := true
+					if _, err := c.Write(dcReqBytes); err != nil {
+						ok = false
+					}
+					for got := 0; ok && got < dcRespBytes; {
+						r, err := c.Read(dcRespBytes)
+						if err != nil {
+							ok = false
+							break
+						}
+						got += r
+					}
+					c.Close()
+					if ok {
+						stats.lats = append(stats.lats, sys.Clock().Now().Sub(start))
+					} else {
+						stats.errors++
+					}
+				}
+				return nil
+			}, nil)
+			if err != nil {
+				return err
+			}
+			ids[j] = id
+		}
+		for _, id := range ids {
+			sys.Join(id)
+		}
+		return nil
+	}
+}
+
+// RunDCPoint measures one (replicas, loss) point with the given number
+// of simulated users.
+func RunDCPoint(replicas int, loss float64, clients int) (DCPoint, error) {
+	cfg, stats := dcConfig(replicas, loss, clients)
+	f, err := fabric.New(cfg)
+	if err != nil {
+		return DCPoint{}, err
+	}
+	if err := f.Run(); err != nil {
+		return DCPoint{}, fmt.Errorf("dc %d replicas, %.0f%% loss: %w", replicas, loss*100, err)
+	}
+
+	var makespan vtime.Time
+	for _, h := range f.Hosts() {
+		if now := h.Sys.Clock().Now(); now > makespan {
+			makespan = now
+		}
+	}
+	sorted := append([]vtime.Duration(nil), stats.lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p int) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		return float64(sorted[(len(sorted)-1)*p/100]) / 1e3
+	}
+	reqs := int64(len(stats.lats))
+	rps := 0.0
+	if makespan > 0 {
+		rps = float64(reqs) / (float64(makespan) / 1e9)
+	}
+	return DCPoint{
+		Replicas:      replicas,
+		LossPct:       loss * 100,
+		Clients:       clients,
+		Requests:      reqs,
+		Errors:        stats.errors,
+		MakespanVUS:   float64(makespan) / 1e3,
+		ThroughputRPS: rps,
+		P50VUS:        pct(50),
+		P99VUS:        pct(99),
+		Fingerprint:   f.Fingerprint(),
+	}, nil
+}
+
+// RunDCLadder sweeps replica count × loss rate.
+func RunDCLadder(replicaLadder []int, lossLadder []float64, clients int) ([]DCPoint, error) {
+	if len(replicaLadder) == 0 {
+		replicaLadder = DCReplicaLadder
+	}
+	if len(lossLadder) == 0 {
+		lossLadder = DCLossLadder
+	}
+	var pts []DCPoint
+	for _, n := range replicaLadder {
+		for _, loss := range lossLadder {
+			pt, err := RunDCPoint(n, loss, clients)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, pt)
+		}
+	}
+	return pts, nil
+}
+
+// FormatDC renders the ladder; every column is deterministic virtual
+// state, so two runs of the same build must render identical bytes.
+func FormatDC(pts []DCPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Virtual-datacenter ladder: replicas x link loss (virtual time; deterministic)\n")
+	fmt.Fprintf(&b, "%8s %6s %8s %9s %7s %14s %10s %10s %10s  %s\n",
+		"replicas", "loss%", "clients", "requests", "errors", "makespan_vus", "rps", "p50_vus", "p99_vus", "fingerprint")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%8d %6.1f %8d %9d %7d %14.1f %10.1f %10.1f %10.1f  %s\n",
+			p.Replicas, p.LossPct, p.Clients, p.Requests, p.Errors, p.MakespanVUS, p.ThroughputRPS, p.P50VUS, p.P99VUS, p.Fingerprint)
+	}
+	return b.String()
+}

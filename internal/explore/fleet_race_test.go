@@ -1,0 +1,123 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"pthreads/internal/core"
+	"pthreads/internal/vtime"
+)
+
+// capTracer captures trace events verbatim.
+type capTracer struct{ evs []core.TraceEvent }
+
+func (c *capTracer) Event(ev core.TraceEvent) { c.evs = append(c.evs, ev) }
+
+// harvestThread runs a throwaway system to obtain a real *core.Thread
+// (the fleet checker only needs ID and Name, but the trace event field
+// is the concrete type). The same pointer can stand for a thread on any
+// number of hosts: the checker interns by (host, id).
+func harvestThread(t *testing.T) *core.Thread {
+	t.Helper()
+	cap := &capTracer{}
+	sys := core.New(core.Config{Tracer: cap})
+	if err := sys.Run(func() {}); err != nil {
+		t.Fatalf("harvest run: %v", err)
+	}
+	for _, ev := range cap.evs {
+		if ev.Thread != nil {
+			return ev.Thread
+		}
+	}
+	t.Fatal("no thread in harvest trace")
+	return nil
+}
+
+// Synthetic fleet traces. The first access of a thread can never be the
+// earlier half of a detected race (its own clock component is still
+// zero), so every stream starts with a warm-up access that ticks the
+// thread.
+
+func TestFleetMessageEdgeOrders(t *testing.T) {
+	th := harvestThread(t)
+	send := []core.TraceEvent{
+		{At: 5, Kind: core.EvAccess, Thread: th, Obj: "warmA", Arg: "write"},
+		{At: 10, Kind: core.EvAccess, Thread: th, Obj: "x", Arg: "write"},
+		{At: 20, Kind: core.EvNet, Thread: th, Obj: "f1>", Arg: "xmit", Detail: "8"},
+	}
+	recvThenRead := []core.TraceEvent{
+		{At: 100, Kind: core.EvNet, Thread: th, Obj: "f1>", Arg: "recv", Detail: "8"},
+		{At: 110, Kind: core.EvAccess, Thread: th, Obj: "x", Arg: "read"},
+	}
+	if races := CheckFleetRaces([][]core.TraceEvent{send, recvThenRead}, []string{"A", "B"}); len(races) != 0 {
+		t.Fatalf("message edge did not order the accesses: %v", races)
+	}
+
+	readThenRecv := []core.TraceEvent{
+		{At: 50, Kind: core.EvAccess, Thread: th, Obj: "x", Arg: "read"},
+		{At: 100, Kind: core.EvNet, Thread: th, Obj: "f1>", Arg: "recv", Detail: "8"},
+	}
+	races := CheckFleetRaces([][]core.TraceEvent{send, readThenRecv}, []string{"A", "B"})
+	if len(races) != 1 || races[0].Loc != "x" {
+		t.Fatalf("unordered cross-host accesses not flagged: %v", races)
+	}
+	s := races[0].String()
+	if !strings.Contains(s, "A/") || !strings.Contains(s, "B/") {
+		t.Fatalf("race names are not host-qualified: %s", s)
+	}
+}
+
+func TestFleetPartialReceiptEdge(t *testing.T) {
+	th := harvestThread(t)
+	// The sender writes x between its first and second segment; a reader
+	// that consumed only the first segment is not ordered after the
+	// write, a reader that consumed both is.
+	send := []core.TraceEvent{
+		{At: 5, Kind: core.EvAccess, Thread: th, Obj: "warmA", Arg: "write"},
+		{At: 10, Kind: core.EvNet, Thread: th, Obj: "f1>", Arg: "xmit", Detail: "8"},
+		{At: 15, Kind: core.EvAccess, Thread: th, Obj: "x", Arg: "write"},
+		{At: 20, Kind: core.EvNet, Thread: th, Obj: "f1>", Arg: "xmit", Detail: "16"},
+	}
+	readHalf := []core.TraceEvent{
+		{At: 100, Kind: core.EvNet, Thread: th, Obj: "f1>", Arg: "recv", Detail: "8"},
+		{At: 110, Kind: core.EvAccess, Thread: th, Obj: "x", Arg: "read"},
+	}
+	if races := CheckFleetRaces([][]core.TraceEvent{send, readHalf}, []string{"A", "B"}); len(races) != 1 {
+		t.Fatalf("partial receipt should not order the later write: %v", races)
+	}
+	readAll := []core.TraceEvent{
+		{At: 100, Kind: core.EvNet, Thread: th, Obj: "f1>", Arg: "recv", Detail: "16"},
+		{At: 110, Kind: core.EvAccess, Thread: th, Obj: "x", Arg: "read"},
+	}
+	if races := CheckFleetRaces([][]core.TraceEvent{send, readAll}, []string{"A", "B"}); len(races) != 0 {
+		t.Fatalf("full receipt should order the write before the read: %v", races)
+	}
+}
+
+func TestFleetMutexesAreHostLocal(t *testing.T) {
+	th := harvestThread(t)
+	// Both hosts guard x with "their" mutex m. Same name, different
+	// machines: no common lock exists, so the accesses race and the
+	// lockset check must agree (host-qualified lock identities).
+	mk := func(at vtime.Time, arg string) []core.TraceEvent {
+		return []core.TraceEvent{
+			{At: at, Kind: core.EvAccess, Thread: th, Obj: "warm" + arg, Arg: "write"},
+			{At: at + 1, Kind: core.EvMutex, Thread: th, Obj: "m", Arg: "lock"},
+			{At: at + 2, Kind: core.EvAccess, Thread: th, Obj: "x", Arg: arg},
+			{At: at + 3, Kind: core.EvMutex, Thread: th, Obj: "m", Arg: "unlock"},
+		}
+	}
+	races := CheckFleetRaces([][]core.TraceEvent{mk(10, "write"), mk(100, "read")}, []string{"A", "B"})
+	if len(races) != 1 {
+		t.Fatalf("same-named mutexes on different hosts must not order accesses: %v", races)
+	}
+	if !races[0].LocksetEmpty {
+		t.Fatalf("host-qualified locksets should be disjoint: %+v", races[0])
+	}
+
+	// Single host, same trace shape: the shared mutex orders them.
+	one := append(append([]core.TraceEvent(nil), mk(10, "write")...), mk(100, "read")...)
+	if races := CheckFleetRaces([][]core.TraceEvent{one}, []string{"A"}); len(races) != 0 {
+		t.Fatalf("common mutex on one host should order accesses: %v", races)
+	}
+}

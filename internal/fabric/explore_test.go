@@ -1,0 +1,124 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"pthreads/internal/explore"
+)
+
+func TestFleetTokenRoundTrip(t *testing.T) {
+	in := FleetSchedule{Decisions: []FleetDecision{
+		{Host: 0, Index: 12, Pick: 1},
+		{Host: 2, Index: 40, Pick: 0},
+	}}
+	tok := in.Token()
+	if tok != "f1:h0/12/1,h2/40/0" {
+		t.Fatalf("token = %q", tok)
+	}
+	out, err := ParseFleetToken(tok)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(out.Decisions) != 2 || out.Decisions[0] != in.Decisions[0] || out.Decisions[1] != in.Decisions[1] {
+		t.Fatalf("round trip: %+v", out)
+	}
+	if _, err := ParseFleetToken("v1:3/0"); err == nil {
+		t.Fatalf("single-host token accepted as fleet token")
+	}
+	if _, err := ParseFleetToken("f1:junk"); err == nil {
+		t.Fatalf("malformed decision accepted")
+	}
+	if empty, err := ParseFleetToken("f1:"); err != nil || len(empty.Decisions) != 0 {
+		t.Fatalf("empty token: %+v, %v", empty, err)
+	}
+}
+
+func TestScenariosCleanByDefault(t *testing.T) {
+	for _, sc := range FleetScenarios() {
+		out := RunFleetSchedule(sc, FleetSchedule{})
+		if out.Failure != "" {
+			t.Fatalf("%s: unforced run failed: %s", sc.Name, out.Failure)
+		}
+	}
+}
+
+func TestFleetReplayReproduces(t *testing.T) {
+	sc := *FleetScenarioByName("fleet-echo")
+	a := RunFleetSchedule(sc, FleetSchedule{})
+	b := RunFleetSchedule(sc, FleetSchedule{})
+	if a.TraceHash != b.TraceHash || a.Fingerprint != b.Fingerprint {
+		t.Fatalf("unforced runs differ: %s/%s vs %s/%s", a.Fingerprint, a.TraceHash, b.Fingerprint, b.TraceHash)
+	}
+}
+
+func TestExploreFindsCrossHostLostWakeup(t *testing.T) {
+	sc := *FleetScenarioByName("fleet-lost-wakeup")
+	r := ExploreFleetBounded(sc, explore.Options{LockOnly: true, MaxRuns: 500, Bound: 1})
+	if !r.Found {
+		t.Fatalf("bounded search missed the cross-host lost wakeup: %s", r.String())
+	}
+	if !strings.Contains(r.Failure, "fleet deadlock") {
+		t.Fatalf("unexpected failure: %s", r.Failure)
+	}
+	// The failing schedule replays to the identical outcome, and the
+	// race checker pins the naked flag pair that caused it.
+	tok := r.Schedule.Token()
+	parsed, err := ParseFleetToken(tok)
+	if err != nil {
+		t.Fatalf("token %q: %v", tok, err)
+	}
+	o1 := RunFleetSchedule(sc, parsed)
+	o2 := RunFleetSchedule(sc, parsed)
+	if o1.Failure == "" || o1.TraceHash != o2.TraceHash {
+		t.Fatalf("replay did not reproduce: %q hash %s vs %s", o1.Failure, o1.TraceHash, o2.TraceHash)
+	}
+	races := o1.Races()
+	found := false
+	for _, rc := range races {
+		if rc.Loc == "ready" && strings.Contains(rc.String(), "snk/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("race checker missed the host-qualified ready-flag race: %v", races)
+	}
+}
+
+func TestExploreFixedVariantClean(t *testing.T) {
+	sc := *FleetScenarioByName("fleet-lost-wakeup-fixed")
+	r := ExploreFleetBounded(sc, explore.Options{LockOnly: true, MaxRuns: 60, Bound: 1})
+	if r.Found {
+		t.Fatalf("fixed variant failed under exploration: %s", r.String())
+	}
+	out := RunFleetSchedule(sc, FleetSchedule{})
+	if n := len(out.Races()); n != 0 {
+		t.Fatalf("fixed variant races: %v", out.Races())
+	}
+}
+
+func TestBrokenVariantRacesOnCleanSchedule(t *testing.T) {
+	// Even when the schedule happens to deliver the wakeup, the naked
+	// flag handoff and the cross-host job record are racy: the write on
+	// src and the read on snk have no ordering chain.
+	out := RunFleetSchedule(*FleetScenarioByName("fleet-lost-wakeup"), FleetSchedule{})
+	if out.Failure != "" {
+		t.Fatalf("unforced run failed: %s", out.Failure)
+	}
+	var sawReady, sawJob bool
+	for _, rc := range out.Races() {
+		switch rc.Loc {
+		case "ready":
+			sawReady = true
+		case "job":
+			sawJob = true
+			s := rc.String()
+			if !strings.Contains(s, "src/") || !strings.Contains(s, "snk/") {
+				t.Fatalf("job race is not cross-host: %s", s)
+			}
+		}
+	}
+	if !sawReady || !sawJob {
+		t.Fatalf("missing races (ready=%v job=%v): %v", sawReady, sawJob, out.Races())
+	}
+}

@@ -18,6 +18,8 @@
 package io
 
 import (
+	"strconv"
+
 	"pthreads/internal/core"
 	"pthreads/internal/net"
 	"pthreads/internal/vtime"
@@ -124,6 +126,11 @@ func (l *Listener) accept(d vtime.Duration) (*Conn, error) {
 	}
 	if l.x.sys.Tracing() {
 		l.x.sys.TraceNet(nc.Name(), "accept", "")
+		if nc.Remote() {
+			// Cross-host happens-before: accepting joins the dialing
+			// host's clock at its connect (see explore.CheckFleetRaces).
+			l.x.sys.TraceNet(nc.FlowIn(), "recv", "0")
+		}
 	}
 	return newConn(l.x, nc), nil
 }
@@ -177,6 +184,9 @@ func (op *connOp) Attempt() (bool, bool) {
 		}
 		if k > 0 {
 			op.x.sys.CountFDBytes(k)
+			if op.nc.Remote() && op.x.sys.Tracing() {
+				op.x.sys.TraceNet(op.nc.FlowOut(), "xmit", strconv.FormatInt(op.nc.SentBytes(), 10))
+			}
 		}
 		op.n, op.opErr = k, e
 		// Chain-wake: space the window still has can serve another writer.
@@ -188,6 +198,9 @@ func (op *connOp) Attempt() (bool, bool) {
 	}
 	if k > 0 {
 		op.x.sys.CountFDBytes(k)
+		if op.nc.Remote() && op.x.sys.Tracing() {
+			op.x.sys.TraceNet(op.nc.FlowIn(), "recv", strconv.FormatInt(op.nc.RcvdBytes(), 10))
+		}
 	}
 	op.n, op.opErr = k, e
 	// Chain-wake: leftover buffered data can serve another reader.
@@ -231,6 +244,12 @@ func (x *IO) dial(addr string, d vtime.Duration) (*Conn, error) {
 	}
 	if x.sys.Tracing() {
 		x.sys.TraceNet(nc.Name(), "connect", "")
+		if nc.Remote() {
+			// The cross-host handshake edge is stamped at connect START
+			// — the SYN departs now, so its snapshot must precede the
+			// remote accept in the merged fleet timeline.
+			x.sys.TraceNet(nc.FlowOut(), "xmit", "0")
+		}
 	}
 	var opErr error
 	err = x.sys.FDBlockingCall(nc.FD(), core.FDWrite, "connect "+addr, d,

@@ -76,6 +76,45 @@ func instName(ev core.TraceEvent) string {
 // may be nil) as Chrome trace-event JSON. end (virtual ns) closes any
 // state interval still open when recording stopped.
 func ChromeTrace(events []core.TraceEvent, findings []Finding, end int64) ([]byte, error) {
+	evs := appendHostEvents(nil, chromePID, events, findings, end)
+	return json.Marshal(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// HostTrace is one simulated machine's slice of a fleet export: its
+// name (the process label in the viewer), its recorded trace stream,
+// optional watchdog findings, and the virtual instant that closes any
+// interval still open.
+type HostTrace struct {
+	Name     string
+	Events   []core.TraceEvent
+	Findings []Finding
+	End      int64
+}
+
+// ChromeTraceFleet renders a multi-host run as one Chrome trace-event
+// JSON document: each host becomes its own process (distinct pid with a
+// process_name metadata record), so Perfetto groups the thread tracks
+// per machine while keeping them all on the single shared virtual
+// timeline. Hosts are emitted in argument order with pids 1..n, which
+// keeps the export a pure function of the input.
+func ChromeTraceFleet(hosts []HostTrace) ([]byte, error) {
+	var evs []chromeEvent
+	for i, h := range hosts {
+		pid := i + 1
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": h.Name},
+		})
+		evs = appendHostEvents(evs, pid, h.Events, h.Findings, h.End)
+	}
+	return json.Marshal(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// appendHostEvents emits one host's tracks under the given pid: thread
+// metadata, state slices, instants, and findings, exactly as the
+// single-host export always has (ChromeTrace with pid 1 is the golden
+// byte layout ptprof -check pins).
+func appendHostEvents(evs []chromeEvent, pid int, events []core.TraceEvent, findings []Finding, end int64) []chromeEvent {
 	us := func(ns int64) float64 { return float64(ns) / 1000 }
 
 	// First pass: name the tracks in first-seen order so the metadata
@@ -95,10 +134,9 @@ func ChromeTrace(events []core.TraceEvent, findings []Finding, end int64) ([]byt
 		order = append(order, tid)
 	}
 
-	var evs []chromeEvent
 	for _, tid := range order {
 		evs = append(evs, chromeEvent{
-			Name: "thread_name", Ph: "M", PID: chromePID, TID: tid,
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
 			Args: map[string]any{"name": names[tid]},
 		})
 	}
@@ -108,7 +146,7 @@ func ChromeTrace(events []core.TraceEvent, findings []Finding, end int64) ([]byt
 	openName := map[int]string{}
 	emitClose := func(tid int, atNS int64) {
 		if n, ok := openName[tid]; ok {
-			evs = append(evs, chromeEvent{Name: n, Ph: "E", TS: us(atNS), PID: chromePID, TID: tid})
+			evs = append(evs, chromeEvent{Name: n, Ph: "E", TS: us(atNS), PID: pid, TID: tid})
 			delete(openName, tid)
 		}
 	}
@@ -116,7 +154,7 @@ func ChromeTrace(events []core.TraceEvent, findings []Finding, end int64) ([]byt
 		tid := chromeTID(ev.Thread)
 		ns := int64(ev.At)
 		if ev.Kind != core.EvState {
-			e := chromeEvent{Name: instName(ev), Ph: "i", TS: us(ns), PID: chromePID, TID: tid, S: "t", Cat: ev.Kind.String()}
+			e := chromeEvent{Name: instName(ev), Ph: "i", TS: us(ns), PID: pid, TID: tid, S: "t", Cat: ev.Kind.String()}
 			if ev.Detail != "" {
 				e.Args = map[string]any{"detail": ev.Detail}
 			}
@@ -128,10 +166,10 @@ func ChromeTrace(events []core.TraceEvent, findings []Finding, end int64) ([]byt
 		case "running", "ready", "blocked":
 			name := sliceName(ev)
 			openName[tid] = name
-			evs = append(evs, chromeEvent{Name: name, Ph: "B", TS: us(ns), PID: chromePID, TID: tid, Cat: "state"})
+			evs = append(evs, chromeEvent{Name: name, Ph: "B", TS: us(ns), PID: pid, TID: tid, Cat: "state"})
 		default:
 			// Lifecycle marks ("created", "terminated"): instants only.
-			evs = append(evs, chromeEvent{Name: "thread " + ev.Arg, Ph: "i", TS: us(ns), PID: chromePID, TID: tid, S: "t", Cat: "state"})
+			evs = append(evs, chromeEvent{Name: "thread " + ev.Arg, Ph: "i", TS: us(ns), PID: pid, TID: tid, S: "t", Cat: "state"})
 		}
 	}
 	// Close whatever is still open at end of run, track order for
@@ -143,10 +181,9 @@ func ChromeTrace(events []core.TraceEvent, findings []Finding, end int64) ([]byt
 	// Watchdog findings as global instants on the timeline.
 	for _, f := range findings {
 		evs = append(evs, chromeEvent{
-			Name: "finding: " + f.Kind, Ph: "i", TS: us(int64(f.At)), PID: chromePID, TID: 0, S: "g", Cat: "watchdog",
+			Name: "finding: " + f.Kind, Ph: "i", TS: us(int64(f.At)), PID: pid, TID: 0, S: "g", Cat: "watchdog",
 			Args: map[string]any{"detail": f.Detail, "thread": f.Thread, "object": f.Object, "end_us": us(int64(f.End))},
 		})
 	}
-
-	return json.Marshal(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+	return evs
 }

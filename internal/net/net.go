@@ -103,6 +103,7 @@ type Stack struct {
 
 	listeners map[string]*Listener
 	stats     Stats
+	router    Router // cross-host address resolution; nil in single-host runs
 
 	// opFree pools the per-segment deferred operations (see ops.go).
 	opFree []*sockOp
@@ -155,6 +156,11 @@ func (st *Stack) Dial(addr string) (*Conn, error) {
 	st.k.CountSyscall("socket")
 	st.k.CountSyscall("connect")
 	st.stats.Dials++
+	if st.router != nil {
+		if rst, laddr, out, back, flow, ok := st.router.Route(addr); ok {
+			return st.dialRemote(addr, laddr, rst, out, back, flow)
+		}
+	}
 	client := &Conn{st: st, in: &pipe{cap: st.cfg.RecvBuf}}
 	server := &Conn{st: st, in: &pipe{cap: st.cfg.RecvBuf}}
 	client.peer, server.peer = server, client

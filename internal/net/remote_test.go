@@ -1,0 +1,264 @@
+package net
+
+import (
+	"strings"
+	"testing"
+
+	"pthreads/internal/hw"
+	"pthreads/internal/unixkern"
+	"pthreads/internal/vtime"
+)
+
+// Cross-host stack tests: two kernels side by side joined by scripted
+// wires, driven in virtual lockstep. These pin the fault semantics the
+// fabric relies on at exact virtual instants: refusal under backlog
+// overflow, a SYN swallowed by a partition (timeout territory, never
+// ECONNREFUSED), and an RST held by a partition window landing at the
+// healing instant — the ECONNRESET-vs-timeout ordering is a pure
+// function of the window, not of the schedule.
+
+// testWire mirrors the fabric wire: flat latency, partition windows
+// that hold traffic until they heal (or swallow it when unhealed), and
+// a FIFO floor.
+type testWindow struct{ from, to vtime.Time }
+
+type testWire struct {
+	delay vtime.Duration
+	parts []testWindow
+	last  vtime.Time
+}
+
+func (w *testWire) Arrival(dep vtime.Time, bytes int, data bool) (vtime.Time, bool) {
+	at := dep.Add(w.delay)
+	for _, p := range w.parts {
+		if at >= p.from && at < p.to {
+			if p.to == vtime.Infinity {
+				return 0, false
+			}
+			at = p.to
+		}
+	}
+	if at < w.last {
+		at = w.last
+	}
+	w.last = at
+	return at, true
+}
+
+// testRouter resolves "peer:<addr>" to the one remote stack.
+type testRouter struct {
+	peer      *Stack
+	out, back Wire
+	flows     uint64
+}
+
+func (r *testRouter) Route(addr string) (*Stack, string, Wire, Wire, uint64, bool) {
+	host, rest, ok := strings.Cut(addr, ":")
+	if !ok || host != "peer" {
+		return nil, "", nil, nil, 0, false
+	}
+	r.flows++
+	return r.peer, rest, r.out, r.back, r.flows, true
+}
+
+// newPair builds two hosts' kernels and stacks wired A→B / B→A.
+func newPair(t *testing.T, out, back Wire) (ka, kb *unixkern.Kernel, sa, sb *Stack) {
+	t.Helper()
+	ka = unixkern.New(hw.SPARCstationIPX())
+	sa = NewStack(ka, ka.NewProcess("hostA"), Config{})
+	kb = unixkern.New(hw.SPARCstationIPX())
+	sb = NewStack(kb, kb.NewProcess("hostB"), Config{})
+	sa.SetRouter(&testRouter{peer: sb, out: out, back: back})
+	return
+}
+
+// pump2Until processes every pending event across both kernels in
+// global virtual-time order, up to and including limit.
+func pump2Until(ka, kb *unixkern.Kernel, limit vtime.Time) {
+	for {
+		var best *unixkern.Kernel
+		var bestAt vtime.Time
+		for _, k := range []*unixkern.Kernel{ka, kb} {
+			if at, ok := k.NextEventAt(); ok && (best == nil || at < bestAt) {
+				best, bestAt = k, at
+			}
+		}
+		if best == nil || bestAt > limit {
+			return
+		}
+		if bestAt > best.Clock.Now() {
+			best.Clock.AdvanceTo(bestAt)
+		}
+		best.Poll()
+	}
+}
+
+func pump2(ka, kb *unixkern.Kernel) { pump2Until(ka, kb, vtime.Infinity) }
+
+const wireDelay = 100 * vtime.Microsecond
+
+func TestRemoteBacklogOverflowRefused(t *testing.T) {
+	ka, kb, sa, sb := newPair(t, &testWire{delay: wireDelay}, &testWire{delay: wireDelay})
+	l, err := sb.Listen("echo", 1)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	c1, err := sa.Dial("peer:echo")
+	if err != nil {
+		t.Fatalf("dial 1: %v", err)
+	}
+	c2, err := sa.Dial("peer:echo")
+	if err != nil {
+		t.Fatalf("dial 2: %v", err)
+	}
+	pump2(ka, kb)
+
+	// FIFO on the wire: the first SYN takes the single backlog slot and
+	// establishes; the second finds the backlog full and bounces.
+	if err := c1.ConnectStatus(); err != nil {
+		t.Fatalf("first connect: %v", err)
+	}
+	if err := c2.ConnectStatus(); err != ErrRefused {
+		t.Fatalf("overflow connect: %v, want ErrRefused", err)
+	}
+	if _, err := c2.TryWrite(10); err != ErrRefused {
+		t.Fatalf("write on refused conn: %v, want ErrRefused", err)
+	}
+	if got := sb.Stats().Refused; got != 1 {
+		t.Fatalf("server refused count = %d, want 1", got)
+	}
+
+	// Draining the backlog reopens it: the next dial establishes.
+	if _, err := l.TryAccept(); err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	c3, err := sa.Dial("peer:echo")
+	if err != nil {
+		t.Fatalf("dial 3: %v", err)
+	}
+	pump2(ka, kb)
+	if err := c3.ConnectStatus(); err != nil {
+		t.Fatalf("post-drain connect: %v", err)
+	}
+}
+
+func TestConnectDuringPartitionIsTimeoutNotRefusal(t *testing.T) {
+	// Forward path unhealed: the SYN vanishes. Nothing ever reaches the
+	// server (no refusal is even generated) and the client never leaves
+	// ErrWouldBlock — at the jacket layer that is ETIMEDOUT, never
+	// ECONNREFUSED.
+	ka, kb, sa, sb := newPair(t,
+		&testWire{delay: wireDelay, parts: []testWindow{{0, vtime.Infinity}}},
+		&testWire{delay: wireDelay})
+	c, err := sa.Dial("peer:echo")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	pump2(ka, kb)
+	if err := c.ConnectStatus(); err != ErrWouldBlock {
+		t.Fatalf("connect through dead link: %v, want ErrWouldBlock", err)
+	}
+	if got := sb.Stats().Refused; got != 0 {
+		t.Fatalf("server refused count = %d, want 0 (SYN never arrived)", got)
+	}
+
+	// Reverse path unhealed: the SYN arrives, the server refuses (no
+	// listener), but the RST is swallowed on the way back. The refusal
+	// is real at the server and invisible at the client: still timeout
+	// territory, not ECONNREFUSED.
+	ka, kb, sa, sb = newPair(t,
+		&testWire{delay: wireDelay},
+		&testWire{delay: wireDelay, parts: []testWindow{{0, vtime.Infinity}}})
+	c, err = sa.Dial("peer:nope")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	pump2(ka, kb)
+	if got := sb.Stats().Refused; got != 1 {
+		t.Fatalf("server refused count = %d, want 1", got)
+	}
+	if err := c.ConnectStatus(); err != ErrWouldBlock {
+		t.Fatalf("refused behind partition: %v, want ErrWouldBlock", err)
+	}
+}
+
+func TestRefusalHeldByPartitionLandsAtHeal(t *testing.T) {
+	// The RST for a refused connect departs inside a reverse-path
+	// partition window and is held to the healing instant: one virtual
+	// nanosecond before the heal the client still sees ErrWouldBlock;
+	// pumping past it flips the status to ErrRefused exactly at heal.
+	heal := vtime.Time(2 * vtime.Millisecond)
+	ka, kb, sa, _ := newPair(t,
+		&testWire{delay: wireDelay},
+		&testWire{delay: wireDelay, parts: []testWindow{{0, heal}}})
+	c, err := sa.Dial("peer:nope")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	pump2Until(ka, kb, heal-1)
+	if err := c.ConnectStatus(); err != ErrWouldBlock {
+		t.Fatalf("before heal: %v, want ErrWouldBlock", err)
+	}
+	pump2(ka, kb)
+	if err := c.ConnectStatus(); err != ErrRefused {
+		t.Fatalf("after heal: %v, want ErrRefused", err)
+	}
+	if now := ka.Clock.Now(); now != heal {
+		t.Fatalf("refusal landed at %v, want exactly the healing instant %v", now, heal)
+	}
+}
+
+func TestResetHeldByPartitionOrdersAfterHeal(t *testing.T) {
+	// An established connection: the server closes with unread data, so
+	// TCP mandates RST — but the reverse path is partitioned, holding
+	// the RST to the healing instant. The client reads ErrWouldBlock
+	// (not ErrReset) at any instant before the heal, and ErrReset at it:
+	// the ECONNRESET-vs-timeout ordering is pinned by the window alone.
+	start := vtime.Time(1 * vtime.Millisecond)
+	heal := vtime.Time(5 * vtime.Millisecond)
+	ka, kb, sa, sb := newPair(t,
+		&testWire{delay: wireDelay},
+		&testWire{delay: wireDelay, parts: []testWindow{{start, heal}}})
+	l, err := sb.Listen("echo", 1)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	c, err := sa.Dial("peer:echo")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	pump2(ka, kb)
+	if err := c.ConnectStatus(); err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	sc, err := l.TryAccept()
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	if n, err := c.TryWrite(100); n != 100 || err != nil {
+		t.Fatalf("write: %d, %v", n, err)
+	}
+	pump2(ka, kb)
+
+	// Park both hosts inside the partition window, then close with the
+	// 100 bytes still unread: the RST departs now and is held to heal.
+	ka.Clock.AdvanceTo(start)
+	kb.Clock.AdvanceTo(start)
+	if err := sc.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+	if at, ok := ka.NextEventAt(); !ok || at != heal {
+		t.Fatalf("held RST scheduled at %v (ok=%v), want exactly the healing instant %v", at, ok, heal)
+	}
+	pump2Until(ka, kb, heal-1)
+	if _, err := c.TryRead(10); err != ErrWouldBlock {
+		t.Fatalf("before heal: %v, want ErrWouldBlock", err)
+	}
+	pump2Until(ka, kb, heal)
+	if _, err := c.TryRead(10); err != ErrReset {
+		t.Fatalf("at heal: %v, want ErrReset", err)
+	}
+	if got := sa.Stats().Resets; got != 1 {
+		t.Fatalf("client reset count = %d, want 1", got)
+	}
+}

@@ -52,6 +52,12 @@ func (l *Listener) Close() error {
 	for _, c := range l.backlog {
 		c.closed = true
 		l.st.p.CloseFD(c.fd)
+		if c.rem != nil {
+			// The never-accepted endpoint's client lives on another
+			// host: the RST crosses the wire.
+			l.st.xControl(c, rstArrived)
+			continue
+		}
 		peer := c.peer
 		l.st.k.NetAfter(l.st.p, l.st.cfg.WireSetup, func() *unixkern.IOCompletion {
 			if peer.closed {
@@ -96,6 +102,10 @@ type Conn struct {
 	established bool
 	refused     bool
 	closed      bool
+
+	// rem is non-nil when the peer endpoint lives on another host (see
+	// remote.go); every single-host connection leaves it nil.
+	rem *remote
 }
 
 // FD returns the endpoint's descriptor.
@@ -195,6 +205,10 @@ func (c *Conn) TryRead(max int) (int, error) {
 	}
 	c.in.buffered -= n
 	c.st.stats.BytesRecvd += int64(n)
+	if c.rem != nil {
+		c.readRemote(n)
+		return n, nil
+	}
 	c.st.k.NetAfterOp(c.st.p, c.st.cfg.WireSetup, c.st.newOp(opWindow, c, 0))
 	return n, nil
 }
@@ -230,6 +244,10 @@ func (c *Conn) TryWrite(n int) (int, error) {
 	c.out().inflight += n
 	c.st.stats.BytesSent += int64(n)
 	c.st.stats.Segments++
+	if c.rem != nil {
+		c.writeRemote(n)
+		return n, nil
+	}
 	c.st.dev.SendOp(c.st.p, n, 0, c.st.newOp(opDeliver, c, n))
 	return n, nil
 }
@@ -254,6 +272,11 @@ func (c *Conn) Close() error {
 	}
 	unread := c.in.buffered > 0 || c.in.inflight > 0
 	c.in.buffered = 0
+	if c.rem != nil {
+		c.closeRemote(unread)
+		c.st.p.CloseFD(c.fd)
+		return nil
+	}
 	switch {
 	case c.in.reset || c.out().reset:
 		// Already dead; nothing to announce.

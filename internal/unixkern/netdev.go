@@ -126,6 +126,14 @@ func (k *Kernel) NetAfterOp(p *Process, d vtime.Duration, op NetApplier) vtime.T
 	return k.Clock.ScheduleAfter(d, k.newNetEvent(p, nil, op))
 }
 
+// NetAt schedules apply to run at the absolute virtual instant at. The
+// network fabric uses it to land cross-host arrivals computed from the
+// sender's departure time plus wire latency; `at` must not be in this
+// kernel's past (the fabric's lease rule guarantees it never is).
+func (k *Kernel) NetAt(p *Process, at vtime.Time, apply func() *IOCompletion) vtime.TimerID {
+	return k.Clock.ScheduleAt(at, k.newNetEvent(p, apply, nil))
+}
+
 // NetDevice models a network interface: a fixed per-segment setup cost
 // plus a per-byte transfer rate, FIFO-serialized — concurrent segments
 // queue behind each other on the one wire, exactly like requests on a
@@ -183,6 +191,23 @@ func (nd *NetDevice) send(p *Process, bytes int, extra vtime.Duration, apply fun
 	at := done.Add(extra)
 	nd.k.Clock.ScheduleAt(at, nd.k.newNetEvent(p, apply, op))
 	return at
+}
+
+// Occupy charges the interface for transmitting a segment without
+// scheduling a local delivery event, and returns the departure time (when
+// the last byte leaves the wire). Cross-host sends use it: the serialization
+// cost lands on the sender's NIC while the delivery event is scheduled on
+// the receiving host's clock by the fabric.
+func (nd *NetDevice) Occupy(bytes int) vtime.Time {
+	nd.Segments++
+	nd.Bytes += int64(bytes)
+	start := nd.k.Clock.Now()
+	if nd.busyUntil > start {
+		start = nd.busyUntil
+	}
+	done := start.Add(nd.Setup + vtime.Duration(bytes)*nd.PerByte)
+	nd.busyUntil = done
+	return done
 }
 
 // BusyUntil reports when the interface's transmit queue drains.

@@ -208,6 +208,12 @@ type Clock struct {
 	cachedNext Time
 	cachedOK   bool
 
+	// gov, when non-nil, arbitrates multi-host advancement (see
+	// governor.go); lease is the frontier below which this clock may
+	// advance without asking it. Both are dormant in single-host runs.
+	gov   Governor
+	lease Time
+
 	// free is the timerEntry free list (next-linked). Entries are
 	// recycled the moment they leave the queue — fired via PopDue or
 	// disarmed via Cancel — so a steady-state arm/cancel/fire workload
@@ -575,6 +581,10 @@ func (c *Clock) AdvanceTo(t Time) {
 	if t < c.now {
 		panic(fmt.Sprintf("vtime: clock moved backwards: %v -> %v", c.now, t))
 	}
+	if c.gov != nil && t > c.lease {
+		c.advanceToGov(t)
+		return
+	}
 	c.now = t
 }
 
@@ -583,7 +593,12 @@ func (c *Clock) Advance(d Duration) {
 	if d < 0 {
 		panic("vtime: negative advance")
 	}
-	c.now = c.now.Add(d)
+	t := c.now.Add(d)
+	if c.gov != nil && t > c.lease {
+		c.advanceGov(t)
+		return
+	}
+	c.now = t
 }
 
 // Step advances the clock by up to d, stopping early at the next timer
@@ -594,6 +609,9 @@ func (c *Clock) Advance(d Duration) {
 func (c *Clock) Step(d Duration) (advanced Duration, due bool) {
 	if d < 0 {
 		panic("vtime: negative step")
+	}
+	if c.gov != nil && c.now.Add(d) > c.lease {
+		return c.stepGov(d)
 	}
 	target := c.now.Add(d)
 	if at, ok := c.NextExpiry(); ok && at <= target {

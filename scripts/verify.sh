@@ -154,4 +154,30 @@ go run ./cmd/ptexplore -workload lock-unfair -policy bounded -bound 1 -races -ex
 go run ./cmd/ptexplore -workload lock-unfair-fixed -policy bounded -bound 2 -expect clean
 go run ./cmd/ptexplore -workload lock-mcs-handoff -policy bounded -bound 2 -expect clean
 go run ./cmd/ptexplore -workload lock-ticket-wrap -policy bounded -bound 2 -expect clean
+
+# Virtual-datacenter gates (DESIGN.md §13, E30). The fabric's baton
+# machinery under the host race detector, then fleet determinism: the
+# 9-host fault-injection example must produce byte-identical stdout
+# across two full runs (each run already self-checks its fingerprint
+# and all nine trace streams internally and exits 1 on mismatch), and
+# two dc-ladder sweeps must render identical bytes, fingerprints and
+# all — determinism under randomized loss.
+go test -race ./internal/fabric/
+go run ./examples/fleet > "$t/fleet1.txt"
+go run ./examples/fleet > "$t/fleet2.txt"
+cmp "$t/fleet1.txt" "$t/fleet2.txt"
+go run ./cmd/ptbench -dc -dcreplicas 1,2 -dcloss 0,0.05 -dcclients 80 -dcout "" > "$t/dc1.txt"
+go run ./cmd/ptbench -dc -dcreplicas 1,2 -dcloss 0,0.05 -dcclients 80 -dcout "" > "$t/dc2.txt"
+cmp "$t/dc1.txt" "$t/dc2.txt"
+
+# Cross-host exploration: the bounded search must find the seeded
+# fleet lost wakeup (and replay its host-qualified token to an
+# identical failing trace, with the flag race flagged across the
+# network's happens-before edges); the repaired scenario explores
+# clean; fleet record->replay must be deterministic. The per-host
+# Perfetto export self-checks byte-identity and per-host pids.
+go run ./cmd/ptexplore -fleet fleet-lost-wakeup -lock-only -races -expect found
+go run ./cmd/ptexplore -fleet fleet-lost-wakeup-fixed -lock-only -max-runs 60 -expect clean
+go run ./cmd/ptexplore -fleet fleet-echo -check-replay
+go run ./cmd/ptprof -fleet fleet-echo -check -q
 rm -rf "$t"
