@@ -19,6 +19,7 @@ import (
 	"pthreads"
 	"pthreads/internal/eval"
 	"pthreads/internal/metrics"
+	"pthreads/internal/obs"
 )
 
 // reportVirtual attaches the virtual-time metric for n operations.
@@ -548,11 +549,27 @@ func BenchmarkSyscallProfiles(b *testing.B) {
 // jacket layer: the client's Write crosses the simulated wire, wakes the
 // server from its per-fd wait queue, and the echoed response wakes the
 // client back — four jacket calls, two suspensions, two SIGIO
-// completions per op.
+// completions per op. Spans off, this path must stay at 0 allocs/op —
+// the regression gate (scripts/benchdiff) holds the line.
 func BenchmarkNetEcho(b *testing.B) {
+	benchNetEcho(b, false)
+}
+
+// BenchmarkNetEchoSpans is the same round trip with the fleet span
+// recorder attached: every Read/Write opens, annotates, and closes a
+// span. The delta against BenchmarkNetEcho is the recorded cost of the
+// observability plane on its hottest path.
+func BenchmarkNetEchoSpans(b *testing.B) {
+	benchNetEcho(b, true)
+}
+
+func benchNetEcho(b *testing.B, spans bool) {
 	s := pthreads.New(pthreads.Config{})
 	err := s.Run(func() {
 		x := pthreads.NewIO(s, pthreads.NetConfig{})
+		if spans {
+			x.SetSpans(obs.NewRecorder(0))
+		}
 		l, err := x.Listen("echo", 1)
 		if err != nil {
 			b.Fatal(err)
@@ -611,7 +628,14 @@ func BenchmarkNetEcho(b *testing.B) {
 // the round trip at the same cost it has with an empty house
 // (BENCH_host.json's c10k section records the full ladder).
 func BenchmarkC10KEcho(b *testing.B) {
-	benchEchoParked(b, 10000)
+	benchEchoParked(b, 10000, false)
+}
+
+// BenchmarkC10KEchoSpans is the C10k round trip with the span recorder
+// attached — the plane's cost must not grow with the parked population
+// (spans are per active call, not per thread).
+func BenchmarkC10KEchoSpans(b *testing.B) {
+	benchEchoParked(b, 10000, true)
 }
 
 // BenchmarkC100KEcho is the same round trip beside 100,000 parked
@@ -620,13 +644,16 @@ func BenchmarkC10KEcho(b *testing.B) {
 // wheel are all preallocated or pooled, so population adds memory but
 // no per-op work.
 func BenchmarkC100KEcho(b *testing.B) {
-	benchEchoParked(b, 100000)
+	benchEchoParked(b, 100000, false)
 }
 
-func benchEchoParked(b *testing.B, parked int) {
+func benchEchoParked(b *testing.B, parked int, spans bool) {
 	s := pthreads.New(pthreads.Config{PoolSize: parked + 4})
 	err := s.Run(func() {
 		x := pthreads.NewIO(s, pthreads.NetConfig{})
+		if spans {
+			x.SetSpans(obs.NewRecorder(0))
+		}
 		l, err := x.Listen("echo", 1)
 		if err != nil {
 			b.Fatal(err)

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Perf-regression gate: -diff compares the latest -host run in
+// BENCH_host.json against every run in its history array and fails
+// (non-zero exit) when a benchmark got materially worse. The gate knows
+// the two kinds of metric the suite emits:
+//
+//   - vus/op and allocs/op are pure functions of the simulation — the
+//     virtual clock and the allocator see the same program on every
+//     machine — so the latest run is held against EVERY history entry;
+//     any drift past the tolerance is a real regression, not noise.
+//
+//   - ns/op is host time. It moves with the machine, the load, and the
+//     toolchain, so it is only compared against history entries whose
+//     go_version/goos/goarch AND cpu fingerprint match the latest run
+//     — two containers with the same toolchain but different silicon
+//     disagree by 1.5x on these microbenchmarks, which is noise, not
+//     regression. The tolerance then absorbs same-machine jitter.
+//
+// Benchmarks present only in the latest run (newly added) or only in
+// history (since removed) are skipped: the gate polices regressions,
+// not coverage.
+
+// diffTolerance is the fractional slowdown the gate forgives: a value
+// is a regression when latest > baseline * (1 + tolerance).
+const diffTolerance = 0.15
+
+// strictMetrics are deterministic per-op values gated against all of
+// history; hostMetrics are wall-clock values gated only against
+// same-environment history.
+var (
+	strictMetrics = []string{"vus/op", "allocs/op"}
+	hostMetrics   = []string{"ns/op"}
+)
+
+// diffRegression is one gate violation.
+type diffRegression struct {
+	Bench    string  // pkg-qualified benchmark name
+	Metric   string  // which metric regressed
+	Latest   float64 // value in the latest run
+	Baseline float64 // best comparable history value
+	Against  string  // which history run supplied the baseline
+}
+
+func (r diffRegression) String() string {
+	if r.Baseline == 0 {
+		return fmt.Sprintf("%s %s: %g vs 0 in %s (was free, now isn't)",
+			r.Bench, r.Metric, r.Latest, r.Against)
+	}
+	return fmt.Sprintf("%s %s: %g vs %g in %s (+%.0f%%, tolerance %.0f%%)",
+		r.Bench, r.Metric, r.Latest, r.Baseline, r.Against,
+		(r.Latest/r.Baseline-1)*100, diffTolerance*100)
+}
+
+// runLabel names a history entry in gate output.
+func runLabel(i int, run hostRun) string {
+	if run.GeneratedAt != "" {
+		return fmt.Sprintf("history[%d] (%s)", i, run.GeneratedAt)
+	}
+	return fmt.Sprintf("history[%d]", i)
+}
+
+// benchKey indexes a bench across runs.
+func benchKey(b hostBench) string { return b.Pkg + "." + b.Name }
+
+// sameEnv reports whether two runs' host environments are comparable
+// for wall-clock metrics: same toolchain, same OS/arch, same machine.
+// A run with no recorded CPU fingerprint is comparable to nothing.
+func sameEnv(a, b hostRun) bool {
+	return a.GoVersion == b.GoVersion && a.GOOS == b.GOOS && a.GOARCH == b.GOARCH &&
+		a.CPU != "" && a.CPU == b.CPU
+}
+
+// diffRuns gates latest against one history entry and returns the
+// violations found. strict selects the deterministic metric set (true)
+// or the host-time set (false).
+func diffRuns(latest map[string]hostBench, i int, old hostRun, metrics []string) []diffRegression {
+	var regs []diffRegression
+	for _, ob := range old.Benches {
+		lb, ok := latest[benchKey(ob)]
+		if !ok {
+			continue // benchmark since removed or renamed
+		}
+		for _, m := range metrics {
+			base, okB := ob.Metrics[m]
+			cur, okL := lb.Metrics[m]
+			if !okB || !okL {
+				continue
+			}
+			if cur > base*(1+diffTolerance) {
+				regs = append(regs, diffRegression{
+					Bench: benchKey(ob), Metric: m,
+					Latest: cur, Baseline: base, Against: runLabel(i, old),
+				})
+			}
+		}
+	}
+	return regs
+}
+
+// runDiff is the -diff entry point: load the report, gate the latest
+// run against history, print the verdict. A regression is an error so
+// the process exits non-zero — verify.sh builds on that.
+func runDiff(path string) error {
+	report, err := loadHostReport(path)
+	if err != nil {
+		return err
+	}
+	if len(report.Benches) == 0 {
+		return fmt.Errorf("%s has no latest run to gate (run -host first)", path)
+	}
+	if len(report.History) == 0 {
+		fmt.Fprintf(os.Stderr, "ptbench: %s has no history; nothing to gate against\n", path)
+		return nil
+	}
+
+	latest := make(map[string]hostBench, len(report.Benches))
+	for _, b := range report.Benches {
+		latest[benchKey(b)] = b
+	}
+
+	var regs []diffRegression
+	compared, envMatched := 0, 0
+	for i, old := range report.History {
+		regs = append(regs, diffRuns(latest, i, old, strictMetrics)...)
+		compared++
+		if sameEnv(report.hostRun, old) {
+			regs = append(regs, diffRuns(latest, i, old, hostMetrics)...)
+			envMatched++
+		}
+	}
+
+	// Report each distinct (bench, metric) once, against its worst
+	// baseline — the smallest value it regressed from.
+	worst := map[string]diffRegression{}
+	for _, r := range regs {
+		k := r.Bench + " " + r.Metric
+		if prev, ok := worst[k]; !ok || r.Baseline < prev.Baseline {
+			worst[k] = r
+		}
+	}
+	keys := make([]string, 0, len(worst))
+	for k := range worst {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	if len(keys) > 0 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d perf regression(s) past %.0f%% in %s:\n",
+			len(keys), diffTolerance*100, path)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s\n", worst[k])
+		}
+		return fmt.Errorf("%s", strings.TrimRight(b.String(), "\n"))
+	}
+	fmt.Fprintf(os.Stderr,
+		"ptbench: diff ok — latest run within %.0f%% of %d history run(s) (%d machine-matched for ns/op)\n",
+		diffTolerance*100, compared, envMatched)
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The synthetic fixture plants three distinct regression shapes — a
+// deterministic vus/op slowdown, an allocs/op creep from zero, and an
+// env-matched ns/op blowup — plus a cross-environment ns/op delta that
+// must NOT trip the gate.
+func TestDiffFlagsSyntheticRegression(t *testing.T) {
+	err := runDiff(filepath.Join("testdata", "regression.json"))
+	if err == nil {
+		t.Fatal("gate passed a fixture with planted >15% regressions")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"BenchmarkNetEcho vus/op: 160 vs 100",
+		"BenchmarkContextSwitch allocs/op: 2 vs 0",
+		"BenchmarkContextSwitch ns/op: 900 vs 400",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("gate output missing %q:\n%s", want, msg)
+		}
+	}
+	// history[1] is a darwin/arm64 go1.23 run whose tiny ns/op would
+	// make every wall-clock comparison "regress"; the env filter must
+	// keep it out of the ns/op gate entirely.
+	if strings.Contains(msg, "BenchmarkNetEcho ns/op") {
+		t.Errorf("gate compared ns/op across mismatched host environments:\n%s", msg)
+	}
+	if !strings.Contains(msg, "3 perf regression(s)") {
+		t.Errorf("want exactly 3 deduplicated regressions, got:\n%s", msg)
+	}
+}
+
+// The clean fixture moves within tolerance, adds a new benchmark with
+// no baseline, and drops an old one — none of which is a regression.
+func TestDiffPassesCleanReport(t *testing.T) {
+	if err := runDiff(filepath.Join("testdata", "clean.json")); err != nil {
+		t.Fatalf("gate failed a clean report: %v", err)
+	}
+}
+
+// A report without history has nothing to gate against and must pass
+// (the first -host run on a fresh checkout should not fail verify).
+func TestDiffNoHistory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.json")
+	data := `{"go_version":"go1.24.0","goos":"linux","goarch":"amd64",` +
+		`"pattern":"X","command":"c",` +
+		`"benches":[{"pkg":"p","name":"BenchmarkX","iterations":1,"metrics":{"ns/op":1}}]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDiff(path); err != nil {
+		t.Fatalf("gate failed a history-less report: %v", err)
+	}
+}
+
+// Missing and empty reports are loud errors, not silent passes.
+func TestDiffBadInputs(t *testing.T) {
+	if err := runDiff(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("gate passed a missing report")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(path, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDiff(path); err == nil {
+		t.Error("gate passed a report with no latest run")
+	}
+}

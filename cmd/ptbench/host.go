@@ -34,9 +34,12 @@ import (
 //
 // The default pattern covers the scheduler-queue and synchronization
 // fast paths plus the core composite latencies; -hostbench overrides it.
+// The NetEcho / NetEchoSpans pair records the observability plane's
+// cost on the hottest I/O path — and NetEcho's allocs/op staying 0 with
+// spans off is a -diff-gated contract.
 const defaultHostPattern = "EnqueueDequeue|PeekMaxLoaded|Remove$|MutexNoContention|" +
 	"MutexProtocols|ContextSwitch$|SemaphoreSync$|ThreadCreate$|RingRecorderEvent|NetEcho$|" +
-	"MutexMetricsOn$|MutexMetricsOff$|DispatchMetricsOn$|DispatchMetricsOff$"
+	"NetEchoSpans$|MutexMetricsOn$|MutexMetricsOff$|DispatchMetricsOn$|DispatchMetricsOff$"
 
 // hostBench is one parsed benchmark result line.
 type hostBench struct {
@@ -50,13 +53,35 @@ type hostBench struct {
 // results. The latest run is embedded at the top of the report; earlier
 // runs are kept verbatim in the history array.
 type hostRun struct {
-	GeneratedAt string      `json:"generated_at,omitempty"`
-	GoVersion   string      `json:"go_version"`
-	GOOS        string      `json:"goos"`
-	GOARCH      string      `json:"goarch"`
-	Pattern     string      `json:"pattern"`
-	Command     string      `json:"command"`
-	Benches     []hostBench `json:"benches"`
+	GeneratedAt string `json:"generated_at,omitempty"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	// CPU fingerprints the machine (model name + logical count). The
+	// -diff gate only compares wall-clock metrics between runs whose
+	// fingerprints match: go version and OS alone do not make two
+	// machines' nanoseconds comparable. Runs recorded before the field
+	// existed have none and are never wall-clock-gated.
+	CPU     string      `json:"cpu,omitempty"`
+	Pattern string      `json:"pattern"`
+	Command string      `json:"command"`
+	Benches []hostBench `json:"benches"`
+}
+
+// hostCPU builds the machine fingerprint: the CPU model from
+// /proc/cpuinfo where available (the arch as a stand-in elsewhere),
+// plus the logical CPU count.
+func hostCPU() string {
+	model := runtime.GOARCH
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if rest, ok := strings.CutPrefix(line, "model name"); ok {
+				model = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), ":"))
+				break
+			}
+		}
+	}
+	return fmt.Sprintf("%s x%d", model, runtime.NumCPU())
 }
 
 // c10kSection is the thread-scaling suite's slot in the report.
@@ -140,6 +165,7 @@ func runHost(pattern, outPath string) error {
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		CPU:         hostCPU(),
 		Pattern:     pattern,
 		Command:     "go " + strings.Join(args, " "),
 	}

@@ -10,6 +10,7 @@
 //	ptbench -ablation     # pooling / lock-primitive / rendezvous ablations
 //	ptbench -attrib       # where the context-switch time goes
 //	ptbench -host         # host-machine Go benchmarks -> BENCH_host.json
+//	ptbench -diff         # perf-regression gate: latest run vs history
 package main
 
 import (
@@ -40,8 +41,18 @@ func main() {
 	dcReplicas := flag.String("dcreplicas", "1,2,4", "comma-separated replica counts for -dc")
 	dcLoss := flag.String("dcloss", "0,0.01,0.05", "comma-separated lb->replica loss rates for -dc")
 	dcOut := flag.String("dcout", "BENCH_host.json", "output path for -dc results (empty: print only)")
+	diff := flag.Bool("diff", false, "gate the latest -host run against the report's history (non-zero exit on regression)")
+	diffPath := flag.String("diffpath", "BENCH_host.json", "report to gate with -diff")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ptbench: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if *diff {
+		exitOn(runDiff(*diffPath))
+		return
+	}
 	if *host {
 		exitOn(runHost(*hostBench, *hostOut))
 		return

@@ -27,6 +27,7 @@ import (
 	"pthreads/internal/eval"
 	"pthreads/internal/fabric"
 	"pthreads/internal/metrics"
+	"pthreads/internal/trace"
 	"pthreads/internal/vtime"
 )
 
@@ -46,11 +47,26 @@ func main() {
 	longHold := flag.Duration("long-hold", 0, "flag mutex holds at least this long (host units map 1:1 to virtual)")
 	starvation := flag.Duration("starvation", 0, "flag dispatch latencies at least this long")
 	fleet := flag.String("fleet", "", "profile a fleet scenario instead of a workload (fleet-echo, ...)")
+	spans := flag.Bool("spans", false, "with -fleet: record distributed spans and draw cross-host flow arrows")
 	quiet := flag.Bool("q", false, "suppress the text profile (checks and exports only)")
 	flag.Parse()
 
+	// Flag validation up front, every violation the same way: a message
+	// and exit 1 (never a silent ignore, never a stray zero exit).
+	if flag.NArg() > 0 {
+		fail("unexpected arguments: %s", strings.Join(flag.Args(), " "))
+	}
+	if *top < 0 {
+		fail("-top must be >= 0 (got %d)", *top)
+	}
+	if *spans && *fleet == "" {
+		fail("-spans requires -fleet")
+	}
 	if *fleet != "" {
-		runFleet(*fleet, *chrome, *check)
+		if *expect != "" || *jsonOut != "" || *longHold != 0 || *starvation != 0 {
+			fail("-expect, -json, -long-hold and -starvation apply to workload profiles, not -fleet")
+		}
+		runFleet(*fleet, *chrome, *check, *spans, *quiet)
 		return
 	}
 
@@ -98,8 +114,10 @@ func main() {
 }
 
 // runFleet profiles a whole virtual datacenter: one scenario run, every
-// host exported as its own process on the shared virtual timeline.
-func runFleet(name, chrome string, check bool) {
+// host exported as its own process on the shared virtual timeline. With
+// spans, the observability plane rides along: span tracks per host,
+// flow arrows across them, and the fleet report on stdout.
+func runFleet(name, chrome string, check, spans, quiet bool) {
 	sc := fabric.FleetScenarioByName(name)
 	if sc == nil {
 		var known []string
@@ -108,11 +126,15 @@ func runFleet(name, chrome string, check bool) {
 		}
 		fail("unknown fleet scenario %q (have: %s)", name, strings.Join(known, ", "))
 	}
-	out := fabric.RunFleetSchedule(*sc, fabric.FleetSchedule{})
+	oc := fabric.ObsConfig{}
+	if spans {
+		oc = fabric.ObsConfig{Spans: true, Rollup: true, WaitCycle: true}
+	}
+	out := fabric.RunFleetScheduleObs(*sc, fabric.FleetSchedule{}, oc)
 	if out.Failure != "" {
 		fail("fleet %s: %s", name, out.Failure)
 	}
-	data, err := metrics.ChromeTraceFleet(fleetTraces(out))
+	data, err := fleetExport(out)
 	if err != nil {
 		fail("fleet chrome export: %v", err)
 	}
@@ -122,6 +144,9 @@ func runFleet(name, chrome string, check bool) {
 	}
 	fmt.Printf("fleet %s: %d hosts, %d trace events, fingerprint %s, trace hash %s\n",
 		name, len(out.HostNames), nev, out.Fingerprint, out.TraceHash)
+	if out.Obs != nil && !quiet {
+		fmt.Print(out.Obs.Format())
+	}
 	if chrome != "" {
 		if err := os.WriteFile(chrome, data, 0o644); err != nil {
 			fail("%v", err)
@@ -129,17 +154,31 @@ func runFleet(name, chrome string, check bool) {
 		fmt.Fprintf(os.Stderr, "ptprof: wrote %s (%d bytes)\n", chrome, len(data))
 	}
 	if check {
-		second := fabric.RunFleetSchedule(*sc, fabric.FleetSchedule{})
+		second := fabric.RunFleetScheduleObs(*sc, fabric.FleetSchedule{}, oc)
 		if second.TraceHash != out.TraceHash || second.Fingerprint != out.Fingerprint {
 			fail("check: fleet run not deterministic: %s/%s vs %s/%s",
 				out.Fingerprint, out.TraceHash, second.Fingerprint, second.TraceHash)
 		}
-		data2, err := metrics.ChromeTraceFleet(fleetTraces(second))
+		data2, err := fleetExport(second)
 		if err != nil {
 			fail("check: fleet chrome export (rerun): %v", err)
 		}
 		if string(data) != string(data2) {
 			fail("check: fleet chrome export differs between two runs — determinism broken")
+		}
+		if spans {
+			// The plane's contract: spans observe, never perturb. A
+			// spans-off run of the same scenario must schedule
+			// identically.
+			bare := fabric.RunFleetSchedule(*sc, fabric.FleetSchedule{})
+			if bare.TraceHash != out.TraceHash || bare.Fingerprint != out.Fingerprint {
+				fail("check: spans perturbed the schedule: %s/%s with, %s/%s without",
+					out.Fingerprint, out.TraceHash, bare.Fingerprint, bare.TraceHash)
+			}
+			// And the stream itself must be a well-formed trace forest.
+			if err := trace.ValidateSpans(out.Obs.Spans, out.Obs.Msgs); err != nil {
+				fail("check: %v", err)
+			}
 		}
 		var parsed struct {
 			TraceEvents []map[string]any `json:"traceEvents"`
@@ -169,6 +208,15 @@ func fleetTraces(out fabric.FleetOutcome) []metrics.HostTrace {
 		hosts[i] = metrics.HostTrace{Name: out.HostNames[i], Events: out.PerHost[i], End: out.HostEnds[i]}
 	}
 	return hosts
+}
+
+// fleetExport renders the outcome's Chrome JSON, with the span overlay
+// when the run recorded one.
+func fleetExport(out fabric.FleetOutcome) ([]byte, error) {
+	if out.Obs != nil && len(out.Obs.Spans) > 0 {
+		return metrics.ChromeTraceFleetSpans(fleetTraces(out), out.Obs.Spans, out.Obs.Msgs)
+	}
+	return metrics.ChromeTraceFleet(fleetTraces(out))
 }
 
 // assertExpect enforces the watchdog outcome the caller demands; the

@@ -19,7 +19,12 @@ func main() {
 	// experiments.
 	withExplore := flag.Bool("explore", false, "append the schedule-exploration section")
 	withProfile := flag.Bool("profile", false, "append the virtual-time profiler section")
+	withFleet := flag.Bool("fleet", false, "append the fleet observability section")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ptreport: unexpected arguments: %v\n", flag.Args())
+		os.Exit(1)
+	}
 	sections := []func() (string, error){
 		func() (string, error) {
 			rows, err := eval.Table2()
@@ -44,6 +49,9 @@ func main() {
 	}
 	if *withProfile {
 		sections = append(sections, eval.FormatProfile)
+	}
+	if *withFleet {
+		sections = append(sections, eval.FormatFleetObs)
 	}
 	for i, f := range sections {
 		out, err := f()

@@ -42,6 +42,10 @@ func (s *System) Create(attr Attr, fn func(arg any) any, arg any) (*Thread, erro
 		// Fork edge for the race checker: creator → child.
 		s.traceObj(EvFork, s.current, t.name, strconv.Itoa(int(t.id)), "")
 	}
+	if s.spans != nil && s.current != nil {
+		s.spans.ThreadForked(s.clock.Now(), int32(s.current.id), int32(t.id),
+			s.current.name, t.name)
+	}
 	if attr.Lazy {
 		// Deferred activation: stays in StateNew, holding only a TCB.
 		// (allocTCB gave it a stack already; a production system would
@@ -131,6 +135,10 @@ func (s *System) Join(t *Thread) (any, error) {
 	if s.tracer != nil {
 		// Join edge for the race checker: target → joiner.
 		s.traceObj(EvJoin, cur, t.name, strconv.Itoa(int(t.id)), "")
+	}
+	if s.spans != nil {
+		s.spans.ThreadJoined(s.clock.Now(), int32(cur.id), int32(t.id),
+			cur.name, t.name)
 	}
 	s.enterKernel()
 	s.reclaim(t)

@@ -211,7 +211,9 @@ func (s *System) fdBlocking(fd unixkern.FD, dir FDDir, what string, timeout vtim
 			s.traceObj(EvIO, t, s.fdLabel(fd, dir), "block", what)
 		}
 		blockedAt := s.clock.Now()
+		s.fdBlockedNow++
 		s.blockCurrent(BlockFD, what)
+		s.fdBlockedNow--
 		s.stats.FDBlockedNS += int64(s.clock.Now().Sub(blockedAt))
 		if s.metrics != nil {
 			s.metrics.FDBlocked(blockedAt, t, int(fd), dir, s.clock.Now().Sub(blockedAt))

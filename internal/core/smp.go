@@ -66,10 +66,17 @@ type SMPThread struct {
 	done    bool
 	joiners []*SMPThread
 
-	// Acquires and WaitVUS accumulate lock statistics when the thread
-	// locks through SMPMutex: acquisitions and virtual ns spent waiting.
+	// Acquires, WaitVUS and HoldVUS accumulate lock statistics when the
+	// thread locks through SMPMutex: acquisitions, virtual ns spent
+	// waiting for ownership, and virtual ns spent owning. The boundary
+	// between the two buckets is one instant — the clock reading taken
+	// the moment the engine grants — so every lock-related nanosecond
+	// lands in exactly one bucket even when the thread migrates between
+	// per-CPU run queues mid-wait or mid-hold (migration switches which
+	// VCPU's clock Now() reads, but dispatch only ever advances it).
 	Acquires int64
 	WaitVUS  int64
+	HoldVUS  int64
 }
 
 // ID returns the thread's ordinal.
@@ -424,11 +431,12 @@ func (e *smpEnv) Spin(n int) {
 func (e *smpEnv) set(w *lockeng.Word, v int64) { w.SetValue(v) }
 
 // SMPMutex is a lock-engine mutex bound to a simulated multiprocessor,
-// with per-thread contexts and wait accounting.
+// with per-thread contexts and wait/hold accounting.
 type SMPMutex struct {
-	s    *SMPSystem
-	eng  *lockeng.Mutex
-	ctxs []*lockeng.Ctx // by thread ID
+	s     *SMPSystem
+	eng   *lockeng.Mutex
+	ctxs  []*lockeng.Ctx // by thread ID
+	acqAt []vtime.Time   // acquisition instant, by owning thread ID
 }
 
 // NewSMPMutex creates an engine-backed mutex on the machine.
@@ -450,13 +458,28 @@ func (m *SMPMutex) ctx(t *SMPThread) *lockeng.Ctx {
 	return m.ctxs[t.id]
 }
 
-// Lock acquires the mutex for t, spinning on t's VCPU.
+// acquired records t taking ownership at the given instant; Unlock
+// reads it back to close the hold. Keyed by thread ID because at an
+// engine handoff the next owner can be granted before the releaser
+// returns, so two instants briefly coexist.
+func (m *SMPMutex) acquired(t *SMPThread, at vtime.Time) {
+	for len(m.acqAt) <= t.id {
+		m.acqAt = append(m.acqAt, 0)
+	}
+	m.acqAt[t.id] = at
+}
+
+// Lock acquires the mutex for t, spinning on t's VCPU. The single
+// post-grant clock reading both ends the wait bucket and starts the
+// hold bucket, so the two partition the interval exactly.
 func (m *SMPMutex) Lock(t *SMPThread) {
 	c := m.ctx(t)
 	t0 := t.Now()
 	m.eng.Lock(m.s.env, c)
-	t.WaitVUS += int64(t.Now().Sub(t0))
+	acq := t.Now()
+	t.WaitVUS += int64(acq.Sub(t0))
 	t.Acquires++
+	m.acquired(t, acq)
 }
 
 // TryLock attempts the acquisition without spinning.
@@ -464,11 +487,14 @@ func (m *SMPMutex) TryLock(t *SMPThread) bool {
 	ok := m.eng.TryLock(m.s.env, m.ctx(t))
 	if ok {
 		t.Acquires++
+		m.acquired(t, t.Now())
 	}
 	return ok
 }
 
-// Unlock releases the mutex.
+// Unlock releases the mutex and charges the hold — acquisition instant
+// to post-release instant — to the releasing thread.
 func (m *SMPMutex) Unlock(t *SMPThread) {
 	m.eng.Unlock(m.s.env, m.ctx(t))
+	t.HoldVUS += int64(t.Now().Sub(m.acqAt[t.id]))
 }

@@ -76,6 +76,10 @@ type Config struct {
 	// (see internal/metrics). Like Tracer and Explorer, every call site
 	// is a nil check and the hooks charge no virtual cost.
 	Metrics MetricsSink
+	// Spans, when non-nil, receives thread fork/join span events for the
+	// distributed-trace plane (see internal/obs and span.go). Same
+	// contract as Metrics: nil checks only, zero virtual cost.
+	Spans SpanSink
 	// ExternalEvents declares that events may arrive from outside this
 	// system (another host on a network fabric). An idle system with no
 	// local timer then sleeps on its clock instead of declaring deadlock
@@ -182,6 +186,8 @@ type System struct {
 	stats         Stats
 	tracer        Tracer
 	metrics       MetricsSink
+	spans         SpanSink
+	fdBlockedNow  int  // threads currently suspended on fd wait queues
 	pervertArm    bool // set when the active perverted policy wants a switch at kernel exit
 	randomPick    bool // random-switch: pick the next thread at random
 
@@ -256,6 +262,7 @@ func New(cfg Config) *System {
 		quantum: cfg.Quantum,
 		tracer:  cfg.Tracer,
 		metrics: cfg.Metrics,
+		spans:   cfg.Spans,
 		prng:    rand.New(rand.NewSource(cfg.Seed)),
 		doneCh:  make(chan struct{}),
 	}

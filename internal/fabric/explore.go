@@ -162,6 +162,9 @@ type FleetOutcome struct {
 	PerHost   [][]core.TraceEvent
 	HostNames []string
 	HostEnds  []int64
+	// Obs is the observability-plane report, nil unless the run was
+	// made with RunFleetScheduleObs.
+	Obs *ObsReport
 }
 
 // Races runs the fleet race checker over the outcome's traces.
@@ -172,10 +175,18 @@ func (o FleetOutcome) Races() []explore.Race {
 // RunFleetSchedule executes the scenario once under a forced schedule
 // (empty = the unperturbed run).
 func RunFleetSchedule(sc Scenario, sched FleetSchedule) FleetOutcome {
+	return RunFleetScheduleObs(sc, sched, ObsConfig{})
+}
+
+// RunFleetScheduleObs is RunFleetSchedule with the observability plane
+// attached; oc's zero value reproduces RunFleetSchedule exactly (the
+// plane never perturbs a schedule either way — that is its contract).
+func RunFleetScheduleObs(sc Scenario, sched FleetSchedule, oc ObsConfig) FleetOutcome {
 	cfg, check := sc.Make()
 	ctl := newFleetCtl(sched.Decisions)
 	cfg.explorer = ctl
 	cfg.Trace = true
+	cfg.Obs = oc
 	f, err := New(cfg)
 	if err != nil {
 		return FleetOutcome{Failure: "bad fleet config: " + err.Error(), RunErr: err}
@@ -199,6 +210,7 @@ func RunFleetSchedule(sc Scenario, sched FleetSchedule) FleetOutcome {
 		}
 	}
 	out.TraceHash = hex.EncodeToString(h.Sum(nil)[:8])
+	out.Obs = f.ObsReport()
 	out.Failure = check(f, runErr)
 	return out
 }

@@ -52,6 +52,7 @@ import (
 	"pthreads/internal/core"
 	"pthreads/internal/io"
 	"pthreads/internal/net"
+	"pthreads/internal/obs"
 	"pthreads/internal/trace"
 	"pthreads/internal/vtime"
 )
@@ -118,6 +119,9 @@ type Config struct {
 	Drain []string
 	// Trace attaches a per-host trace recorder to every host.
 	Trace bool
+	// Obs configures the fleet observability plane (spans, rollups,
+	// watchdogs — see obs.go). The zero value disables it entirely.
+	Obs ObsConfig
 
 	// explorer, when non-nil, wires a schedule-exploration controller
 	// into every host (see explore.go; fabric-internal).
@@ -203,6 +207,7 @@ type Fabric struct {
 	fp      uint64 // FNV-1a over the grant/done stream
 	flows   uint64
 	ran     bool
+	obs     *fleetObs // observability plane; nil when disabled
 }
 
 // New builds a fleet. Host bodies do not start until Run.
@@ -226,6 +231,9 @@ func New(cfg Config) (*Fabric, error) {
 		backCh: make(chan parkMsg),
 		fp:     fnvOffset,
 	}
+	if cfg.Obs.enabled() {
+		f.obs = newFleetObs(cfg.Obs, len(cfg.Hosts))
+	}
 	for i, spec := range cfg.Hosts {
 		if strings.Contains(spec.Name, ":") || spec.Name == "" {
 			return nil, fmt.Errorf("fabric: bad host name %q", spec.Name)
@@ -243,10 +251,19 @@ func New(cfg Config) (*Fabric, error) {
 		if cfg.explorer != nil {
 			hcfg.Explorer = cfg.explorer.forHost(i)
 		}
+		var spanRec *obs.Recorder
+		if f.obs != nil && cfg.Obs.Spans {
+			spanRec = obs.NewRecorder(i)
+			f.obs.recs = append(f.obs.recs, spanRec)
+			hcfg.Spans = spanRec
+		}
 		h.Sys = core.New(hcfg)
 		h.IO = io.New(h.Sys, cfg.Net)
 		h.IO.Stack().SetRouter(&hostRouter{h: h})
 		h.Sys.Clock().SetGovernor(&hostGov{h: h})
+		if spanRec != nil {
+			h.IO.SetSpans(spanRec)
+		}
 		f.hosts = append(f.hosts, h)
 		f.byName[spec.Name] = h
 	}
@@ -279,6 +296,9 @@ func New(cfg Config) (*Fabric, error) {
 				delay: cfg.Delay,
 				rto:   cfg.RTO,
 				prng:  mixSeed(uint64(cfg.Seed), uint64(i), uint64(j)),
+				src:   i,
+				dst:   j,
+				obs:   f.obs,
 			}
 			for _, l := range cfg.Loss {
 				if l.From == f.hosts[i].Name && l.To == f.hosts[j].Name {
@@ -330,6 +350,9 @@ func (f *Fabric) Run() error {
 			if !m.done {
 				m.h.now, m.h.want, m.h.parked = m.now, m.want, true
 				f.nParked++
+				if f.obs != nil {
+					f.obs.onPark(m.h, m.now)
+				}
 				continue
 			}
 			m.h.done = true
@@ -353,9 +376,16 @@ func (f *Fabric) Run() error {
 			f.killAll()
 			return f.err
 		}
+		if f.obs != nil {
+			f.obs.sampleAt(f, e)
+			f.obs.checkWaitCycle(f)
+		}
 		h := f.pick()
 		grant, lease := f.grantFor(h, e)
 		f.mix(uint64(h.ID), uint64(h.want), uint64(grant))
+		if f.obs != nil {
+			f.obs.onGrant(f, h, grant)
+		}
 		h.parked = false
 		f.nParked--
 		h.grantCh <- grantMsg{grant: grant, lease: lease}
@@ -546,6 +576,9 @@ func (f *Fabric) killAll() {
 			// dead); parks from others cannot happen while they are
 			// parked. Drop anything unexpected defensively.
 		}
+	}
+	if f.obs != nil {
+		f.obs.teardown(f)
 	}
 }
 

@@ -22,6 +22,13 @@ type wire struct {
 	prng     uint64
 	parts    []partWindow
 	lastArr  vtime.Time
+
+	// src and dst are the endpoint host ordinals; obs, when non-nil,
+	// observes every segment for the fleet observability plane (counters
+	// and span piggybacking — see obs.go). Observation never changes an
+	// arrival instant.
+	src, dst int
+	obs      *fleetObs
 }
 
 // maxLossRetries bounds redelivery attempts so a Rate of 1.0 degrades
@@ -30,11 +37,14 @@ const maxLossRetries = 64
 
 func (w *wire) Arrival(dep vtime.Time, bytes int, data bool) (vtime.Time, bool) {
 	at := satAdd(dep, w.delay)
+	tries := 0
 	if data && w.lossRate > 0 {
-		tries := 0
 		for w.randFloat() < w.lossRate {
 			tries++
 			if tries > maxLossRetries {
+				if w.obs != nil {
+					w.obs.wireLost(w, tries-1)
+				}
 				return 0, false
 			}
 			at = satAdd(at, w.rto)
@@ -43,18 +53,26 @@ func (w *wire) Arrival(dep vtime.Time, bytes int, data bool) (vtime.Time, bool) 
 	// Partition windows, in start order: an arrival landing inside a
 	// window is held to its healing instant — which may push it into a
 	// later window, handled by the same forward pass.
+	held := false
 	for _, p := range w.parts {
 		if at >= p.from && at < p.to {
 			if p.to == vtime.Infinity {
+				if w.obs != nil {
+					w.obs.wireLost(w, tries)
+				}
 				return 0, false
 			}
 			at = p.to
+			held = true
 		}
 	}
 	if at < w.lastArr {
 		at = w.lastArr // FIFO: never overtake an earlier segment
 	}
 	w.lastArr = at
+	if w.obs != nil {
+		w.obs.wireDelivered(w, dep, at, bytes, tries, held)
+	}
 	return at, true
 }
 
@@ -88,5 +106,10 @@ func (r *hostRouter) Route(addr string) (*net.Stack, string, net.Wire, net.Wire,
 	out := f.wires[[2]int{r.h.ID, tgt.ID}]
 	back := f.wires[[2]int{tgt.ID, r.h.ID}]
 	f.flows++
+	if f.obs != nil {
+		// Endpoint map for the wait-cycle watchdog: who terminates this
+		// flow (see checkWaitCycle).
+		f.obs.flowEnds[f.flows] = [2]int{r.h.ID, tgt.ID}
+	}
 	return tgt.IO.Stack(), addr[i+1:], out, back, f.flows, true
 }

@@ -22,6 +22,7 @@ import (
 
 	"pthreads/internal/core"
 	"pthreads/internal/net"
+	"pthreads/internal/obs"
 	"pthreads/internal/vtime"
 )
 
@@ -41,6 +42,12 @@ type IO struct {
 	// returned when the call completes, so steady-state I/O allocates
 	// nothing. Safe without a lock: one goroutine runs at a time.
 	ops []*connOp
+
+	// spans, when attached, records a span per jacket call (dial,
+	// accept, read, write) for the fleet observability plane. Nil —
+	// every single-host run and fleets with spans off — costs one nil
+	// check per call and zero allocations.
+	spans *obs.Recorder
 }
 
 // New builds the jacket layer over a fresh socket stack for the system's
@@ -51,6 +58,47 @@ func New(sys *core.System, cfg net.Config) *IO {
 
 // Stack exposes the underlying non-blocking stack (stats, diagnostics).
 func (x *IO) Stack() *net.Stack { return x.st }
+
+// SetSpans attaches the host's span recorder (fleet observability).
+func (x *IO) SetSpans(r *obs.Recorder) { x.spans = r }
+
+// Spans returns the attached recorder (nil when spans are off).
+func (x *IO) Spans() *obs.Recorder { return x.spans }
+
+// openSpan starts a jacket-call span on the current thread; NoSpan — a
+// single nil check, no allocation — with spans off.
+func (x *IO) openSpan(k obs.Kind, name string) obs.SpanRef {
+	if x.spans == nil {
+		return obs.NoSpan
+	}
+	t := x.sys.Current()
+	return x.spans.Open(x.sys.Clock().Now(), int32(t.ID()), t.Name(), k, name)
+}
+
+// openConnSpan starts a read/write span under the connection's trace
+// context (established by the dial or accept span).
+func (x *IO) openConnSpan(k obs.Kind, name string, trace, parent uint64) obs.SpanRef {
+	if x.spans == nil {
+		return obs.NoSpan
+	}
+	t := x.sys.Current()
+	return x.spans.OpenUnder(x.sys.Clock().Now(), int32(t.ID()), t.Name(), k, name, trace, parent)
+}
+
+// closeSpan ends a jacket-call span, annotating any error (EOF
+// included: a read span ending the stream says so). A call that never
+// returns — cancellation unwinds the thread — leaves its span open;
+// CloseDangling marks it "unfinished" at teardown.
+func (x *IO) closeSpan(ref obs.SpanRef, err error) {
+	if ref == obs.NoSpan {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	x.spans.Close(ref, x.sys.Clock().Now(), msg)
+}
 
 // System returns the thread system the jacket is bound to.
 func (x *IO) System() *core.System { return x.sys }
@@ -106,6 +154,7 @@ func (l *Listener) Accept() (*Conn, error) { return l.accept(0) }
 func (l *Listener) AcceptTimeout(d vtime.Duration) (*Conn, error) { return l.accept(d) }
 
 func (l *Listener) accept(d vtime.Duration) (*Conn, error) {
+	ref := l.x.openSpan(obs.KAccept, "accept "+l.nl.Addr())
 	var nc *net.Conn
 	var opErr error
 	err := l.x.sys.FDBlockingCall(l.nl.FD(), core.FDRead, "accept "+l.nl.Addr(), d,
@@ -119,10 +168,13 @@ func (l *Listener) accept(d vtime.Duration) (*Conn, error) {
 			return true, l.nl.Pending() > 0
 		})
 	if err != nil {
+		l.x.closeSpan(ref, err)
 		return nil, err
 	}
 	if opErr != nil {
-		return nil, mapErr(opErr)
+		err = mapErr(opErr)
+		l.x.closeSpan(ref, err)
+		return nil, err
 	}
 	if l.x.sys.Tracing() {
 		l.x.sys.TraceNet(nc.Name(), "accept", "")
@@ -132,7 +184,16 @@ func (l *Listener) accept(d vtime.Duration) (*Conn, error) {
 			l.x.sys.TraceNet(nc.FlowIn(), "recv", "0")
 		}
 	}
-	return newConn(l.x, nc), nil
+	c := newConn(l.x, nc)
+	if ref != obs.NoSpan {
+		// A remote connection's SYN carried the dialer's span context;
+		// adopting it stitches dial span → wire arrow → accept span.
+		l.x.spans.Adopt(ref, nc.Flow())
+		sp := l.x.spans.Span(ref)
+		c.trace, c.parent = sp.Trace, sp.ID
+		l.x.closeSpan(ref, nil)
+	}
+	return c, nil
 }
 
 // Close unbinds the listener. Threads blocked in Accept are woken and
@@ -156,6 +217,11 @@ type Conn struct {
 	// endpoint instead of concatenated on every blocking call.
 	readWhat  string
 	writeWhat string
+
+	// Trace context read/write spans on this connection open under: the
+	// dial or accept span that produced the endpoint. Zero with spans
+	// off.
+	trace, parent uint64
 }
 
 // newConn wraps an established endpoint, precomputing its wait labels.
@@ -172,11 +238,26 @@ type connOp struct {
 	want  int // read: max bytes; write: bytes remaining in this step
 	n     int // bytes moved by the completed attempt
 	opErr error
+	sctx  net.SpanCtx // span context the attempt's wire messages carry
 }
 
-// Attempt implements core.FDOp with the same logic as the former
-// closures, chain-waking residual readiness.
+// Attempt implements core.FDOp: with a span open it brackets the try
+// with the stack's span context — so the segments and window updates
+// the try emits carry it across the wire — and otherwise (spans off)
+// it is the bare try after a two-word compare.
 func (op *connOp) Attempt() (bool, bool) {
+	if op.sctx != (net.SpanCtx{}) {
+		op.x.st.SetSpanCtx(op.sctx)
+		done, more := op.attempt()
+		op.x.st.SetSpanCtx(net.SpanCtx{})
+		return done, more
+	}
+	return op.attempt()
+}
+
+// attempt holds the same logic as the former closures, chain-waking
+// residual readiness.
+func (op *connOp) attempt() (bool, bool) {
 	if op.write {
 		k, e := op.nc.TryWrite(op.want)
 		if e == net.ErrWouldBlock {
@@ -238,9 +319,21 @@ func (x *IO) Dial(addr string) (*Conn, error) { return x.dial(addr, 0) }
 func (x *IO) DialTimeout(addr string, d vtime.Duration) (*Conn, error) { return x.dial(addr, d) }
 
 func (x *IO) dial(addr string, d vtime.Duration) (*Conn, error) {
+	ref := x.openSpan(obs.KDial, "dial "+addr)
+	if ref != obs.NoSpan {
+		// The SYN departs inside Dial; bracket it with the dial span's
+		// context so the handshake message carries the trace.
+		sp := x.spans.Span(ref)
+		x.st.SetSpanCtx(net.SpanCtx{Trace: sp.Trace, Span: sp.ID})
+	}
 	nc, err := x.st.Dial(addr)
+	if ref != obs.NoSpan {
+		x.st.SetSpanCtx(net.SpanCtx{})
+	}
 	if err != nil {
-		return nil, mapErr(err)
+		err = mapErr(err)
+		x.closeSpan(ref, err)
+		return nil, err
 	}
 	if x.sys.Tracing() {
 		x.sys.TraceNet(nc.Name(), "connect", "")
@@ -266,9 +359,16 @@ func (x *IO) dial(addr string, d vtime.Duration) (*Conn, error) {
 	}
 	if err != nil {
 		nc.Close()
+		x.closeSpan(ref, err)
 		return nil, err
 	}
-	return newConn(x, nc), nil
+	c := newConn(x, nc)
+	if ref != obs.NoSpan {
+		sp := x.spans.Span(ref)
+		c.trace, c.parent = sp.Trace, sp.ID
+		x.closeSpan(ref, nil)
+	}
+	return c, nil
 }
 
 // Read blocks until at least one byte (up to max) is available and
@@ -284,14 +384,27 @@ func (c *Conn) read(max int, d vtime.Duration) (int, error) {
 	if max < 0 {
 		return 0, core.EINVAL.Or()
 	}
+	ref := c.x.openConnSpan(obs.KRead, c.readWhat, c.trace, c.parent)
 	op := c.x.getOp(c.nc, false, max)
+	if ref != obs.NoSpan {
+		sp := c.x.spans.Span(ref)
+		op.sctx = net.SpanCtx{Trace: sp.Trace, Span: sp.ID}
+	}
 	err := c.x.sys.FDBlockingOp(c.nc.FD(), core.FDRead, c.readWhat, d, op)
 	n, opErr := op.n, op.opErr
 	c.x.putOp(op)
 	if err != nil {
+		c.x.closeSpan(ref, err)
 		return 0, err
 	}
-	return n, mapErr(opErr)
+	rerr := mapErr(opErr)
+	if ref != obs.NoSpan {
+		// The data (or FIN) this read consumed carried the sender's span
+		// context; adopting it terminates the wire's flow arrow here.
+		c.x.spans.Adopt(ref, c.nc.Flow())
+		c.x.closeSpan(ref, rerr)
+	}
+	return n, rerr
 }
 
 // Write blocks until all n bytes have been admitted into flight,
@@ -309,6 +422,12 @@ func (c *Conn) write(n int, d vtime.Duration) (int, error) {
 	if n < 0 {
 		return 0, core.EINVAL.Or()
 	}
+	ref := c.x.openConnSpan(obs.KWrite, c.writeWhat, c.trace, c.parent)
+	var sctx net.SpanCtx
+	if ref != obs.NoSpan {
+		sp := c.x.spans.Span(ref)
+		sctx = net.SpanCtx{Trace: sp.Trace, Span: sp.ID}
+	}
 	var deadline vtime.Time
 	if d > 0 {
 		deadline = c.x.sys.Clock().Now().Add(d)
@@ -319,21 +438,28 @@ func (c *Conn) write(n int, d vtime.Duration) (int, error) {
 		if d > 0 {
 			timeout = deadline.Sub(c.x.sys.Clock().Now())
 			if timeout <= 0 {
-				return total, core.ETIMEDOUT.Or()
+				err := core.ETIMEDOUT.Or()
+				c.x.closeSpan(ref, err)
+				return total, err
 			}
 		}
 		op := c.x.getOp(c.nc, true, n-total)
+		op.sctx = sctx
 		err := c.x.sys.FDBlockingOp(c.nc.FD(), core.FDWrite, c.writeWhat, timeout, op)
 		k, opErr := op.n, op.opErr
 		c.x.putOp(op)
 		total += k
 		if err != nil {
+			c.x.closeSpan(ref, err)
 			return total, err
 		}
 		if opErr != nil {
-			return total, mapErr(opErr)
+			err = mapErr(opErr)
+			c.x.closeSpan(ref, err)
+			return total, err
 		}
 	}
+	c.x.closeSpan(ref, nil)
 	return total, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pthreads/internal/core"
+	"pthreads/internal/obs"
 )
 
 // Chrome trace-event export: the recorded trace stream rendered in the
@@ -25,9 +26,12 @@ type chromeEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"` // "X" complete-event duration
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`    // instant scope
+	ID   string         `json:"id,omitempty"`   // flow-event pairing id
+	BP   string         `json:"bp,omitempty"`   // flow binding point ("e")
 	Cat  string         `json:"cat,omitempty"`  // event category
 	Args map[string]any `json:"args,omitempty"` // sorted keys when marshaled
 }
@@ -96,8 +100,24 @@ type HostTrace struct {
 // process_name metadata record), so Perfetto groups the thread tracks
 // per machine while keeping them all on the single shared virtual
 // timeline. Hosts are emitted in argument order with pids 1..n, which
-// keeps the export a pure function of the input.
+// keeps the export a pure function of the input. A process_sort_index
+// record pins the viewer's ordering to that argument order: Perfetto
+// otherwise sorts processes by name, which interleaves numbered hosts
+// lexicographically ("f10" before "f2") the moment a fleet reaches ten.
 func ChromeTraceFleet(hosts []HostTrace) ([]byte, error) {
+	return ChromeTraceFleetSpans(hosts, nil, nil)
+}
+
+// ChromeTraceFleetSpans is ChromeTraceFleet with the observability
+// plane's overlay: each host's distributed spans ("X" complete events
+// on per-thread span tracks, so they never fight the state slices for
+// nesting) and the wire messages whose deliveries were adopted by a
+// span, drawn as flow arrows ("s" at the departure on the sender's
+// span track, "f" binding to the adopting span at the arrival) — the
+// client-dial → wire → server-accept stitching, visible. spans is
+// indexed like hosts; msgs is the fleet-wide send-ordered message log.
+// Both nil reproduces ChromeTraceFleet byte for byte.
+func ChromeTraceFleetSpans(hosts []HostTrace, spans [][]obs.Span, msgs []obs.WireMsg) ([]byte, error) {
 	var evs []chromeEvent
 	for i, h := range hosts {
 		pid := i + 1
@@ -105,9 +125,109 @@ func ChromeTraceFleet(hosts []HostTrace) ([]byte, error) {
 			Name: "process_name", Ph: "M", PID: pid, TID: 0,
 			Args: map[string]any{"name": h.Name},
 		})
+		evs = append(evs, chromeEvent{
+			Name: "process_sort_index", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"sort_index": i},
+		})
 		evs = appendHostEvents(evs, pid, h.Events, h.Findings, h.End)
+		if i < len(spans) {
+			evs = appendSpanEvents(evs, pid, spans[i])
+		}
 	}
+	evs = appendFlowEvents(evs, spans, msgs)
 	return json.Marshal(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// spanTIDBase offsets span tracks away from the thread-state tracks
+// that share the pid.
+const spanTIDBase = 10000
+
+func spanTID(t int32) int { return spanTIDBase + int(t) }
+
+// appendSpanEvents emits one host's span tracks: a named track per
+// thread that opened spans (first-seen order) and an "X" complete
+// event per span carrying its ids and error annotation.
+func appendSpanEvents(evs []chromeEvent, pid int, spans []obs.Span) []chromeEvent {
+	us := func(ns int64) float64 { return float64(ns) / 1000 }
+	seen := map[int32]bool{}
+	for _, sp := range spans {
+		if seen[sp.Thread] {
+			continue
+		}
+		seen[sp.Thread] = true
+		name := sp.TName
+		if name == "" {
+			name = fmt.Sprintf("thread#%d", sp.Thread)
+		}
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: spanTID(sp.Thread),
+			Args: map[string]any{"name": "spans " + name},
+		})
+	}
+	for _, sp := range spans {
+		dur := us(int64(sp.End)) - us(int64(sp.Start))
+		if dur < 0 {
+			dur = 0
+		}
+		args := map[string]any{
+			"trace": fmt.Sprintf("%016x", sp.Trace),
+			"span":  fmt.Sprintf("%016x", sp.ID),
+		}
+		if sp.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%016x", sp.Parent)
+		}
+		if sp.Err != "" {
+			args["err"] = sp.Err
+		}
+		evs = append(evs, chromeEvent{
+			Name: sp.Name, Ph: "X", TS: us(int64(sp.Start)), Dur: dur,
+			PID: pid, TID: spanTID(sp.Thread), Cat: "span", Args: args,
+		})
+	}
+	return evs
+}
+
+// appendFlowEvents draws one arrow per wire message whose delivery a
+// span adopted: "s" on the sending thread's span track at departure,
+// "f" (binding point "e": attach to the enclosing slice) on the
+// adopting thread's at arrival.
+func appendFlowEvents(evs []chromeEvent, spans [][]obs.Span, msgs []obs.WireMsg) []chromeEvent {
+	if len(msgs) == 0 {
+		return evs
+	}
+	us := func(ns int64) float64 { return float64(ns) / 1000 }
+	type flowEnd struct {
+		host int
+		tid  int32
+	}
+	adopt := map[uint64]flowEnd{}
+	for hi, hs := range spans {
+		for _, sp := range hs {
+			if sp.LinkMsg != 0 {
+				adopt[sp.LinkMsg] = flowEnd{host: hi, tid: sp.Thread}
+			}
+		}
+	}
+	for _, m := range msgs {
+		if m.Trace == 0 || !m.Delivered {
+			continue
+		}
+		dst, ok := adopt[m.Msg]
+		if !ok {
+			continue
+		}
+		id := fmt.Sprintf("%016x", m.Msg)
+		name := "wire " + m.Kind
+		evs = append(evs, chromeEvent{
+			Name: name, Ph: "s", TS: us(int64(m.Dep)),
+			PID: m.Src + 1, TID: spanTID(m.SrcThread), ID: id, Cat: "wire",
+		})
+		evs = append(evs, chromeEvent{
+			Name: name, Ph: "f", TS: us(int64(m.At)),
+			PID: dst.host + 1, TID: spanTID(dst.tid), ID: id, BP: "e", Cat: "wire",
+		})
+	}
+	return evs
 }
 
 // appendHostEvents emits one host's tracks under the given pid: thread

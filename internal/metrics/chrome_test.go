@@ -1,0 +1,133 @@
+package metrics_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"pthreads/internal/metrics"
+	"pthreads/internal/obs"
+)
+
+// parseEvents unmarshals an export's traceEvents array.
+func parseEvents(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	return parsed.TraceEvents
+}
+
+// Twelve hosts named f0..f11: lexicographic process sorting would shelve
+// f10 and f11 between f1 and f2, so the export must pin the viewer's
+// ordering with process_sort_index records matching argument order.
+func TestFleetExportSortIndexPinsArgumentOrder(t *testing.T) {
+	var hosts []metrics.HostTrace
+	for i := 0; i < 12; i++ {
+		hosts = append(hosts, metrics.HostTrace{Name: fmt.Sprintf("f%d", i), End: 1000})
+	}
+	data, err := metrics.ChromeTraceFleet(hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[int]string{}
+	sortIdx := map[int]int{}
+	for _, ev := range parseEvents(t, data) {
+		pid := int(ev["pid"].(float64))
+		args, _ := ev["args"].(map[string]any)
+		switch ev["name"] {
+		case "process_name":
+			names[pid] = args["name"].(string)
+		case "process_sort_index":
+			sortIdx[pid] = int(args["sort_index"].(float64))
+		}
+	}
+	if len(names) != 12 || len(sortIdx) != 12 {
+		t.Fatalf("got %d process_name and %d process_sort_index records, want 12 of each", len(names), len(sortIdx))
+	}
+	for i, h := range hosts {
+		pid := i + 1
+		if names[pid] != h.Name {
+			t.Errorf("pid %d named %q, want %q", pid, names[pid], h.Name)
+		}
+		if sortIdx[pid] != i {
+			t.Errorf("pid %d (host %q) sort_index %d, want %d", pid, h.Name, sortIdx[pid], i)
+		}
+	}
+}
+
+// The span overlay is purely additive: with no spans and no messages,
+// the spans-aware exporter must reproduce the legacy fleet export byte
+// for byte, so pre-plane golden files stay valid.
+func TestFleetExportSpansNilIsByteIdentical(t *testing.T) {
+	var hosts []metrics.HostTrace
+	for i := 0; i < 10; i++ {
+		hosts = append(hosts, metrics.HostTrace{Name: fmt.Sprintf("host%d", i), End: 500})
+	}
+	plain, err := metrics.ChromeTraceFleet(hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlay, err := metrics.ChromeTraceFleetSpans(hosts, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, overlay) {
+		t.Fatalf("ChromeTraceFleetSpans(hosts, nil, nil) differs from ChromeTraceFleet(hosts):\n%s\nvs\n%s", overlay, plain)
+	}
+}
+
+// Span tracks live at tid >= 10000 so they never collide with thread
+// tracks, and a flow arrow is drawn only for a delivered message some
+// span adopted — an undelivered (partitioned) message draws nothing.
+func TestFleetExportSpanTracksAndFlowArrows(t *testing.T) {
+	hosts := []metrics.HostTrace{
+		{Name: "client", End: 1000},
+		{Name: "server", End: 1000},
+	}
+	spans := [][]obs.Span{
+		{{ID: 10, Trace: 10, Thread: 1, TName: "dialer", Kind: obs.KDial, Name: "dial srv", Start: 100, End: 300, Done: true}},
+		{{ID: 20, Trace: 10, Parent: 10, LinkMsg: 7, Thread: 2, Kind: obs.KAccept, Name: "accept", Start: 150, End: 250, Done: true}},
+	}
+	msgs := []obs.WireMsg{
+		{Msg: 7, Flow: 1, Src: 0, Dst: 1, SrcThread: 1, Trace: 10, Span: 10, Dep: 120, At: 150, Kind: "syn", Delivered: true},
+		{Msg: 8, Flow: 1, Src: 0, Dst: 1, SrcThread: 1, Trace: 10, Span: 10, Dep: 400, At: 0, Kind: "data", Delivered: false},
+	}
+	data, err := metrics.ChromeTraceFleetSpans(hosts, spans, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spanSlices, flowStarts, flowEnds int
+	for _, ev := range parseEvents(t, data) {
+		switch ev["cat"] {
+		case "span":
+			spanSlices++
+			if tid := int(ev["tid"].(float64)); tid < 10000 {
+				t.Errorf("span slice %q on tid %d, want >= 10000", ev["name"], tid)
+			}
+		case "wire":
+			switch ev["ph"] {
+			case "s":
+				flowStarts++
+			case "f":
+				flowEnds++
+				if ev["bp"] != "e" {
+					t.Errorf("flow finish must bind to the enclosing slice (bp=e), got %v", ev["bp"])
+				}
+			}
+			if ev["id"] != fmt.Sprintf("%016x", uint64(7)) {
+				t.Errorf("flow arrow for msg %v, only the adopted delivered msg 7 should draw one", ev["id"])
+			}
+		}
+	}
+	if spanSlices != 2 {
+		t.Errorf("got %d span slices, want 2", spanSlices)
+	}
+	if flowStarts != 1 || flowEnds != 1 {
+		t.Errorf("got %d flow starts and %d finishes, want exactly one pair", flowStarts, flowEnds)
+	}
+}

@@ -104,6 +104,10 @@ type Stack struct {
 	listeners map[string]*Listener
 	stats     Stats
 	router    Router // cross-host address resolution; nil in single-host runs
+	// spanCtx is the span context of whatever jacket call is currently
+	// executing on this stack (see span.go); zero outside one. Safe as a
+	// plain field: one goroutine runs at a time across the whole fleet.
+	spanCtx SpanCtx
 
 	// opFree pools the per-segment deferred operations (see ops.go).
 	opFree []*sockOp

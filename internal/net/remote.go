@@ -100,7 +100,9 @@ func (st *Stack) dialRemote(addr, laddr string, rst *Stack, out, back Wire, flow
 	fs := "#f" + strconv.FormatUint(flow, 10)
 	client.name = "sock" + strconv.Itoa(int(client.fd)) + "->" + addr + fs
 	dep := st.dev.Occupy(0)
-	if at, ok := out.Arrival(dep, 0, false); ok {
+	at, ok := out.Arrival(dep, 0, false)
+	carrySpan(out, flow, st.spanCtx, dep, at, ok, 0, "syn")
+	if ok {
 		rst.k.NetAt(rst.p, at, func() *unixkern.IOCompletion {
 			return rst.synArrived(client, server, addr, laddr, fs)
 		})
@@ -153,6 +155,7 @@ func (rst *Stack) synArrived(client, server *Conn, addr, laddr, fs string) *unix
 func (st *Stack) xControl(from *Conn, apply func(peer *Conn) *unixkern.IOCompletion) {
 	dep := st.dev.Occupy(0)
 	at, ok := from.rem.wire.Arrival(dep, 0, false)
+	carrySpan(from.rem.wire, from.rem.flow, st.spanCtx, dep, at, ok, 0, "ctl")
 	if !ok {
 		return
 	}
@@ -172,6 +175,7 @@ func (c *Conn) writeRemote(n int) {
 	c.rem.sent += int64(n)
 	dep := c.st.dev.Occupy(n)
 	at, ok := c.rem.wire.Arrival(dep, n, true)
+	carrySpan(c.rem.wire, c.rem.flow, c.st.spanCtx, dep, at, ok, n, "data")
 	if !ok {
 		return
 	}
@@ -231,7 +235,9 @@ func (c *Conn) closeRemote(unread bool) {
 		out.finSent = true
 		// The FIN departs behind any data still queued on the NIC.
 		dep := c.st.dev.Occupy(0)
-		if at, ok := c.rem.wire.Arrival(dep, 0, false); ok {
+		at, ok := c.rem.wire.Arrival(dep, 0, false)
+		carrySpan(c.rem.wire, c.rem.flow, c.st.spanCtx, dep, at, ok, 0, "fin")
+		if ok {
 			peer, pst := c.peer, c.rem.peerSt
 			pst.k.NetAt(pst.p, at, func() *unixkern.IOCompletion {
 				out.finDelivered = true

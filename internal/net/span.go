@@ -1,0 +1,50 @@
+package net
+
+import "pthreads/internal/vtime"
+
+// Distributed-trace context piggybacking (DESIGN.md §14). The fleet
+// observability plane stitches cross-host traces by riding the span
+// context of the sending jacket call on every wire message. The stack
+// itself stays span-agnostic: the jacket deposits the current context
+// with SetSpanCtx around an operation, and every remote send site hands
+// it — along with the message's flow, departure and arrival instants —
+// to the wire, iff the wire opts in by implementing SpanWire (the
+// fabric's wires do). Single-host runs and fleets with spans disabled
+// never take any of these paths beyond a two-word comparison.
+
+// SpanCtx is the trace context one wire message carries: the sender's
+// trace and the span that emitted the message. The zero value means "no
+// span open".
+type SpanCtx struct {
+	Trace, Span uint64
+}
+
+// SpanWire is optionally implemented by a Wire that observes messages
+// for the fleet observability plane.
+type SpanWire interface {
+	// CarrySpan records one message: its flow, the carried context
+	// (possibly zero), departure and computed arrival instants,
+	// delivered=false when the segment was swallowed by a partition,
+	// payload size, and message kind ("syn", "data", "ctl", "fin").
+	CarrySpan(flow uint64, ctx SpanCtx, dep, at vtime.Time, delivered bool, bytes int, kind string)
+}
+
+// SetSpanCtx deposits the span context subsequent sends on this stack
+// should carry; the zero SpanCtx clears it.
+func (st *Stack) SetSpanCtx(ctx SpanCtx) { st.spanCtx = ctx }
+
+// Flow returns the fleet-unique flow id of a cross-host endpoint (0 for
+// local connections).
+func (c *Conn) Flow() uint64 {
+	if c.rem == nil {
+		return 0
+	}
+	return c.rem.flow
+}
+
+// carrySpan hands one remote message to the wire's observer, if any.
+func carrySpan(w Wire, flow uint64, ctx SpanCtx, dep, at vtime.Time, delivered bool, bytes int, kind string) {
+	if sw, ok := w.(SpanWire); ok {
+		sw.CarrySpan(flow, ctx, dep, at, delivered, bytes, kind)
+	}
+}

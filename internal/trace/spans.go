@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"fmt"
+
+	"pthreads/internal/obs"
+)
+
+// Span-stream validation: the structural invariants of a fleet's
+// distributed trace, checked after teardown. The recorder mints IDs and
+// stitches contexts; this validator proves the result is a well-formed
+// forest — every span closed, every trace rooted, every cross-host
+// parent reachable through a delivered wire message. ptprof -fleet
+// -check and the ptreport fleet section run it as a live contract.
+
+// ValidateSpans checks one fleet run's span streams (indexed by host)
+// against its wire-message log and returns the first few violations as
+// an error, or nil. It expects a post-teardown stream: dangling spans
+// must already be closed (obs.Recorder.CloseDangling).
+func ValidateSpans(spans [][]obs.Span, msgs []obs.WireMsg) error {
+	var bad []string
+	flag := func(format string, args ...any) {
+		if len(bad) < 8 {
+			bad = append(bad, fmt.Sprintf(format, args...))
+		}
+	}
+
+	byID := make(map[uint64]obs.Span)
+	for hi, hs := range spans {
+		for _, sp := range hs {
+			if sp.ID == 0 {
+				flag("host %d: span %q has the nil ID", hi, sp.Name)
+				continue
+			}
+			if prev, dup := byID[sp.ID]; dup {
+				flag("span id %016x minted twice (%q and %q)", sp.ID, prev.Name, sp.Name)
+			}
+			byID[sp.ID] = sp
+		}
+	}
+	byMsg := make(map[uint64]obs.WireMsg, len(msgs))
+	for _, m := range msgs {
+		byMsg[m.Msg] = m
+		if m.Trace != 0 && m.Span == 0 {
+			flag("wire msg %016x carries trace %016x with no carrying span", m.Msg, m.Trace)
+		}
+		if m.Delivered && m.At < m.Dep {
+			flag("wire msg %016x delivered before departure: dep %d, at %d", m.Msg, int64(m.Dep), int64(m.At))
+		}
+	}
+
+	for hi, hs := range spans {
+		for _, sp := range hs {
+			switch {
+			case !sp.Done:
+				flag("host %d: span %016x (%q) never closed — teardown must CloseDangling", hi, sp.ID, sp.Name)
+			case sp.End < sp.Start:
+				flag("host %d: span %016x (%q) ends before it starts: [%d, %d]",
+					hi, sp.ID, sp.Name, int64(sp.Start), int64(sp.End))
+			}
+			if sp.Trace == 0 {
+				flag("host %d: span %016x (%q) belongs to no trace", hi, sp.ID, sp.Name)
+			}
+			if sp.Parent == 0 {
+				if sp.Trace != sp.ID {
+					flag("host %d: parentless span %016x (%q) must root its trace, roots %016x",
+						hi, sp.ID, sp.Name, sp.Trace)
+				}
+			} else {
+				p, ok := byID[sp.Parent]
+				if !ok {
+					flag("host %d: span %016x (%q) has unknown parent %016x", hi, sp.ID, sp.Name, sp.Parent)
+				} else if p.Trace != sp.Trace {
+					flag("host %d: span %016x (%q) crosses traces: parent in %016x, child in %016x",
+						hi, sp.ID, sp.Name, p.Trace, sp.Trace)
+				}
+			}
+			if sp.LinkMsg != 0 {
+				m, ok := byMsg[sp.LinkMsg]
+				switch {
+				case !ok:
+					flag("host %d: span %016x (%q) adopted unknown wire msg %016x", hi, sp.ID, sp.Name, sp.LinkMsg)
+				case !m.Delivered:
+					flag("host %d: span %016x (%q) adopted undelivered wire msg %016x", hi, sp.ID, sp.Name, sp.LinkMsg)
+				case m.Trace != sp.Trace:
+					flag("host %d: span %016x (%q) adopted msg %016x from trace %016x, span in %016x",
+						hi, sp.ID, sp.Name, sp.LinkMsg, m.Trace, sp.Trace)
+				case m.Span != sp.Parent:
+					flag("host %d: span %016x (%q) adopted msg %016x carried by %016x but claims parent %016x",
+						hi, sp.ID, sp.Name, sp.LinkMsg, m.Span, sp.Parent)
+				case m.Dst != hi:
+					flag("host %d: span %016x (%q) adopted msg %016x addressed to host %d",
+						hi, sp.ID, sp.Name, sp.LinkMsg, m.Dst)
+				}
+			}
+		}
+	}
+
+	if len(bad) > 0 {
+		return fmt.Errorf("span stream malformed (%d shown): %v", len(bad), bad)
+	}
+	return nil
+}

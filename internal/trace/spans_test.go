@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pthreads/internal/obs"
+)
+
+// A minimal well-formed two-host trace: a client dial rooting trace 10,
+// a wire message carrying (10, 10), and a server accept adopting it.
+func wellFormed() ([][]obs.Span, []obs.WireMsg) {
+	spans := [][]obs.Span{
+		{{ID: 10, Trace: 10, Thread: 1, Kind: obs.KDial, Name: "dial srv", Start: 100, End: 300, Done: true}},
+		{{ID: 20, Trace: 10, Parent: 10, LinkMsg: 7, Thread: 2, Kind: obs.KAccept, Name: "accept", Start: 150, End: 250, Done: true}},
+	}
+	msgs := []obs.WireMsg{
+		{Msg: 7, Flow: 1, Src: 0, Dst: 1, SrcThread: 1, Trace: 10, Span: 10, Dep: 120, At: 150, Kind: "syn", Delivered: true},
+	}
+	return spans, msgs
+}
+
+func TestValidateSpansWellFormed(t *testing.T) {
+	spans, msgs := wellFormed()
+	if err := ValidateSpans(spans, msgs); err != nil {
+		t.Fatalf("well-formed stream rejected: %v", err)
+	}
+	if err := ValidateSpans(nil, nil); err != nil {
+		t.Fatalf("empty stream rejected: %v", err)
+	}
+}
+
+// Each mutation plants exactly one structural violation; the validator
+// must name it.
+func TestValidateSpansViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(spans [][]obs.Span, msgs []obs.WireMsg) ([][]obs.Span, []obs.WireMsg)
+		want string
+	}{
+		{"dangling", func(s [][]obs.Span, m []obs.WireMsg) ([][]obs.Span, []obs.WireMsg) {
+			s[0][0].Done = false
+			return s, m
+		}, "never closed"},
+		{"backwards", func(s [][]obs.Span, m []obs.WireMsg) ([][]obs.Span, []obs.WireMsg) {
+			s[0][0].End = 50
+			return s, m
+		}, "ends before it starts"},
+		{"no-trace", func(s [][]obs.Span, m []obs.WireMsg) ([][]obs.Span, []obs.WireMsg) {
+			s[0][0].Trace = 0
+			return s, m
+		}, "belongs to no trace"},
+		{"non-rooting-root", func(s [][]obs.Span, m []obs.WireMsg) ([][]obs.Span, []obs.WireMsg) {
+			s[0][0].Trace = 99
+			return s, m
+		}, "must root its trace"},
+		{"unknown-parent", func(s [][]obs.Span, m []obs.WireMsg) ([][]obs.Span, []obs.WireMsg) {
+			s[1][0].Parent = 33
+			return s, m
+		}, "unknown parent"},
+		{"cross-trace-parent", func(s [][]obs.Span, m []obs.WireMsg) ([][]obs.Span, []obs.WireMsg) {
+			s[1][0].Trace = 44
+			s[1][0].LinkMsg = 0
+			return s, m
+		}, "crosses traces"},
+		{"duplicate-id", func(s [][]obs.Span, m []obs.WireMsg) ([][]obs.Span, []obs.WireMsg) {
+			s[1][0].ID = 10
+			return s, m
+		}, "minted twice"},
+		{"nil-id", func(s [][]obs.Span, m []obs.WireMsg) ([][]obs.Span, []obs.WireMsg) {
+			s[0][0].ID = 0
+			return s, m
+		}, "nil ID"},
+		{"unknown-msg", func(s [][]obs.Span, m []obs.WireMsg) ([][]obs.Span, []obs.WireMsg) {
+			s[1][0].LinkMsg = 99
+			return s, m
+		}, "unknown wire msg"},
+		{"undelivered-msg", func(s [][]obs.Span, m []obs.WireMsg) ([][]obs.Span, []obs.WireMsg) {
+			m[0].Delivered = false
+			return s, m
+		}, "undelivered"},
+		{"wrong-dst", func(s [][]obs.Span, m []obs.WireMsg) ([][]obs.Span, []obs.WireMsg) {
+			m[0].Dst = 0
+			return s, m
+		}, "addressed to host"},
+		{"time-travel-msg", func(s [][]obs.Span, m []obs.WireMsg) ([][]obs.Span, []obs.WireMsg) {
+			m[0].At = 50
+			return s, m
+		}, "delivered before departure"},
+		{"carrier-mismatch", func(s [][]obs.Span, m []obs.WireMsg) ([][]obs.Span, []obs.WireMsg) {
+			m[0].Span = 55
+			return s, m
+		}, "carried by"},
+	}
+	for _, tc := range cases {
+		spans, msgs := wellFormed()
+		spans, msgs = tc.mut(spans, msgs)
+		err := ValidateSpans(spans, msgs)
+		if err == nil {
+			t.Errorf("%s: validator accepted a malformed stream", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

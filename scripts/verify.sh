@@ -162,7 +162,7 @@ go run ./cmd/ptexplore -workload lock-ticket-wrap -policy bounded -bound 2 -expe
 # and all nine trace streams internally and exits 1 on mismatch), and
 # two dc-ladder sweeps must render identical bytes, fingerprints and
 # all — determinism under randomized loss.
-go test -race ./internal/fabric/
+go test -race ./internal/metrics/ ./internal/fabric/
 go run ./examples/fleet > "$t/fleet1.txt"
 go run ./examples/fleet > "$t/fleet2.txt"
 cmp "$t/fleet1.txt" "$t/fleet2.txt"
@@ -180,4 +180,39 @@ go run ./cmd/ptexplore -fleet fleet-lost-wakeup -lock-only -races -expect found
 go run ./cmd/ptexplore -fleet fleet-lost-wakeup-fixed -lock-only -max-runs 60 -expect clean
 go run ./cmd/ptexplore -fleet fleet-echo -check-replay
 go run ./cmd/ptprof -fleet fleet-echo -check -q
+
+# Fleet observability gates (DESIGN.md §14, E31). Span ids are pure
+# functions of virtual state, so two spans-on exports of the same
+# scenario must be byte-identical files; -check additionally proves
+# the spans-off run schedules identically (observation never perturbs)
+# and validates the span forest. The spans-off export layout is pinned
+# by the golden gates above (spans are off by default everywhere) and
+# by the exporter's nil-overlay byte-identity unit test.
+go run ./cmd/ptprof -fleet fleet-echo -spans -check -q -chrome "$t/fleetspans1.json"
+go run ./cmd/ptprof -fleet fleet-echo -spans -q -chrome "$t/fleetspans2.json"
+cmp "$t/fleetspans1.json" "$t/fleetspans2.json"
+
+# Spans-off allocation gate: the echo round trip must stay 0 allocs/op
+# with the recorder absent, and spans-on must not change vus/op — the
+# plane bills host bytes, never virtual time.
+go test -run '^$' -bench 'NetEcho$|NetEchoSpans$' -benchmem -benchtime 200x . > "$t/spanbench.txt"
+cat "$t/spanbench.txt"
+awk '
+  /^BenchmarkNetEcho/ { found++
+    vus[found] = $(NF-5)
+    if ($1 == "BenchmarkNetEcho" && $(NF-1) + 0 != 0) { bad = 1
+      printf "span gate: %s reports %s allocs/op (want 0)\n", $1, $(NF-1) } }
+  END { if (found < 2) { bad = 1; print "span gate: expected both echo benchmarks" }
+    else if (vus[1] != vus[2]) { bad = 1
+      printf "span gate: vus/op differs spans on vs off: %s vs %s\n", vus[1], vus[2] }
+    exit bad }' "$t/spanbench.txt"
+
+# Perf-regression gate: benchdiff must fail the planted 3-regression
+# fixture, pass the within-tolerance fixture, and pass the checked-in
+# BENCH_host.json history.
+if scripts/benchdiff cmd/ptbench/testdata/regression.json; then
+  echo "benchdiff: failed to flag the planted regressions" >&2; exit 1
+fi
+scripts/benchdiff cmd/ptbench/testdata/clean.json
+scripts/benchdiff
 rm -rf "$t"
