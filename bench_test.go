@@ -639,12 +639,24 @@ func BenchmarkC10KEchoSpans(b *testing.B) {
 }
 
 // BenchmarkC100KEcho is the same round trip beside 100,000 parked
-// readers — the top rung of the ladder. Steady state must stay at
-// 0 allocs/op: the wait-queue shards, descriptor table, and timer
-// wheel are all preallocated or pooled, so population adds memory but
-// no per-op work.
+// readers. Steady state must stay at 0 allocs/op: the wait-queue
+// shards, descriptor table, and timer wheel are all preallocated or
+// pooled, so population adds memory but no per-op work.
 func BenchmarkC100KEcho(b *testing.B) {
 	benchEchoParked(b, 100000, false)
+}
+
+// BenchmarkC1MEcho is the top rung: the echo pair works beside one
+// million parked readers. Feasible only because each parked reader is
+// a continuation thread — a TCB, an arena-backed read state, and a
+// wait-queue slot, with no goroutine behind it — so the resident
+// population costs memory, not scheduler state. Steady state must stay
+// at 0 allocs/op like the smaller rungs.
+func BenchmarkC1MEcho(b *testing.B) {
+	if testing.Short() {
+		b.Skip("million-thread setup: skipped with -short")
+	}
+	benchEchoParked(b, 1000000, false)
 }
 
 func benchEchoParked(b *testing.B, parked int, spans bool) {
@@ -685,14 +697,14 @@ func benchEchoParked(b *testing.B, parked int, spans bool) {
 		held := make([]*pthreads.Conn, 0, parked)
 		parkers := make([]*pthreads.Thread, 0, parked)
 		for i := 0; i < parked; i++ {
-			th, err := s.Create(pattr, func(any) any {
+			th, err := s.CreateCont(pattr, func(k *pthreads.Cont) {
 				c, err := x.Dial("park")
 				if err != nil {
-					return err
+					panic(err)
 				}
-				c.Read(1) // parks until the held end closes
-				c.Close()
-				return nil
+				// Parks until the held end closes (EOF) — as a TCB plus
+				// read state, no goroutine (see internal/core/cont.go).
+				c.ContRead(k, 1, func(k *pthreads.Cont) { c.Close() })
 			}, nil)
 			if err != nil {
 				b.Fatal(err)

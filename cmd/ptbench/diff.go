@@ -105,6 +105,65 @@ func diffRuns(latest map[string]hostBench, i int, old hostRun, metrics []string)
 	return regs
 }
 
+// c1mBudget mirrors the runner/goroutine bound eval.RunC1M enforces at
+// measurement time: a parked population must cost O(pool) goroutines,
+// never O(threads). The gate re-checks the recorded document so a
+// stale or hand-edited point cannot smuggle a scaling regression past
+// verify.
+const c1mBudget = 8
+
+// diffC1M gates the resident-footprint section. The deterministic
+// gauges (parked count, runner peak, goroutine delta) are held to the
+// absolute budget and to every same-population history entry; bytes
+// per resident is host heap, so it is only compared against entries
+// whose Go version and CPU fingerprint match, with the usual
+// tolerance.
+func diffC1M(sec *c1mSection) []diffRegression {
+	if sec == nil {
+		return nil
+	}
+	var regs []diffRegression
+	bench := fmt.Sprintf("c1m[%d threads]", sec.Point.Threads)
+	abs := func(metric string, latest, budget float64) {
+		if latest > budget {
+			regs = append(regs, diffRegression{
+				Bench: bench, Metric: metric,
+				Latest: latest, Baseline: budget, Against: "absolute budget",
+			})
+		}
+	}
+	if sec.Point.ContParked != int64(sec.Point.Threads) {
+		regs = append(regs, diffRegression{
+			Bench: bench, Metric: "cont_parked",
+			Latest: float64(sec.Point.ContParked), Baseline: float64(sec.Point.Threads),
+			Against: "resident population (threads not parked as continuations)",
+		})
+	}
+	abs("runner_peak", float64(sec.Point.RunnerPeak), c1mBudget)
+	abs("goroutine_delta", float64(sec.Point.GoroutineDelta), c1mBudget)
+
+	for i, old := range sec.History {
+		if old.Point.Threads != sec.Point.Threads {
+			continue // footprints at different populations are not comparable
+		}
+		against := fmt.Sprintf("c1m history[%d] (%s)", i, old.GeneratedAt)
+		grow := func(metric string, latest, base float64) {
+			if latest > base*(1+diffTolerance) {
+				regs = append(regs, diffRegression{
+					Bench: bench, Metric: metric,
+					Latest: latest, Baseline: base, Against: against,
+				})
+			}
+		}
+		grow("runner_peak", float64(sec.Point.RunnerPeak), float64(old.Point.RunnerPeak))
+		grow("goroutine_delta", float64(sec.Point.GoroutineDelta), float64(old.Point.GoroutineDelta))
+		if old.GoVersion == sec.GoVersion && old.CPU != "" && old.CPU == sec.CPU {
+			grow("bytes_per_resident", sec.Point.BytesPerResident, old.Point.BytesPerResident)
+		}
+	}
+	return regs
+}
+
 // runDiff is the -diff entry point: load the report, gate the latest
 // run against history, print the verdict. A regression is an error so
 // the process exits non-zero — verify.sh builds on that.
@@ -116,7 +175,10 @@ func runDiff(path string) error {
 	if len(report.Benches) == 0 {
 		return fmt.Errorf("%s has no latest run to gate (run -host first)", path)
 	}
-	if len(report.History) == 0 {
+	// The c1m budgets are absolute, so that gate runs even when the
+	// host benches have no history yet.
+	regs := diffC1M(report.C1M)
+	if len(report.History) == 0 && len(regs) == 0 {
 		fmt.Fprintf(os.Stderr, "ptbench: %s has no history; nothing to gate against\n", path)
 		return nil
 	}
@@ -126,7 +188,6 @@ func runDiff(path string) error {
 		latest[benchKey(b)] = b
 	}
 
-	var regs []diffRegression
 	compared, envMatched := 0, 0
 	for i, old := range report.History {
 		regs = append(regs, diffRuns(latest, i, old, strictMetrics)...)

@@ -3,14 +3,18 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
 
-// The synthetic fixture plants three distinct regression shapes — a
-// deterministic vus/op slowdown, an allocs/op creep from zero, and an
-// env-matched ns/op blowup — plus a cross-environment ns/op delta that
-// must NOT trip the gate.
+// The synthetic fixture plants five distinct regression shapes — a
+// deterministic vus/op slowdown, an allocs/op creep from zero, an
+// env-matched ns/op blowup, a c1m runner-pool peak past the absolute
+// budget, and a c1m bytes/resident growth against a matched-env
+// footprint record — plus two deltas that must NOT trip the gate: a
+// cross-environment ns/op difference and a cross-environment
+// bytes/resident difference.
 func TestDiffFlagsSyntheticRegression(t *testing.T) {
 	err := runDiff(filepath.Join("testdata", "regression.json"))
 	if err == nil {
@@ -21,6 +25,8 @@ func TestDiffFlagsSyntheticRegression(t *testing.T) {
 		"BenchmarkNetEcho vus/op: 160 vs 100",
 		"BenchmarkContextSwitch allocs/op: 2 vs 0",
 		"BenchmarkContextSwitch ns/op: 900 vs 400",
+		"c1m[1000000 threads] runner_peak: 4096 vs 1",
+		"c1m[1000000 threads] bytes_per_resident: 2600 vs 1150",
 	} {
 		if !strings.Contains(msg, want) {
 			t.Errorf("gate output missing %q:\n%s", want, msg)
@@ -28,12 +34,46 @@ func TestDiffFlagsSyntheticRegression(t *testing.T) {
 	}
 	// history[1] is a darwin/arm64 go1.23 run whose tiny ns/op would
 	// make every wall-clock comparison "regress"; the env filter must
-	// keep it out of the ns/op gate entirely.
+	// keep it out of the ns/op gate entirely. The c1m section carries
+	// the same trap: an other-machine record with tiny heap bytes.
 	if strings.Contains(msg, "BenchmarkNetEcho ns/op") {
 		t.Errorf("gate compared ns/op across mismatched host environments:\n%s", msg)
 	}
-	if !strings.Contains(msg, "3 perf regression(s)") {
-		t.Errorf("want exactly 3 deduplicated regressions, got:\n%s", msg)
+	if strings.Contains(msg, "bytes_per_resident: 2600 vs 100 ") {
+		t.Errorf("gate compared bytes/resident across mismatched host environments:\n%s", msg)
+	}
+	if !strings.Contains(msg, "5 perf regression(s)") {
+		t.Errorf("want exactly 5 deduplicated regressions, got:\n%s", msg)
+	}
+}
+
+// A c1m point whose gauges blow the absolute budget must fail even
+// when the report has no host-bench history to compare against (the
+// budget is a property of the representation, not of a baseline), and
+// a within-budget point must pass the same history-less report.
+func TestDiffC1MAbsoluteBudget(t *testing.T) {
+	dir := t.TempDir()
+	write := func(goroutines int) string {
+		path := filepath.Join(dir, "c1m.json")
+		data := `{"go_version":"go1.24.0","goos":"linux","goarch":"amd64",` +
+			`"pattern":"X","command":"c",` +
+			`"benches":[{"pkg":"p","name":"BenchmarkX","iterations":1,"metrics":{"ns/op":1}}],` +
+			`"c1m":{"command":"c","point":{"threads":1000,"bytes_per_resident":1100,` +
+			`"runner_peak":1,"goroutine_delta":` + strconv.Itoa(goroutines) +
+			`,"cont_parked":1000,"arena_chunks":2,"arena_slot_bytes":792,` +
+			`"setup_host_ms":1,"drain_host_ms":1}}}`
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	if err := runDiff(write(1000)); err == nil {
+		t.Error("gate passed a goroutine-backed population (delta 1000 for 1000 threads)")
+	} else if !strings.Contains(err.Error(), "goroutine_delta: 1000 vs 8") {
+		t.Errorf("unexpected gate output: %v", err)
+	}
+	if err := runDiff(write(1)); err != nil {
+		t.Errorf("gate failed a within-budget history-less c1m point: %v", err)
 	}
 }
 

@@ -91,6 +91,32 @@ type c10kSection struct {
 	Points      []eval.C10KPoint `json:"points"`
 }
 
+// c1mEntry is one prior -c1m measurement kept in the section's own
+// history. The section carries its history inline (unlike the -host
+// benches) because a footprint point is tied to the environment that
+// produced it: heap bytes move with the Go version and the machine,
+// while the gauges (parked count, runner peak, goroutine delta) are
+// deterministic.
+type c1mEntry struct {
+	GeneratedAt string        `json:"generated_at,omitempty"`
+	GoVersion   string        `json:"go_version,omitempty"`
+	CPU         string        `json:"cpu,omitempty"`
+	Point       eval.C1MPoint `json:"point"`
+}
+
+// c1mSection is the resident-footprint measurement's slot: the latest
+// point plus every prior one. The -diff gate holds the latest point to
+// the runner/goroutine budgets absolutely, and to its history for
+// growth (bytes per resident only against matching environments).
+type c1mSection struct {
+	GeneratedAt string        `json:"generated_at,omitempty"`
+	Command     string        `json:"command"`
+	GoVersion   string        `json:"go_version,omitempty"`
+	CPU         string        `json:"cpu,omitempty"`
+	Point       eval.C1MPoint `json:"point"`
+	History     []c1mEntry    `json:"history,omitempty"`
+}
+
 // smpSection is the simulated-SMP contention ladder's slot. Its points
 // are pure virtual-time measurements, so unlike the host benches they
 // are bit-identical on every machine.
@@ -112,6 +138,7 @@ type dcSection struct {
 type hostReport struct {
 	hostRun
 	C10K    *c10kSection `json:"c10k,omitempty"`
+	C1M     *c1mSection  `json:"c1m,omitempty"`
 	SMP     *smpSection  `json:"smp,omitempty"`
 	DC      *dcSection   `json:"dc,omitempty"`
 	History []hostRun    `json:"history,omitempty"`
@@ -252,6 +279,53 @@ func runC10K(maxThreads, reps int, outPath string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "ptbench: merged %d c10k points into %s\n", len(pts), outPath)
+	return nil
+}
+
+// runC1M measures the resident-thread footprint at the requested
+// population, prints the point, and merges it into the report's c1m
+// section, pushing the previous point onto the section's history.
+// eval.RunC1M fails outright when a resource invariant breaks (a
+// parked thread holding a goroutine, the runner pool scaling with the
+// population), so a recorded point is always one where the
+// representation held; -diff then polices growth across records.
+func runC1M(threads int, outPath string) error {
+	pt, err := eval.RunC1M(threads)
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.FormatC1M(pt))
+	if outPath == "" {
+		return nil
+	}
+
+	report, err := loadHostReport(outPath)
+	if err != nil {
+		return err
+	}
+	sec := report.C1M
+	if sec == nil {
+		sec = &c1mSection{}
+	}
+	if sec.Point.Threads != 0 {
+		sec.History = append(sec.History, c1mEntry{
+			GeneratedAt: sec.GeneratedAt,
+			GoVersion:   sec.GoVersion,
+			CPU:         sec.CPU,
+			Point:       sec.Point,
+		})
+	}
+	sec.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	sec.Command = fmt.Sprintf("go run ./cmd/ptbench -c1m -c1mthreads %d", threads)
+	sec.GoVersion = runtime.Version()
+	sec.CPU = hostCPU()
+	sec.Point = pt
+	report.C1M = sec
+	if err := writeHostReport(outPath, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ptbench: merged c1m point (%d threads) into %s (%d prior points)\n",
+		threads, outPath, len(sec.History))
 	return nil
 }
 

@@ -10,6 +10,7 @@
 //	ptbench -ablation     # pooling / lock-primitive / rendezvous ablations
 //	ptbench -attrib       # where the context-switch time goes
 //	ptbench -host         # host-machine Go benchmarks -> BENCH_host.json
+//	ptbench -c1m          # resident-thread footprint (parked continuations)
 //	ptbench -diff         # perf-regression gate: latest run vs history
 package main
 
@@ -30,8 +31,11 @@ func main() {
 	hostOut := flag.String("hostout", "BENCH_host.json", "output path for -host and -c10k results")
 	hostBench := flag.String("hostbench", defaultHostPattern, "benchmark pattern for -host")
 	c10k := flag.Bool("c10k", false, "run the C10k thread-scaling suite and merge into the JSON")
-	c10kMax := flag.Int("c10kmax", 10000, "largest thread count for -c10k (100000 climbs the full C100k ladder)")
+	c10kMax := flag.Int("c10kmax", 10000, "largest thread count for -c10k (1000000 climbs the full C1M ladder)")
 	c10kReps := flag.Int("c10kreps", 3, "repetitions per -c10k point (min host cost kept)")
+	c1m := flag.Bool("c1m", false, "measure the resident-thread footprint and merge into the JSON")
+	c1mThreads := flag.Int("c1mthreads", 1000000, "resident population for -c1m")
+	c1mOut := flag.String("c1mout", "BENCH_host.json", "output path for -c1m results (empty: print only)")
 	smp := flag.Bool("smp", false, "run the simulated-SMP lock contention ladder and merge into the JSON")
 	smpVCPUs := flag.String("smpvcpus", "1,2,4,8", "comma-separated VCPU counts for -smp")
 	smpIters := flag.Int("smpiters", 300, "lock/unlock cycles per thread for -smp")
@@ -59,6 +63,10 @@ func main() {
 	}
 	if *c10k {
 		exitOn(runC10K(*c10kMax, *c10kReps, *hostOut))
+		return
+	}
+	if *c1m {
+		exitOn(runC1M(*c1mThreads, *c1mOut))
 		return
 	}
 	if *smp {

@@ -20,6 +20,7 @@ func main() {
 	withExplore := flag.Bool("explore", false, "append the schedule-exploration section")
 	withProfile := flag.Bool("profile", false, "append the virtual-time profiler section")
 	withFleet := flag.Bool("fleet", false, "append the fleet observability section")
+	withMem := flag.Bool("mem", false, "append the resident-thread memory section")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "ptreport: unexpected arguments: %v\n", flag.Args())
@@ -52,6 +53,9 @@ func main() {
 	}
 	if *withFleet {
 		sections = append(sections, eval.FormatFleetObs)
+	}
+	if *withMem {
+		sections = append(sections, eval.FormatMem)
 	}
 	for i, f := range sections {
 		out, err := f()

@@ -1,0 +1,101 @@
+package arena
+
+import "testing"
+
+type rec struct {
+	id   int64
+	name string
+	buf  [4]int64
+}
+
+func TestCarveAndChunkGrowth(t *testing.T) {
+	a := New[rec](4)
+	seen := map[*rec]bool{}
+	for i := 0; i < 10; i++ {
+		p := a.Get()
+		if p == nil {
+			t.Fatalf("Get returned nil at %d", i)
+		}
+		if seen[p] {
+			t.Fatalf("Get returned a live slot twice at %d", i)
+		}
+		seen[p] = true
+		p.id = int64(i)
+	}
+	st := a.Stats()
+	if st.Chunks != 3 {
+		t.Fatalf("10 slots at 4/chunk: chunks = %d, want 3", st.Chunks)
+	}
+	if st.Live != 10 || st.Free != 0 {
+		t.Fatalf("stats = %+v, want live 10 free 0", st)
+	}
+	if st.SlotBytes <= 0 {
+		t.Fatalf("SlotBytes = %d", st.SlotBytes)
+	}
+}
+
+func TestFreeListLIFOReuseAndZeroing(t *testing.T) {
+	a := New[rec](8)
+	p1, p2 := a.Get(), a.Get()
+	p1.id, p1.name = 7, "stale"
+	p2.id = 9
+	a.Put(p1)
+	a.Put(p2)
+	if got := a.Stats(); got.Live != 0 || got.Free != 2 {
+		t.Fatalf("after Put: %+v", got)
+	}
+	// LIFO: the most recently freed slot comes back first.
+	if q := a.Get(); q != p2 {
+		t.Fatalf("first reuse = %p, want p2 %p", q, p2)
+	} else if q.id != 0 {
+		t.Fatalf("reused slot not zeroed: id = %d", q.id)
+	}
+	if q := a.Get(); q != p1 {
+		t.Fatalf("second reuse = %p, want p1 %p", q, p1)
+	} else if q.id != 0 || q.name != "" {
+		t.Fatalf("reused slot not zeroed: %+v", *q)
+	}
+	// Reuse did not carve a new chunk.
+	if got := a.Stats(); got.Chunks != 1 {
+		t.Fatalf("chunks after reuse = %d, want 1", got.Chunks)
+	}
+}
+
+func TestDefaultChunkSlots(t *testing.T) {
+	a := New[int64](0)
+	for i := 0; i < DefaultChunkSlots; i++ {
+		a.Get()
+	}
+	if got := a.Stats().Chunks; got != 1 {
+		t.Fatalf("chunks = %d, want 1 after exactly one chunk's worth", got)
+	}
+	a.Get()
+	if got := a.Stats().Chunks; got != 2 {
+		t.Fatalf("chunks = %d, want 2 after one more", got)
+	}
+}
+
+func TestChurnStaysFlat(t *testing.T) {
+	a := New[rec](256)
+	// Steady-state churn: after warmup, chunk count must not move.
+	var held []*rec
+	for i := 0; i < 256; i++ {
+		held = append(held, a.Get())
+	}
+	base := a.Stats().Chunks
+	for round := 0; round < 100; round++ {
+		for _, p := range held {
+			a.Put(p)
+		}
+		held = held[:0]
+		for i := 0; i < 256; i++ {
+			held = append(held, a.Get())
+		}
+	}
+	if got := a.Stats().Chunks; got != base {
+		t.Fatalf("churn grew the arena: chunks %d -> %d", base, got)
+	}
+	if got := a.Stats().Live; got != 256 {
+		t.Fatalf("live = %d, want 256", got)
+	}
+}

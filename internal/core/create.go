@@ -32,9 +32,10 @@ func (s *System) Create(attr Attr, fn func(arg any) any, arg any) (*Thread, erro
 
 	s.enterKernel()
 	t := s.allocTCB(attr)
+	s.ensureResume(t)
 	t.fn = fn
 	t.arg = arg
-	s.all = append(s.all, t)
+	s.addThread(t)
 	s.liveCnt++
 	s.stats.ThreadsCreated++
 	s.trace(EvState, t, "created", attr.Name)
@@ -47,9 +48,9 @@ func (s *System) Create(attr Attr, fn func(arg any) any, arg any) (*Thread, erro
 			s.current.name, t.name)
 	}
 	if attr.Lazy {
-		// Deferred activation: stays in StateNew, holding only a TCB.
-		// (allocTCB gave it a stack already; a production system would
-		// defer that too — modelled by charging activation separately.)
+		// Deferred activation: stays in StateNew, holding only a TCB. The
+		// host stack is deferred too — allocTCB skips it for lazy threads
+		// and ensureStack materializes it at first activation.
 		t.state = StateNew
 		t.waitingFor = "activation"
 		s.mState(t)
@@ -63,6 +64,7 @@ func (s *System) Create(attr Attr, fn func(arg any) any, arg any) (*Thread, erro
 // activateLocked makes a created thread eligible to run. Runs in the
 // kernel.
 func (s *System) activateLocked(t *Thread) {
+	s.ensureStack(t)
 	t.state = StateBlocked // transitional: makeReady validates from Blocked
 	t.blockReason = BlockNone
 	s.makeReady(t, false)
@@ -210,8 +212,12 @@ func (s *System) Once(o *OnceControl, fn func()) error {
 
 // Threads returns the live threads in creation order (diagnostics).
 func (s *System) Threads() []*Thread {
-	out := make([]*Thread, len(s.all))
-	copy(out, s.all)
+	out := make([]*Thread, 0, len(s.all)-s.allDead)
+	for _, t := range s.all {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
 	return out
 }
 

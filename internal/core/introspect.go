@@ -128,6 +128,9 @@ func (s *System) DumpThreads() string {
 	fmt.Fprintf(&b, "pthreads system at %v: %d live threads, kernel=%v dispatcher=%v\n",
 		s.clock.Now(), s.liveCnt, s.kernelFlag, s.dispatcherFlag)
 	for _, t := range s.all {
+		if t == nil {
+			continue
+		}
 		info, err := s.Inspect(t)
 		if err != nil {
 			continue

@@ -283,9 +283,35 @@ func (s *System) contextSwitch(next *Thread) {
 	// quantum is armed when it reaches user code.
 	s.cancelSliceTimer()
 
-	if !next.started {
+	// A terminated or handoff-parking continuation thread releases its
+	// runner before the incoming thread is bound, so a wakeup can reuse
+	// it immediately (the released runner's goroutine is still unwinding;
+	// a rebind's resume waits in its buffered channel).
+	exiting := prev.state == StateTerminated
+	handoff := s.contHandoff && !exiting
+	if exiting && prev.runner != nil {
+		s.releaseRunner(prev)
+	}
+	if handoff {
+		prev.cont.parked = true
+		s.stats.ContParked++
+		s.releaseRunner(prev)
+	}
+
+	if next.cont != nil {
+		if next.runner == nil {
+			s.bindRunner(next)
+		}
+	} else if !next.started {
 		next.started = true
 		go s.trampoline(next)
+	}
+
+	if handoff {
+		// contLeave sends the baton itself, after its last read of the
+		// parked thread; record the selected thread for it.
+		s.contBaton = next
+		return
 	}
 
 	// Everything after the send may run concurrently with the new
@@ -293,17 +319,18 @@ func (s *System) contextSwitch(next *Thread) {
 	// returns (its goroutine unwinds), everyone else parks. A system
 	// shutdown that lands in this window is delivered through the park
 	// channel as a kill message.
-	exiting := prev.state == StateTerminated
-	next.resume <- resumeMsg{}
+	next.resumeCh() <- resumeMsg{}
 	if exiting {
 		return
 	}
 	s.park(prev)
 }
 
-// park blocks the thread's goroutine until it is dispatched again.
+// park blocks the thread's execution context until it is dispatched
+// again. For a continuation thread blocking inline mid-step, that
+// context is the bound runner's goroutine.
 func (s *System) park(t *Thread) {
-	msg := <-t.resume
+	msg := <-t.resumeCh()
 	if msg.kill {
 		panic(killPanic{})
 	}

@@ -308,6 +308,9 @@ func (s *System) deliverToLibrary(info *unixkern.SigInfo) {
 // findRecipient performs the rule-5 linear search.
 func (s *System) findRecipient(sig unixkern.Signal) *Thread {
 	for _, t := range s.all {
+		if t == nil {
+			continue
+		}
 		s.cpu.ChargeInstr(instrPerThreadScan)
 		if t.state == StateTerminated || t.state == StateNew || t.dead {
 			continue

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"pthreads/internal/arena"
 	"pthreads/internal/hw"
 	"pthreads/internal/sched"
 	"pthreads/internal/unixkern"
@@ -123,6 +124,17 @@ type Stats struct {
 	FDBytes        int64 // bytes moved through jacket calls
 	FDBlockedNS    int64 // total virtual time threads spent blocked on fds
 	FDMaxWaitDepth int64 // peak depth of any single fd wait queue
+
+	// Parked-continuation counters (host-side representation only — no
+	// virtual cost attaches to any of them; see cont.go). Lockstep tests
+	// comparing the two representations zero these before comparing.
+	ContThreads    int64 // continuation threads created
+	ContParked     int64 // gauge: cont threads currently holding no goroutine
+	RunnerBinds    int64 // wakeups served by binding a pooled runner
+	RunnerLive     int64 // gauge: runner goroutines alive (bound + idle)
+	RunnerPeak     int64 // high-water mark of RunnerLive
+	ArenaChunks    int64 // chunks carved by the TCB and cont-frame arenas
+	ArenaSlotBytes int64 // host bytes per TCB arena slot
 }
 
 // sigactionRec is the process-wide action table entry for one signal
@@ -157,7 +169,15 @@ type System struct {
 
 	ready   sched.Queue[*Thread]
 	current *Thread
-	all     []*Thread // live threads in creation order (rule-5 search order)
+	// all holds the live threads in creation order (the rule-5 search
+	// order). Reclaimed slots are tombstoned to nil and compacted once
+	// they outnumber the live entries, so reclaiming each of a million
+	// threads costs O(1) amortized instead of an O(n) slice shift.
+	// Every iteration over the roster skips nil slots, which keeps the
+	// observed sequence — and the per-thread scan charges — identical
+	// to an eagerly compacted list.
+	all     []*Thread
+	allDead int // tombstoned entries in all
 	nextID  ThreadID
 	liveCnt int
 
@@ -174,6 +194,23 @@ type System struct {
 	// fdNames interns the per-queue trace labels ("fd3/read"), so a
 	// traced I/O workload formats each label once instead of per event.
 	fdNames map[fdKey]string
+
+	// Parked-continuation machinery (see cont.go). contHandoff marks a
+	// contLeave-driven dispatch: contextSwitch records the selected
+	// thread in contBaton and returns without sending, so contLeave can
+	// send the baton itself after its last read of the parked thread.
+	// The runner pool is kernel-context state: no lock needed.
+	contHandoff bool
+	contBaton   *Thread
+	runnerIdle  []*contRunner
+	runnerLive  int64
+	runnerPeak  int64
+
+	// Arena-backed kernel records: TCBs are carved and never returned
+	// (a reclaimed handle must keep reporting ESRCH, so dead TCBs are
+	// not reused in place); cont frames are recycled.
+	tcbArena  *arena.Arena[Thread]
+	contArena *arena.Arena[Cont]
 
 	pool          []*poolEntry
 	prng          *rand.Rand
@@ -267,6 +304,8 @@ func New(cfg Config) *System {
 		doneCh:  make(chan struct{}),
 	}
 	s.atoms = hw.NewAtomics(s.cpu)
+	s.tcbArena = arena.New[Thread](0)
+	s.contArena = arena.New[Cont](0)
 	s.explorer = cfg.Explorer
 	s.pervertArm = s.explorer == nil && (cfg.Pervert == PervertRROrdered || cfg.Pervert == PervertRandom)
 	s.proc = k.NewProcess("pthreads")
@@ -288,12 +327,70 @@ func New(cfg Config) *System {
 	if !cfg.DisablePool {
 		for i := 0; i < cfg.PoolSize; i++ {
 			s.pool = append(s.pool, &poolEntry{
-				tcb:   &Thread{sys: s, resume: make(chan resumeMsg, 1), pooled: true},
+				tcb:   s.newPooledTCB(make(chan resumeMsg, 1)),
 				stack: hw.NewStack(cfg.DefaultStackSize),
 			})
 		}
 	}
 	return s
+}
+
+// newPooledTCB carves a pool TCB from the arena, reusing the given
+// resume channel (fresh at initialization, recycled from the reclaimed
+// predecessor on pool refill).
+func (s *System) newPooledTCB(resume chan resumeMsg) *Thread {
+	t := s.tcbArena.Get()
+	t.sys = s
+	t.resume = resume
+	t.pooled = true
+	return t
+}
+
+// addThread appends a thread to the roster, recording its slot for the
+// O(1) tombstone removal in dropThread.
+func (s *System) addThread(t *Thread) {
+	t.allIdx = len(s.all)
+	s.all = append(s.all, t)
+}
+
+// dropThread tombstones a reclaimed thread's roster slot and compacts
+// the roster once tombstones outnumber live entries.
+func (s *System) dropThread(t *Thread) {
+	if t.allIdx < len(s.all) && s.all[t.allIdx] == t {
+		s.all[t.allIdx] = nil
+		s.allDead++
+	}
+	if s.allDead > 64 && s.allDead > len(s.all)-s.allDead {
+		live := 0
+		for _, x := range s.all {
+			if x != nil {
+				x.allIdx = live
+				s.all[live] = x
+				live++
+			}
+		}
+		for i := live; i < len(s.all); i++ {
+			s.all[i] = nil
+		}
+		s.all = s.all[:live]
+		s.allDead = 0
+	}
+}
+
+// ensureResume gives a goroutine-backed thread its park channel. Called
+// on the create/run path only — continuation threads park without one.
+func (s *System) ensureResume(t *Thread) {
+	if t.resume == nil {
+		t.resume = make(chan resumeMsg, 1)
+	}
+}
+
+// ensureStack materializes a lazily deferred host stack at the thread's
+// first activation (or first fake-call push, whichever comes first).
+func (s *System) ensureStack(t *Thread) {
+	if t.stack == nil {
+		t.stack = hw.NewStack(t.stackSize)
+	}
 }
 
 // Clock exposes the virtual clock (read-only use intended).
@@ -317,6 +414,10 @@ func (s *System) Stats() Stats {
 	st := s.stats
 	qs := s.ready.Stats()
 	st.ReadyMaxDepth, st.ReadyWraps, st.ReadyGrows = qs.MaxDepth, qs.Wraps, qs.Grows
+	st.RunnerLive, st.RunnerPeak = s.runnerLive, s.runnerPeak
+	ta, ca := s.tcbArena.Stats(), s.contArena.Stats()
+	st.ArenaChunks = int64(ta.Chunks + ca.Chunks)
+	st.ArenaSlotBytes = ta.SlotBytes
 	return st
 }
 
@@ -356,7 +457,7 @@ func (s *System) Run(main func()) error {
 		Name:      "main",
 	})
 	t.fn = func(any) any { main(); return nil }
-	s.all = append(s.all, t)
+	s.addThread(t)
 	s.liveCnt++
 	s.stats.ThreadsCreated++
 	t.state = StateRunning
@@ -364,6 +465,7 @@ func (s *System) Run(main func()) error {
 	s.trace(EvState, t, "running", "")
 	s.mState(t)
 
+	s.ensureResume(t)
 	t.started = true
 	go s.trampoline(t)
 	t.resume <- resumeMsg{}
@@ -383,7 +485,22 @@ func (s *System) finish(err error, status any) {
 	s.finishErr = err
 	s.exitStatus = status
 	for _, t := range s.all {
-		if t != s.current && t.started && t.state != StateTerminated {
+		if t == nil || t == s.current || t.state == StateTerminated {
+			continue
+		}
+		if t.cont != nil {
+			// A bound runner is killed through its own channel; a parked
+			// continuation has no goroutine to release, and idle runners
+			// die on doneCh below.
+			if r := t.runner; r != nil {
+				select {
+				case r.resume <- resumeMsg{kill: true}:
+				default:
+				}
+			}
+			continue
+		}
+		if t.started {
 			select {
 			case t.resume <- resumeMsg{kill: true}:
 			default:
@@ -542,22 +659,57 @@ func (s *System) reclaim(t *Thread) {
 		return
 	}
 	t.dead = true
-	for i, x := range s.all {
-		if x == t {
-			s.all = append(s.all[:i], s.all[i+1:]...)
-			break
-		}
-	}
+	s.dropThread(t)
 	if t.pooled && !s.cfg.DisablePool && t.stack != nil {
 		stk := t.stack
 		stk.Reset()
+		// Reuse the dead TCB's resume channel for the replacement pool
+		// TCB: channels are the one per-thread allocation the arena
+		// cannot recycle. A baton buffered for a thread that died before
+		// consuming it must not leak into the successor.
+		resume := t.resume
+		if resume == nil {
+			resume = make(chan resumeMsg, 1)
+		} else {
+			select {
+			case <-resume:
+			default:
+			}
+		}
 		s.pool = append(s.pool, &poolEntry{
-			tcb:   &Thread{sys: s, resume: make(chan resumeMsg, 1), pooled: true},
+			tcb:   s.newPooledTCB(resume),
 			stack: stk,
 		})
 	}
+	// Drop every reference the dead TCB could pin: the handle itself stays
+	// valid (checkThread reports ESRCH) but must not keep thread bodies,
+	// sync objects, or signal payloads reachable. The runner field is left
+	// alone — a detached continuation thread is reclaimed before its final
+	// context switch releases the runner.
+	if t.cont != nil {
+		s.contArena.Put(t.cont)
+		t.cont = nil
+	}
+	t.resume = nil
 	t.stack = nil
 	t.tsd = nil
+	t.fn = nil
+	t.arg = nil
+	// retval survives reclaim: when several joiners wake together, the
+	// first one to run reclaims the target and the rest still read the
+	// exit status through their (now-dead) handle.
+	t.joiners = nil
+	t.joinTarget = nil
+	t.waitingMutex = nil
+	t.waitingCond = nil
+	t.condMutex = nil
+	t.owned = nil
+	t.ceilStack = nil
+	t.cleanup = nil
+	t.fakeStack = nil
+	t.pending = [unixkern.NSIGAll]*unixkern.SigInfo{}
+	t.fdTag = fdWaitTag{}
+	t.cvTag = timedWaitTag{}
 }
 
 // allocTCB produces a TCB with a stack, drawing from the pool when
@@ -578,8 +730,16 @@ func (s *System) allocTCB(attr Attr) *Thread {
 	} else {
 		s.stats.PoolMisses++
 		s.cpu.ChargeHeapAlloc()
-		t = &Thread{sys: s, resume: make(chan resumeMsg, 1)}
-		stack = hw.NewStack(size)
+		t = s.tcbArena.Get()
+		t.sys = s
+		// No resume channel yet: continuation threads never need one of
+		// their own, and goroutine threads get theirs from ensureResume on
+		// the create/run path. Lazily created threads also defer the host
+		// stack to first activation (ensureStack) — a thread that never
+		// runs costs only its TCB.
+		if !attr.Lazy {
+			stack = hw.NewStack(size)
+		}
 	}
 	s.nextID++
 	t.id = s.nextID
@@ -590,6 +750,7 @@ func (s *System) allocTCB(attr Attr) *Thread {
 	t.detached = attr.Detached
 	t.lazy = attr.Lazy
 	t.stack = stack
+	t.stackSize = size
 	t.state = StateNew
 	t.errno = OK
 	t.sigMask = 0
@@ -616,6 +777,9 @@ func (s *System) BlockedReport() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "deadlock at %v: all %d live threads blocked:\n", s.clock.Now(), s.liveCnt)
 	for _, t := range s.all {
+		if t == nil {
+			continue
+		}
 		if t.state == StateBlocked || t.state == StateNew {
 			fmt.Fprintf(&b, "  %v: %v %s\n", t, t.blockReason, t.waitingFor)
 		}

@@ -214,8 +214,22 @@ type Thread struct {
 	lazy     bool
 
 	// Baton-passing machinery: the thread's goroutine parks on resume.
+	// Continuation threads (cont != nil) have no goroutine of their own:
+	// while runnable they borrow a pooled runner (runner != nil), and
+	// while parked at a declared wait point they hold neither — the
+	// baton reaches them through the runner bound at wakeup (resumeCh).
 	resume  chan resumeMsg
 	started bool
+	cont    *Cont
+	runner  *contRunner
+
+	// stackSize records the requested stack size so lazily created
+	// threads can defer the host stack allocation to first activation.
+	stackSize int64
+
+	// allIdx is the thread's slot in the System.all roster (tombstone
+	// removal; see addThread/dropThread).
+	allIdx int
 
 	fn     func(arg any) any
 	arg    any
@@ -322,4 +336,15 @@ func (t *Thread) String() string {
 // during system shutdown.
 type resumeMsg struct {
 	kill bool
+}
+
+// resumeCh returns the channel the thread's execution context parks on:
+// the bound runner's for continuation threads, the thread's own
+// goroutine channel otherwise. The dispatcher always binds a runner to
+// a continuation thread before sending its baton.
+func (t *Thread) resumeCh() chan resumeMsg {
+	if r := t.runner; r != nil {
+		return r.resume
+	}
+	return t.resume
 }

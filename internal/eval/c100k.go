@@ -84,14 +84,13 @@ func c10kOpenLoop(n int) (C10KPoint, error) {
 		held := make([]*ptio.Conn, 0, n)
 		parked := make([]*core.Thread, 0, n)
 		for i := 0; i < n; i++ {
-			th, err := s.Create(high, func(any) any {
+			th, err := s.CreateCont(high, func(k *core.Cont) {
 				c, err := x.Dial("park")
 				if err != nil {
 					panic(err)
 				}
-				c.Read(1) // parks until the held end closes (EOF)
-				c.Close()
-				return nil
+				// Parks until the held end closes (EOF), goroutine-free.
+				c.ContRead(k, 1, func(k *core.Cont) { c.Close() })
 			}, nil)
 			if err != nil {
 				panic(err)

@@ -29,9 +29,11 @@ import (
 // hosts at all.
 
 // C10KSizes is the default thread-count ladder. The top rung is the
-// C100k point; `ptbench -c10k` stops at -c10kmax (default 10,000), so
-// the full climb is opt-in: `-c10kmax 100000`.
-var C10KSizes = []int{8, 100, 1000, 10000, 100000}
+// C1M point — one million resident threads, feasible only because the
+// parked populations are continuation threads (cont.go) holding no
+// goroutine. `ptbench -c10k` stops at -c10kmax (default 10,000), so
+// the climb is opt-in: `-c10kmax 100000` or `-c10kmax 1000000`.
+var C10KSizes = []int{8, 100, 1000, 10000, 100000, 1000000}
 
 // C10KPoint is one scenario measured at one thread count. The
 // percentile fields are set only by the open-loop scenario; like
@@ -102,25 +104,29 @@ func c10kDispatch(n int) (C10KPoint, error) {
 	s := core.New(c10kConfig(n))
 	var pt C10KPoint
 	err := s.Run(func() {
+		// Spinners are continuation threads: the n-hot low-priority ones
+		// sit ready without ever binding a goroutine, and the hot ring
+		// borrows a pooled runner per dispatch. The yield schedule is
+		// bit-identical to the goroutine version's (lockstep-tested).
 		stop := false
-		spin := func(any) any {
-			for !stop {
-				s.Yield()
+		var spin core.ContFunc
+		spin = func(k *core.Cont) {
+			if !stop {
+				k.Yield(spin)
 			}
-			return nil
 		}
 		ths := make([]*core.Thread, 0, n)
 		low := core.DefaultAttr()
 		low.Priority = s.Self().Priority() - 1
 		for i := 0; i < n-hot; i++ {
-			th, err := s.Create(low, spin, nil)
+			th, err := s.CreateCont(low, spin, nil)
 			if err != nil {
 				panic(err)
 			}
 			ths = append(ths, th)
 		}
 		for i := 0; i < hot; i++ {
-			th, err := s.Create(core.DefaultAttr(), spin, nil)
+			th, err := s.CreateCont(core.DefaultAttr(), spin, nil)
 			if err != nil {
 				panic(err)
 			}
@@ -161,11 +167,9 @@ func c10kMutex(n int) (C10KPoint, error) {
 		for i := 0; i < n-1; i++ {
 			attr := core.DefaultAttr()
 			attr.Priority = s.Self().Priority() + 1
-			th, err := s.Create(attr, func(any) any {
+			th, err := s.CreateCont(attr, func(k *core.Cont) {
 				parked++
-				chain.Lock()
-				chain.Unlock()
-				return nil
+				k.Lock(chain, func(k *core.Cont) { chain.Unlock() })
 			}, nil)
 			if err != nil {
 				panic(err)
@@ -208,10 +212,9 @@ func c10kTimer(n int) (C10KPoint, error) {
 		for i := 0; i < n-1; i++ {
 			attr := core.DefaultAttr()
 			attr.Priority = s.Self().Priority() + 1
-			th, err := s.Create(attr, func(any) any {
+			th, err := s.CreateCont(attr, func(k *core.Cont) {
 				asleep++
-				s.Sleep(long)
-				return nil
+				k.Sleep(long, nil)
 			}, nil)
 			if err != nil {
 				panic(err)
@@ -278,14 +281,14 @@ func c10kEcho(n int) (C10KPoint, error) {
 		for i := 0; i < parkers; i++ {
 			attr := core.DefaultAttr()
 			attr.Priority = s.Self().Priority() + 1
-			th, err := s.Create(attr, func(any) any {
+			th, err := s.CreateCont(attr, func(k *core.Cont) {
 				c, err := x.Dial("park")
 				if err != nil {
 					panic(err)
 				}
-				c.Read(1) // parks until the held end closes (EOF)
-				c.Close()
-				return nil
+				// Parks until the held end closes (EOF) — without a
+				// goroutine: the thread is its TCB plus the read state.
+				c.ContRead(k, 1, func(k *core.Cont) { c.Close() })
 			}, nil)
 			if err != nil {
 				panic(err)

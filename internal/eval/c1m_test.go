@@ -1,0 +1,29 @@
+package eval
+
+import "testing"
+
+// TestC1MInvariantsSmallN runs the resident-footprint scenario at a
+// size cheap enough for the tier-1 suite. RunC1M asserts the resource
+// invariants internally (all threads parked as continuations, runner
+// pool and goroutine delta bounded); this test additionally pins the
+// deterministic gauges so a representation regression is visible even
+// when the invariant thresholds still hold.
+func TestC1MInvariantsSmallN(t *testing.T) {
+	const n = 5000
+	pt, err := RunC1M(n)
+	if err != nil {
+		t.Fatalf("RunC1M(%d): %v", n, err)
+	}
+	if pt.ContParked != n {
+		t.Errorf("ContParked = %d, want %d", pt.ContParked, n)
+	}
+	if pt.RunnerPeak < 1 || pt.RunnerPeak > c1mRunnerBudget {
+		t.Errorf("RunnerPeak = %d, want 1..%d", pt.RunnerPeak, c1mRunnerBudget)
+	}
+	if pt.ArenaChunks < int64(n)/1024 {
+		t.Errorf("ArenaChunks = %d: population not arena-backed", pt.ArenaChunks)
+	}
+	if pt.BytesPerResident <= 0 || pt.BytesPerResident > 4096 {
+		t.Errorf("BytesPerResident = %.1f, want (0, 4096]", pt.BytesPerResident)
+	}
+}

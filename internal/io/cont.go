@@ -1,0 +1,87 @@
+package io
+
+import (
+	"pthreads/internal/core"
+	"pthreads/internal/net"
+	"pthreads/internal/obs"
+	"pthreads/internal/vtime"
+)
+
+// Continuation entry points for the jacket layer. ContRead is Conn.Read
+// with the suspension expressed as a declared continuation op (k.FDOp):
+// a thread blocked in it holds no goroutine, only its TCB plus the
+// pooled per-call state below. The jacket bookkeeping — span, pooled
+// attempt struct, error mapping — is identical to Read's, threaded
+// through k.Env instead of a closure so steady-state reads allocate
+// nothing.
+
+// contReadState carries one ContRead call's jacket state across the
+// park. Arena-backed and recycled when the call completes.
+type contReadState struct {
+	c       *Conn
+	op      *connOp
+	ref     obs.SpanRef
+	then    core.ContFunc
+	prevEnv any
+}
+
+// ContRead declares a blocking read of up to max bytes as the step's
+// continuation op; then runs when the read completes, with k.N holding
+// the count and k.Err the result (EOF at end of stream). Semantics,
+// charges, and traces are identical to Conn.Read.
+func (c *Conn) ContRead(k *core.Cont, max int, then core.ContFunc) {
+	c.contRead(k, max, 0, then)
+}
+
+// ContReadTimeout is ContRead bounded by d of virtual time (ETIMEDOUT).
+func (c *Conn) ContReadTimeout(k *core.Cont, max int, d vtime.Duration, then core.ContFunc) {
+	c.contRead(k, max, d, then)
+}
+
+func (c *Conn) contRead(k *core.Cont, max int, d vtime.Duration, then core.ContFunc) {
+	if max < 0 {
+		k.N, k.Err = 0, core.EINVAL.Or()
+		then(k)
+		return
+	}
+	ref := c.x.openConnSpan(obs.KRead, c.readWhat, c.trace, c.parent)
+	op := c.x.getOp(c.nc, false, max)
+	if ref != obs.NoSpan {
+		sp := c.x.spans.Span(ref)
+		op.sctx = net.SpanCtx{Trace: sp.Trace, Span: sp.ID}
+	}
+	st := c.x.getContRead()
+	st.c, st.op, st.ref, st.then, st.prevEnv = c, op, ref, then, k.Env
+	k.Env = st
+	k.FDOp(c.nc.FD(), core.FDRead, c.readWhat, d, op, contReadDone)
+}
+
+// contReadDone is the completion step: the post-park half of Conn.read,
+// shared by every ContRead (no per-call closure).
+func contReadDone(k *core.Cont) {
+	st := k.Env.(*contReadState)
+	c, op, ref, then := st.c, st.op, st.ref, st.then
+	k.Env = st.prevEnv
+	c.x.putContRead(st)
+	n, opErr := op.n, op.opErr
+	c.x.putOp(op)
+	if err := k.Err; err != nil {
+		c.x.closeSpan(ref, err)
+		k.N = 0
+		then(k)
+		return
+	}
+	rerr := mapErr(opErr)
+	if ref != obs.NoSpan {
+		c.x.spans.Adopt(ref, c.nc.Flow())
+		c.x.closeSpan(ref, rerr)
+	}
+	k.N, k.Err = n, rerr
+	then(k)
+}
+
+// getContRead checks a read-state record out of the arena.
+func (x *IO) getContRead() *contReadState { return x.contReads.Get() }
+
+// putContRead recycles a completed read-state record.
+func (x *IO) putContRead(st *contReadState) { x.contReads.Put(st) }

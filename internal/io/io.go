@@ -20,6 +20,7 @@ package io
 import (
 	"strconv"
 
+	"pthreads/internal/arena"
 	"pthreads/internal/core"
 	"pthreads/internal/net"
 	"pthreads/internal/obs"
@@ -40,8 +41,12 @@ type IO struct {
 	// ops pools the jacket's reusable attempt structs (see connOp): one
 	// is checked out for the duration of each blocking read/write and
 	// returned when the call completes, so steady-state I/O allocates
-	// nothing. Safe without a lock: one goroutine runs at a time.
-	ops []*connOp
+	// nothing. Arena-backed so the per-call state of many concurrently
+	// blocked threads sits in dense chunks rather than scattered heap
+	// objects. Safe without a lock: one goroutine runs at a time.
+	ops *arena.Arena[connOp]
+	// contReads pools ContRead's park-crossing jacket state, same regime.
+	contReads *arena.Arena[contReadState]
 
 	// spans, when attached, records a span per jacket call (dial,
 	// accept, read, write) for the fleet observability plane. Nil —
@@ -53,7 +58,12 @@ type IO struct {
 // New builds the jacket layer over a fresh socket stack for the system's
 // process. Call it inside sys.Run (or before starting threads).
 func New(sys *core.System, cfg net.Config) *IO {
-	return &IO{sys: sys, st: net.NewStack(sys.Kernel(), sys.Process(), cfg)}
+	return &IO{
+		sys:       sys,
+		st:        net.NewStack(sys.Kernel(), sys.Process(), cfg),
+		ops:       arena.New[connOp](0),
+		contReads: arena.New[contReadState](0),
+	}
 }
 
 // Stack exposes the underlying non-blocking stack (stats, diagnostics).
@@ -288,22 +298,16 @@ func (op *connOp) attempt() (bool, bool) {
 	return true, op.nc.Readable()
 }
 
-// getOp checks an op out of the pool for one blocking call.
+// getOp checks an op out of the arena for one blocking call.
 func (x *IO) getOp(nc *net.Conn, write bool, want int) *connOp {
-	if n := len(x.ops); n > 0 {
-		op := x.ops[n-1]
-		x.ops[n-1] = nil
-		x.ops = x.ops[:n-1]
-		*op = connOp{x: x, nc: nc, write: write, want: want}
-		return op
-	}
-	return &connOp{x: x, nc: nc, write: write, want: want}
+	op := x.ops.Get() // zeroed
+	op.x, op.nc, op.write, op.want = x, nc, write, want
+	return op
 }
 
-// putOp returns a completed op to the pool.
+// putOp returns a completed op to the arena.
 func (x *IO) putOp(op *connOp) {
-	op.nc, op.opErr = nil, nil
-	x.ops = append(x.ops, op)
+	x.ops.Put(op)
 }
 
 // Name labels the endpoint in traces.

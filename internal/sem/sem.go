@@ -88,6 +88,42 @@ func (sm *Semaphore) P() error {
 	return sm.m.Unlock()
 }
 
+// ContP is P for continuation threads: the suspension while the count
+// is zero is a declared condition-wait park, so the waiter holds no
+// goroutine. Semantics, charges, and cancellation behaviour match P;
+// then runs with k.Err as P's result.
+func (sm *Semaphore) ContP(k *core.Cont, then core.ContFunc) {
+	if err := sm.m.Lock(); err != nil {
+		k.Err = err
+		then(k)
+		return
+	}
+	sm.s.CleanupPush(sm.unlock, nil)
+	sm.contPLoop(k, then)
+}
+
+// contPLoop is P's wait loop, re-entered after each condition wakeup.
+func (sm *Semaphore) contPLoop(k *core.Cont, then core.ContFunc) {
+	if sm.count == 0 {
+		k.CondWait(sm.c, sm.m, func(k *core.Cont) {
+			if err := k.Err; err != nil {
+				sm.s.CleanupPop(false)
+				sm.m.Unlock()
+				k.Err = err
+				then(k)
+				return
+			}
+			sm.contPLoop(k, then)
+		})
+		return
+	}
+	sm.count--
+	sm.Ps++
+	sm.s.CleanupPop(false)
+	k.Err = sm.m.Unlock()
+	then(k)
+}
+
 // TryP decrements the semaphore only if the count is positive, returning
 // EBUSY otherwise (sem_trywait).
 func (sm *Semaphore) TryP() error {

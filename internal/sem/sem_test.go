@@ -268,3 +268,51 @@ func TestSemaphoreCancellationSafety(t *testing.T) {
 		}
 	})
 }
+
+func TestContPBlocksAndResumes(t *testing.T) {
+	run(t, func(s *core.System) {
+		sm := Must(s, "s", 0)
+		attr := core.DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		attr.Name = "waiter"
+		th, err := s.CreateCont(attr, func(k *core.Cont) {
+			sm.ContP(k, func(k *core.Cont) { k.Ret = k.Err })
+		}, nil)
+		if err != nil {
+			t.Fatalf("CreateCont: %v", err)
+		}
+		if sm.Ps != 0 {
+			t.Fatalf("P completed without a V")
+		}
+		if st := s.Stats(); st.ContParked != 1 {
+			t.Fatalf("ContParked = %d, want 1 (waiter parked in ContP)", st.ContParked)
+		}
+		sm.V()
+		v, _ := s.Join(th)
+		if v != nil {
+			t.Fatalf("ContP err = %v", v)
+		}
+		if sm.Ps != 1 || sm.Value() != 0 {
+			t.Fatalf("Ps = %d, Value = %d", sm.Ps, sm.Value())
+		}
+	})
+}
+
+func TestContPCancelReleasesMutex(t *testing.T) {
+	run(t, func(s *core.System) {
+		sm := Must(s, "s", 0)
+		attr := core.DefaultAttr()
+		attr.Priority = s.Self().Priority() + 1
+		th, _ := s.CreateCont(attr, func(k *core.Cont) {
+			sm.ContP(k, func(k *core.Cont) { k.Ret = "never" })
+		}, nil)
+		s.Cancel(th)
+		if v, _ := s.Join(th); v != core.Canceled {
+			t.Fatalf("join = %v", v)
+		}
+		// The cleanup handler released the internal mutex: V must not wedge.
+		if err := sm.V(); err != nil {
+			t.Fatalf("V after cancelled waiter: %v", err)
+		}
+	})
+}

@@ -115,6 +115,11 @@ type (
 	MetricsSink = core.MetricsSink
 	// SwitchPoint classifies where an Explorer decision is taken.
 	SwitchPoint = core.SwitchPoint
+	// Cont is a continuation thread's resume descriptor: the handle a
+	// parked-continuation thread's steps receive (see CreateCont).
+	Cont = core.Cont
+	// ContFunc is one step of a continuation thread.
+	ContFunc = core.ContFunc
 
 	// IO is the blocking-I/O jacket layer bound to a System: sockets
 	// and device files with per-thread blocking semantics built on

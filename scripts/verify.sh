@@ -120,6 +120,22 @@ awk '
   END { if (found < 2) { bad = 1; print "alloc gate: expected both echo benchmarks" }
     exit bad }' "$t/echobench.txt"
 
+# Resident-footprint smoke (DESIGN.md §15, E32) at a reduced
+# population: RunC1M itself fails unless every thread parks as a
+# continuation (no goroutine) with the runner pool and goroutine delta
+# inside the O(pool) budget, so a clean exit is the representation
+# holding at 200k residents. On top of that, a bytes/resident tripwire:
+# a parked thread is a TCB + continuation frame + simulated stack +
+# wait-queue slot, which must stay under 4 KiB of host heap.
+go run ./cmd/ptbench -c1m -c1mthreads 200000 -c1mout "" > "$t/c1m.txt"
+cat "$t/c1m.txt"
+awk '
+  $1 == "bytes/resident" { found = 1
+    if ($2 + 0 <= 0 || $2 + 0 > 4096) { bad = 1
+      printf "c1m: bytes/resident %s outside (0, 4096]\n", $2 } }
+  END { if (!found) { bad = 1; print "c1m: bytes/resident line missing" }
+    exit bad }' "$t/c1m.txt"
+
 # Batched-SIGIO determinism: two full webserver runs (the workload with
 # the densest same-tick readiness traffic) must be byte-identical on
 # stdout, on top of the trace-token self-check each run already does.
@@ -207,9 +223,10 @@ awk '
       printf "span gate: vus/op differs spans on vs off: %s vs %s\n", vus[1], vus[2] }
     exit bad }' "$t/spanbench.txt"
 
-# Perf-regression gate: benchdiff must fail the planted 3-regression
-# fixture, pass the within-tolerance fixture, and pass the checked-in
-# BENCH_host.json history.
+# Perf-regression gate: benchdiff must fail the planted 5-regression
+# fixture (vus/op, allocs/op, ns/op, and the c1m runner-pool and
+# bytes-per-resident plants), pass the within-tolerance fixture, and
+# pass the checked-in BENCH_host.json history.
 if scripts/benchdiff cmd/ptbench/testdata/regression.json; then
   echo "benchdiff: failed to flag the planted regressions" >&2; exit 1
 fi
